@@ -1,0 +1,75 @@
+"""Fig. 2 → Fig. 3: the trace-simplification effect for ``add sp, sp, #0x40``.
+
+The paper's motivating example: the full Sail semantics of the add spans 146
+lines over 9 functions and a five-way banked-stack-pointer choice, while the
+Isla trace under EL=2/SP=1 is a handful of events.  This benchmark
+regenerates both sides of that comparison:
+
+- the *unconstrained* trace (five paths, one per stack-pointer selection),
+- the *constrained* trace (one linear path, Fig. 3's shape),
+- the model-execution footprint (functions entered, operations performed).
+"""
+
+import pytest
+
+from repro.arch.arm import ArmModel, encode as A
+from repro.isla import Assumptions, trace_for_opcode
+from repro.itl import trace_to_sexpr
+
+OPCODE = A.add_imm(31, 31, 0x40)  # 0x910103ff, as in the paper
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ArmModel()
+
+
+def constrained():
+    return Assumptions().pin("PSTATE.EL", 2, 2).pin("PSTATE.SP", 1, 1)
+
+
+def test_fig3_print_comparison(model, capsys):
+    free = trace_for_opcode(model, OPCODE, Assumptions())
+    con = trace_for_opcode(model, OPCODE, constrained())
+    with capsys.disabled():
+        print()
+        print(f"add sp, sp, #0x40 (opcode {OPCODE:#010x})")
+        print(
+            f"  unconstrained: {free.paths} paths, "
+            f"{free.trace.num_events()} events, {free.model_calls} model fns"
+        )
+        print(
+            f"  EL=2, SP=1:    {con.paths} path,  "
+            f"{con.trace.num_events()} events, {con.model_calls} model fns"
+        )
+        print()
+        print(trace_to_sexpr(con.trace))
+
+
+def test_fig3_opcode_matches_paper(model):
+    assert OPCODE == 0x910103FF
+
+
+def test_fig3_constrained_is_linear(model):
+    con = trace_for_opcode(model, OPCODE, constrained())
+    assert con.paths == 1 and con.trace.cases is None
+
+
+def test_fig3_unconstrained_five_paths(model):
+    free = trace_for_opcode(model, OPCODE, Assumptions())
+    assert free.paths == 5  # SP=0 plus one per exception level
+
+
+def test_fig3_event_budget(model):
+    """The constrained trace stays within Fig. 3's ballpark (the paper's
+    trace has ~10 core events)."""
+    con = trace_for_opcode(model, OPCODE, constrained())
+    assert con.trace.num_events() <= 14
+
+
+def test_fig3_benchmark_constrained(benchmark, model):
+    benchmark(lambda: trace_for_opcode(model, OPCODE, constrained()))
+
+
+def test_fig3_benchmark_unconstrained(benchmark, model):
+    benchmark(lambda: trace_for_opcode(model, OPCODE, Assumptions()))

@@ -1,0 +1,86 @@
+"""Micro-benchmarks for the SMT substrate.
+
+Not a paper table — these size the solver underlying every Isla pruning
+query and every proof side condition, so regressions here show up
+multiplied everywhere else.
+"""
+
+import pytest
+
+from repro.smt import builder as B
+from repro.smt.solver import SAT, UNSAT, Solver
+from repro.smt.theory import refutes
+
+
+def fresh():
+    return Solver(use_global_cache=False)
+
+
+class TestSolverMicro:
+    def test_benchmark_concrete_fold(self, benchmark):
+        """Fully concrete arithmetic must never reach the SAT core."""
+
+        def run():
+            acc = B.bv(1, 64)
+            for i in range(50):
+                acc = B.bvadd(B.bvmul(acc, B.bv(3, 64)), B.bv(i, 64))
+            assert acc.is_value()
+
+        benchmark(run)
+
+    def test_benchmark_equality_query(self, benchmark):
+        x = B.bv_var("mx", 64)
+        s = fresh()
+        s.add(B.eq(x, B.bv(12345, 64)))
+
+        def run():
+            assert s.is_valid(B.bvult(x, B.bv(20000, 64)))
+
+        benchmark(run)
+
+    def test_benchmark_theory_ordering_chain(self, benchmark):
+        xs = [B.bv_var(f"mc{i}", 64) for i in range(10)]
+        facts = [B.bvult(a, b) for a, b in zip(xs, xs[1:])]
+        goal = [*facts, B.not_(B.bvult(xs[0], xs[-1]))]
+
+        def run():
+            assert refutes(goal)
+
+        benchmark(run)
+
+    def test_benchmark_sat_model_search(self, benchmark):
+        a, b = B.bv_var("ma", 32), B.bv_var("mb", 32)
+        constraint = B.and_(
+            B.eq(B.bvadd(a, b), B.bv(1000, 32)), B.bvult(a, b)
+        )
+
+        def run():
+            s = fresh()
+            s.add(constraint)
+            assert s.check() == SAT
+
+        benchmark(run)
+
+    def test_benchmark_unsat_bitblast(self, benchmark):
+        x = B.bv_var("mu", 16)
+        # x ^ x != 0 is unsatisfiable; forces a real (small) refutation.
+        constraint = B.not_(B.eq(B.bvxor(x, B.bvadd(x, B.bv(0, 16))), B.bv(0, 16)))
+
+        def run():
+            s = fresh()
+            s.add(constraint)
+            assert s.check() == UNSAT
+
+        benchmark(run)
+
+    def test_benchmark_isla_trace_generation(self, benchmark):
+        from repro.arch.arm import ArmModel, encode as A
+        from repro.isla import Assumptions, trace_for_opcode
+
+        model = ArmModel()
+        assm = Assumptions().pin("PSTATE.EL", 2, 2).pin("PSTATE.SP", 1, 1)
+
+        def run():
+            trace_for_opcode(model, A.cmp_reg(1, 2), assm)
+
+        benchmark(run)

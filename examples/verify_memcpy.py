@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""The paper's §2.5 case study: verifying compiled memcpy machine code.
+
+Builds the GCC-style AArch64 memcpy binary (Fig. 7), generates its traces,
+verifies the Fig. 8 specification — including a genuine loop-invariant proof
+at ``.L3`` — re-checks the proof object, and finally validates Theorem 1 by
+running the binary from random precondition states.
+
+Run with:  python examples/verify_memcpy.py [length]
+"""
+
+import sys
+import time
+
+from repro.arch.arm.regs import PC
+from repro.casestudies import memcpy_arm
+from repro.logic.adequacy import AdequacyHarness
+from repro.logic.checker import check_proof
+from repro.smt import builder as B
+
+
+def main(n: int = 4) -> None:
+    print(f"=== memcpy (Armv8-A), n = {n} ===\n")
+    print("assembly (Fig. 7, second column):")
+    for line in (
+        "memcpy: cbz  x2, .L1",
+        "        mov  x3, #0",
+        ".L3:    ldrb w4, [x1, x3]",
+        "        strb w4, [x0, x3]",
+        "        add  x3, x3, #1",
+        "        cmp  x2, x3",
+        "        bne  .L3",
+        ".L1:    ret",
+    ):
+        print(f"  {line}")
+
+    t0 = time.perf_counter()
+    case = memcpy_arm.build(n=n)
+    t1 = time.perf_counter()
+    print(
+        f"\nIsla generated {case.frontend.total_events} trace events for "
+        f"{case.asm_line_count} instructions in {t1 - t0:.3f}s"
+    )
+
+    print("\nspecifications:")
+    print(f"  entry (Fig. 8):   {len(case.specs[case.entry].assertions)} assertions")
+    print(
+        f"  loop invariant:   'first m bytes copied' at .L3 "
+        f"({len(case.specs[case.loop].pure)} pure facts)"
+    )
+
+    t1 = time.perf_counter()
+    proof = memcpy_arm.verify(case)
+    t2 = time.perf_counter()
+    print(f"\nverified in {t2 - t1:.3f}s: {proof.summary()}")
+
+    report = check_proof(proof, expected_blocks=set(case.specs))
+    t3 = time.perf_counter()
+    print(f"re-checked in {t3 - t2:.3f}s: {report}")
+
+    # Theorem 1 in action: random precondition states, real executions.
+    specs, meta = memcpy_arm.build_specs(n)
+    d, s, r = meta["d"], meta["s"], meta["r"]
+
+    def final_check(env, state):
+        for i in range(n):
+            assert state.read_mem((env[s] + i) % 2**64, 1) == state.read_mem(
+                (env[d] + i) % 2**64, 1
+            )
+
+    harness = AdequacyHarness(
+        pred=specs[case.entry],
+        traces=case.frontend.traces,
+        pc_reg=PC,
+        entry=case.entry,
+        stop_at=lambda env: {env[r]},
+        final_check=final_check,
+        extra_constraints=[
+            B.bvult(d, B.bv(0x1000, 64)),
+            B.bvult(B.bv(0x2000, 64), s),
+            B.bvult(s, B.bv(0x3000, 64)),
+            B.bvult(B.bv(0x8000, 64), r),
+            B.eq(B.extract(1, 0, r), B.bv(0, 2)),
+        ],
+    )
+    result = harness.run(iterations=10)
+    print(
+        f"\nadequacy (Theorem 1): {result.runs} random executions "
+        f"({result.total_instructions} instructions) — no ⊥, all bytes copied"
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 4)

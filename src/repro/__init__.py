@@ -1,0 +1,19 @@
+"""Islaris reproduction: machine-code verification against ISA semantics.
+
+A Python implementation of the full pipeline of "Islaris: Verification of
+Machine Code Against Authoritative ISA Semantics" (PLDI 2022):
+
+- :mod:`repro.smt` — a from-scratch QF_BV SMT solver,
+- :mod:`repro.sail` — the mini-Sail ISA definition layer,
+- :mod:`repro.arch` — Armv8-A and RV64I models and encoders,
+- :mod:`repro.isla` — the Isla symbolic executor (model → ITL traces),
+- :mod:`repro.itl` — the Isla trace language and operational semantics,
+- :mod:`repro.logic` — the Islaris separation logic, automation, checker,
+- :mod:`repro.validation` — §5 translation validation,
+- :mod:`repro.frontend` — machine code → instruction maps,
+- :mod:`repro.casestudies` — the nine Fig. 12 case studies.
+
+Start with ``examples/quickstart.py`` or the README.
+"""
+
+__version__ = "1.0.0"

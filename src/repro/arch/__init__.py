@@ -1,0 +1,1 @@
+"""Architecture models: Armv8-A (AArch64) and RISC-V (RV64I)."""

@@ -1,0 +1,6 @@
+"""``repro.arch.arm`` — the AArch64 model, encoder, registers, and ABI."""
+
+from . import encode, regs
+from .model import ArmModel
+
+__all__ = ["ArmModel", "encode", "regs"]

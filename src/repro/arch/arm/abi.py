@@ -1,0 +1,31 @@
+"""AAPCS64 conventions and standard register collections for specifications.
+
+``sys_regs(el, sp)`` is the collection the paper calls ``sys_regs`` (the
+pinned system-configuration registers a piece of code relies on);
+``cnvz_regs()`` is ``CNVZ_regs`` (the condition flags, typically owned with
+wildcard values).
+"""
+
+from __future__ import annotations
+
+ARG_REGS = [f"R{i}" for i in range(8)]        # x0-x7 arguments/results
+SCRATCH_REGS = [f"R{i}" for i in range(9, 16)]  # x9-x15 temporaries
+LINK_REG = "R30"
+
+
+def sys_regs(el: int, sp: int, sctlr: int | None = None) -> dict[str, int | None]:
+    """System-configuration collection: PSTATE.EL/SP pinned, plus SCTLR of
+    the current EL when memory is accessed (alignment-check bit)."""
+    out: dict[str, int | None] = {"PSTATE.EL": el, "PSTATE.SP": sp}
+    if sctlr is not None:
+        out[f"SCTLR_EL{el if el else 1}"] = sctlr
+    return out
+
+
+def cnvz_regs() -> dict[str, None]:
+    """The condition-flag collection (owned, unknown values)."""
+    return {"PSTATE.N": None, "PSTATE.Z": None, "PSTATE.C": None, "PSTATE.V": None}
+
+
+def daif_regs() -> dict[str, None]:
+    return {"PSTATE.D": None, "PSTATE.A": None, "PSTATE.I": None, "PSTATE.F": None}

@@ -1,0 +1,5 @@
+"""Re-export of ITL names used by architecture models (import convenience)."""
+
+from ..itl.events import Reg
+
+__all__ = ["Reg"]

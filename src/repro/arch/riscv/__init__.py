@@ -1,0 +1,6 @@
+"""``repro.arch.riscv`` — the RV64I model and encoder."""
+
+from . import encode
+from .model import RiscvModel
+
+__all__ = ["RiscvModel", "encode"]

@@ -1,0 +1,32 @@
+"""RISC-V LP64 calling convention (the psABI roles used by specifications).
+
+The §2.7 point: an Islaris specification for RISC-V differs from the Arm one
+mostly in this table.
+"""
+
+from __future__ import annotations
+
+#: argument / return registers a0-a7 (x10-x17)
+ARG_REGS = [f"x{i}" for i in range(10, 18)]
+
+#: return-address register (ra)
+LINK_REG = "x1"
+
+#: stack pointer
+STACK_REG = "x2"
+
+#: callee-saved registers s0-s11
+CALLEE_SAVED = ["x8", "x9"] + [f"x{i}" for i in range(18, 28)]
+
+#: caller-saved temporaries t0-t6
+TEMP_REGS = ["x5", "x6", "x7"] + [f"x{i}" for i in range(28, 32)]
+
+#: the machine-mode CSRs a trap handler owns
+TRAP_CSRS = ["mstatus", "mtvec", "mepc", "mcause", "mtval", "mscratch"]
+
+
+def abi_name(xreg: str) -> str:
+    """The psABI name of an x-register (``x10`` -> ``a0``)."""
+    from .decode import ABI
+
+    return ABI[int(xreg[1:])]

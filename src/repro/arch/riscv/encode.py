@@ -1,0 +1,379 @@
+"""RV64I instruction encoder."""
+
+from __future__ import annotations
+
+RA = 1  # return-address register x1
+SP = 2
+
+ABI_NAMES = {
+    "zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+    "t0": 5, "t1": 6, "t2": 7, "s0": 8, "fp": 8, "s1": 9,
+    "a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15,
+    "a6": 16, "a7": 17,
+    **{f"s{i}": 16 + i for i in range(2, 12)},
+    "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+
+
+def reg(name: str | int) -> int:
+    if isinstance(name, int):
+        n = name
+    else:
+        n = ABI_NAMES.get(name)
+        if n is None:
+            if name.startswith("x"):
+                n = int(name[1:])
+            else:
+                raise ValueError(f"unknown register {name}")
+    if not 0 <= n <= 31:
+        raise ValueError(f"register out of range: {n}")
+    return n
+
+
+def _signed(value: int, bits: int, what: str) -> int:
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if not lo <= value <= hi:
+        raise ValueError(f"{what} out of range: {value}")
+    return value & ((1 << bits) - 1)
+
+
+def _r(funct7: int, rs2: int, rs1: int, funct3: int, rd: int, opcode: int) -> int:
+    return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+
+
+def _i(imm: int, rs1: int, funct3: int, rd: int, opcode: int) -> int:
+    return (_signed(imm, 12, "imm") << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+
+
+def _s(imm: int, rs2: int, rs1: int, funct3: int, opcode: int) -> int:
+    imm = _signed(imm, 12, "imm")
+    return (
+        ((imm >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12)
+        | ((imm & 0x1F) << 7) | opcode
+    )
+
+
+def _b(imm: int, rs2: int, rs1: int, funct3: int) -> int:
+    imm = _signed(imm, 13, "branch offset")
+    if imm & 1:
+        raise ValueError("branch offset must be even")
+    return (
+        (((imm >> 12) & 1) << 31) | (((imm >> 5) & 0x3F) << 25)
+        | (rs2 << 20) | (rs1 << 15) | (funct3 << 12)
+        | (((imm >> 1) & 0xF) << 8) | (((imm >> 11) & 1) << 7) | 0b1100011
+    )
+
+
+# -- U/J types ------------------------------------------------------------------
+
+
+def lui(rd, imm20):
+    return ((imm20 & 0xFFFFF) << 12) | (reg(rd) << 7) | 0b0110111
+
+
+def auipc(rd, imm20):
+    return ((imm20 & 0xFFFFF) << 12) | (reg(rd) << 7) | 0b0010111
+
+
+def jal(rd, offset):
+    imm = _signed(offset, 21, "jal offset")
+    if imm & 1:
+        raise ValueError("jal offset must be even")
+    return (
+        (((imm >> 20) & 1) << 31) | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 11) & 1) << 20) | (((imm >> 12) & 0xFF) << 12)
+        | (reg(rd) << 7) | 0b1101111
+    )
+
+
+def jalr(rd, rs1, imm=0):
+    return _i(imm, reg(rs1), 0b000, reg(rd), 0b1100111)
+
+
+def ret():
+    return jalr(0, RA, 0)
+
+
+def j(offset):
+    return jal(0, offset)
+
+
+# -- branches ---------------------------------------------------------------------
+
+
+def beq(rs1, rs2, offset):
+    return _b(offset, reg(rs2), reg(rs1), 0b000)
+
+
+def bne(rs1, rs2, offset):
+    return _b(offset, reg(rs2), reg(rs1), 0b001)
+
+
+def blt(rs1, rs2, offset):
+    return _b(offset, reg(rs2), reg(rs1), 0b100)
+
+
+def bge(rs1, rs2, offset):
+    return _b(offset, reg(rs2), reg(rs1), 0b101)
+
+
+def bltu(rs1, rs2, offset):
+    return _b(offset, reg(rs2), reg(rs1), 0b110)
+
+
+def bgeu(rs1, rs2, offset):
+    return _b(offset, reg(rs2), reg(rs1), 0b111)
+
+
+def beqz(rs1, offset):
+    return beq(rs1, 0, offset)
+
+
+def bnez(rs1, offset):
+    return bne(rs1, 0, offset)
+
+
+# -- loads/stores --------------------------------------------------------------------
+
+
+def lb(rd, rs1, imm=0):
+    return _i(imm, reg(rs1), 0b000, reg(rd), 0b0000011)
+
+
+def lh(rd, rs1, imm=0):
+    return _i(imm, reg(rs1), 0b001, reg(rd), 0b0000011)
+
+
+def lw(rd, rs1, imm=0):
+    return _i(imm, reg(rs1), 0b010, reg(rd), 0b0000011)
+
+
+def ld(rd, rs1, imm=0):
+    return _i(imm, reg(rs1), 0b011, reg(rd), 0b0000011)
+
+
+def lbu(rd, rs1, imm=0):
+    return _i(imm, reg(rs1), 0b100, reg(rd), 0b0000011)
+
+
+def lhu(rd, rs1, imm=0):
+    return _i(imm, reg(rs1), 0b101, reg(rd), 0b0000011)
+
+
+def lwu(rd, rs1, imm=0):
+    return _i(imm, reg(rs1), 0b110, reg(rd), 0b0000011)
+
+
+def sb(rs2, rs1, imm=0):
+    return _s(imm, reg(rs2), reg(rs1), 0b000, 0b0100011)
+
+
+def sh(rs2, rs1, imm=0):
+    return _s(imm, reg(rs2), reg(rs1), 0b001, 0b0100011)
+
+
+def sw(rs2, rs1, imm=0):
+    return _s(imm, reg(rs2), reg(rs1), 0b010, 0b0100011)
+
+
+def sd(rs2, rs1, imm=0):
+    return _s(imm, reg(rs2), reg(rs1), 0b011, 0b0100011)
+
+
+# -- OP-IMM -------------------------------------------------------------------------------
+
+
+def addi(rd, rs1, imm):
+    return _i(imm, reg(rs1), 0b000, reg(rd), 0b0010011)
+
+
+def slti(rd, rs1, imm):
+    return _i(imm, reg(rs1), 0b010, reg(rd), 0b0010011)
+
+
+def sltiu(rd, rs1, imm):
+    return _i(imm, reg(rs1), 0b011, reg(rd), 0b0010011)
+
+
+def xori(rd, rs1, imm):
+    return _i(imm, reg(rs1), 0b100, reg(rd), 0b0010011)
+
+
+def ori(rd, rs1, imm):
+    return _i(imm, reg(rs1), 0b110, reg(rd), 0b0010011)
+
+
+def andi(rd, rs1, imm):
+    return _i(imm, reg(rs1), 0b111, reg(rd), 0b0010011)
+
+
+def slli(rd, rs1, shamt):
+    return _i(shamt, reg(rs1), 0b001, reg(rd), 0b0010011)
+
+
+def srli(rd, rs1, shamt):
+    return _i(shamt, reg(rs1), 0b101, reg(rd), 0b0010011)
+
+
+def srai(rd, rs1, shamt):
+    return _i(shamt | 0x400, reg(rs1), 0b101, reg(rd), 0b0010011)
+
+
+def mv(rd, rs1):
+    return addi(rd, rs1, 0)
+
+
+def li(rd, imm):
+    return addi(rd, 0, imm)
+
+
+def nop():
+    return addi(0, 0, 0)
+
+
+# -- OP ------------------------------------------------------------------------------------------
+
+
+def add(rd, rs1, rs2):
+    return _r(0, reg(rs2), reg(rs1), 0b000, reg(rd), 0b0110011)
+
+
+def sub(rd, rs1, rs2):
+    return _r(0b0100000, reg(rs2), reg(rs1), 0b000, reg(rd), 0b0110011)
+
+
+def sll(rd, rs1, rs2):
+    return _r(0, reg(rs2), reg(rs1), 0b001, reg(rd), 0b0110011)
+
+
+def slt(rd, rs1, rs2):
+    return _r(0, reg(rs2), reg(rs1), 0b010, reg(rd), 0b0110011)
+
+
+def sltu(rd, rs1, rs2):
+    return _r(0, reg(rs2), reg(rs1), 0b011, reg(rd), 0b0110011)
+
+
+def xor(rd, rs1, rs2):
+    return _r(0, reg(rs2), reg(rs1), 0b100, reg(rd), 0b0110011)
+
+
+def srl(rd, rs1, rs2):
+    return _r(0, reg(rs2), reg(rs1), 0b101, reg(rd), 0b0110011)
+
+
+def sra(rd, rs1, rs2):
+    return _r(0b0100000, reg(rs2), reg(rs1), 0b101, reg(rd), 0b0110011)
+
+
+def or_(rd, rs1, rs2):
+    return _r(0, reg(rs2), reg(rs1), 0b110, reg(rd), 0b0110011)
+
+
+def and_(rd, rs1, rs2):
+    return _r(0, reg(rs2), reg(rs1), 0b111, reg(rd), 0b0110011)
+
+
+def addw(rd, rs1, rs2):
+    return _r(0, reg(rs2), reg(rs1), 0b000, reg(rd), 0b0111011)
+
+
+def addiw(rd, rs1, imm):
+    return _i(imm, reg(rs1), 0b000, reg(rd), 0b0011011)
+
+
+def srliw(rd, rs1, shamt):
+    return _i(shamt, reg(rs1), 0b101, reg(rd), 0b0011011)
+
+
+# -- Zicsr and machine-mode system instructions -----------------------------------
+
+CSR_NAMES = {
+    "mstatus": 0x300, "misa": 0x301, "mie": 0x304, "mtvec": 0x305,
+    "mscratch": 0x340, "mepc": 0x341, "mcause": 0x342, "mtval": 0x343,
+    "mip": 0x344, "mhartid": 0xF14,
+}
+
+
+def _csr_addr(csr: str | int) -> int:
+    if isinstance(csr, int):
+        addr = csr
+    else:
+        addr = CSR_NAMES.get(csr)
+        if addr is None:
+            raise ValueError(f"unknown CSR {csr}")
+    if not 0 <= addr < 4096:
+        raise ValueError(f"CSR address out of range: {addr}")
+    return addr
+
+
+def _csr(funct3: int, rd, rs1: int, csr) -> int:
+    return (
+        (_csr_addr(csr) << 20) | (rs1 << 15) | (funct3 << 12)
+        | (reg(rd) << 7) | 0b1110011
+    )
+
+
+def csrrw(rd, csr, rs1):
+    return _csr(0b001, rd, reg(rs1), csr)
+
+
+def csrrs(rd, csr, rs1):
+    return _csr(0b010, rd, reg(rs1), csr)
+
+
+def csrrc(rd, csr, rs1):
+    return _csr(0b011, rd, reg(rs1), csr)
+
+
+def csrrwi(rd, csr, uimm):
+    if not 0 <= uimm < 32:
+        raise ValueError("uimm out of range")
+    return _csr(0b101, rd, uimm, csr)
+
+
+def csrrsi(rd, csr, uimm):
+    if not 0 <= uimm < 32:
+        raise ValueError("uimm out of range")
+    return _csr(0b110, rd, uimm, csr)
+
+
+def csrrci(rd, csr, uimm):
+    if not 0 <= uimm < 32:
+        raise ValueError("uimm out of range")
+    return _csr(0b111, rd, uimm, csr)
+
+
+def csrr(rd, csr):
+    """csrr rd, csr == csrrs rd, csr, x0"""
+    return csrrs(rd, csr, 0)
+
+
+def csrw(csr, rs1):
+    """csrw csr, rs == csrrw x0, csr, rs"""
+    return csrrw(0, csr, rs1)
+
+
+def ecall():
+    return 0x00000073
+
+
+def ebreak():
+    return 0x00100073
+
+
+def mret():
+    return 0x30200073
+
+
+def wfi():
+    return 0x10500073
+
+
+def assemble(opcodes: list[int]) -> bytes:
+    out = bytearray()
+    for op in opcodes:
+        if not 0 <= op < (1 << 32):
+            raise ValueError(f"opcode out of range: {op:#x}")
+        out += op.to_bytes(4, "little")
+    return bytes(out)

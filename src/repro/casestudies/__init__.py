@@ -1,0 +1,22 @@
+"""``repro.casestudies`` — one module per Fig. 12 row of the paper.
+
+Each module exposes ``build()`` (assemble + run Isla + package specs) and
+``verify(case)`` (run the Islaris proof automation).
+"""
+
+from . import (
+    binsearch_arm,
+    binsearch_riscv,
+    hvc,
+    memcpy_arm,
+    memcpy_riscv,
+    pkvm,
+    rbit,
+    uart,
+    unaligned,
+)
+
+__all__ = [
+    "binsearch_arm", "binsearch_riscv", "hvc", "memcpy_arm", "memcpy_riscv",
+    "pkvm", "rbit", "uart", "unaligned",
+]

@@ -1,0 +1,284 @@
+"""Case study: higher-order reasoning — binary search over a comparison
+function pointer (§6).
+
+C supports limited higher-order programming via function pointers; the
+verified code is a binary search parametric over the comparison callback
+(based on the RefinedC example the paper cites)::
+
+    ; x0 = arr, x1 = n, x2 = key, x3 = cmp, x30 = return
+    bsearch:
+        mov  x19, xzr            ; lo = 0
+        mov  x20, x1             ; hi = n
+        mov  x21, x0             ; arr
+        mov  x22, x2             ; key
+        mov  x23, x3             ; cmp
+        mov  x24, x30            ; saved return address
+    .loop:                       ; invariant: 0 <= lo <= hi <= n
+        cmp  x19, x20
+        b.eq .notfound
+        add  x25, x19, x20
+        lsr  x25, x25, #1        ; mid = (lo + hi) / 2
+        ldr  x0, [x21, x25, lsl #3]
+        mov  x1, x22
+        blr  x23                 ; c = cmp(arr[mid], key)
+    .ret:
+        cbz  x0, .found
+        cmp  x0, xzr
+        b.lt .less
+        mov  x20, x25            ; c > 0: hi = mid
+        b    .loop
+    .less:
+        add  x19, x25, #1        ; c < 0: lo = mid + 1
+        b    .loop
+    .found:
+        mov  x0, x25
+        b    .out
+    .notfound:
+        movn x0, #0              ; x0 = -1
+    .out:
+        mov  x30, x24
+        ret
+
+The comparison function is *abstract*: the precondition supplies only a
+code-pointer assertion ``f @@ C`` where ``C`` is the AAPCS64 encoding of
+"cmp may be called with arguments in x0/x1 and the return address in x30,
+provided the caller's loop frame is intact" — and the return site ``.ret``
+carries a block specification (the continuation invariant) that gives the
+frame back with an arbitrary result in x0.  Verification threads every
+``blr`` through this contract; the result in x0 is completely unconstrained,
+so the proof covers *every* comparison function satisfying the ABI.
+
+The verified property is safety + memory-safety + ABI conformance +
+return-to-caller: all array accesses are in bounds (``lo <= mid < hi <= n``
+side conditions discharged by the solver), and the function always returns
+to the caller's return address with the callee-saved frame restored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.arm import ArmModel, encode as A
+from ..arch.arm.abi import cnvz_regs, sys_regs
+from ..frontend import FrontendResult, ProgramImage, generate_instruction_map
+from ..isla import Assumptions
+from ..logic import Pred, PredBuilder, Proof, ProofEngine
+from ..smt import builder as B
+from ..smt.terms import Term
+
+BASE = 0x40_0000
+
+# Instruction layout offsets (4 bytes each, in program order).
+LOOP_OFF = 6 * 4
+RET_OFF = 13 * 4
+LESS_OFF = 18 * 4
+FOUND_OFF = 20 * 4
+NOTFOUND_OFF = 22 * 4
+OUT_OFF = 23 * 4
+
+
+@dataclass
+class BinsearchArm:
+    n: int
+    image: ProgramImage
+    frontend: FrontendResult
+    specs: dict[int, Pred]
+    entry: int
+
+    @property
+    def asm_line_count(self) -> int:
+        return len(self.image.opcodes)
+
+
+def build_image(base: int = BASE) -> ProgramImage:
+    image = ProgramImage()
+    code = [
+        A.mov_reg(19, A.XZR),          # 0  lo = 0
+        A.mov_reg(20, 1),              # 1  hi = n
+        A.mov_reg(21, 0),              # 2  arr
+        A.mov_reg(22, 2),              # 3  key
+        A.mov_reg(23, 3),              # 4  cmp
+        A.mov_reg(24, 30),             # 5  saved lr
+        # .loop:
+        A.cmp_reg(19, 20),             # 6
+        A.b_cond("eq", NOTFOUND_OFF - 7 * 4),  # 7  b.eq .notfound
+        A.add_reg(25, 19, 20),         # 8
+        A.lsr_imm(25, 25, 1),          # 9
+        A.ldr64_reg(0, 21, 25),        # 10 ldr x0, [x21, x25, lsl #3]
+        A.mov_reg(1, 22),              # 11
+        A.blr(23),                     # 12
+        # .ret:
+        A.cbz(0, FOUND_OFF - 13 * 4),  # 13 cbz x0, .found
+        A.cmp_reg(0, A.XZR),           # 14
+        A.b_cond("lt", LESS_OFF - 15 * 4),  # 15
+        A.mov_reg(20, 25),             # 16 hi = mid
+        A.b(LOOP_OFF - 17 * 4),        # 17
+        # .less:
+        A.add_imm(19, 25, 1),          # 18 lo = mid + 1
+        A.b(LOOP_OFF - 19 * 4),        # 19
+        # .found:
+        A.mov_reg(0, 25),              # 20
+        A.b(OUT_OFF - 21 * 4),         # 21
+        # .notfound:
+        A.movn(0, 0),                  # 22 x0 = -1
+        # .out:
+        A.mov_reg(30, 24),             # 23
+        A.ret(),                       # 24
+    ]
+    image.place(base, code, label="bsearch")
+    image.labels[".loop"] = base + LOOP_OFF
+    image.labels[".ret"] = base + RET_OFF
+    return image
+
+
+def build_specs(n: int, base: int = BASE) -> dict[int, Pred]:
+    """Entry spec, loop invariant, callback contract, continuation spec."""
+    arr = B.bv_var("arr", 64)
+    key = B.bv_var("key", 64)
+    f = B.bv_var("f", 64)  # the comparison-function pointer
+    r = B.bv_var("ret", 64)
+    lo = B.bv_var("lo", 64)
+    hi = B.bv_var("hi", 64)
+    elems = [B.bv_var(f"E{i}", 64) for i in range(n)]
+    nn = B.bv(n, 64)
+
+    # All of arr/key/f/r/elems stay free (meta-universal): they are shared
+    # between the four interlocking specifications.
+
+    def frame(pb: PredBuilder) -> PredBuilder:
+        """The persistent resources threaded through every spec."""
+        return (
+            pb.reg("R21", arr)
+            .reg("R22", key)
+            .reg("R23", f)
+            .reg("R24", r)
+            .reg_col("sys_regs", sys_regs(2, 1, sctlr=0))
+            .reg_col("CNVZ_regs", cnvz_regs())
+            .mem_array(arr, elems, elem_bytes=8)
+            .instr_pre(r, _post(arr, key, f, r, elems))
+        )
+
+    # Loop invariant at .loop: 0 <= lo <= hi <= n.
+    loop_inv = (
+        frame(
+            PredBuilder()
+            .exists(lo, hi)
+            .reg("R19", lo)
+            .reg("R20", hi)
+            .reg_any("R0", "R1", "R25", "R30")
+        )
+        .pure(B.bvule(lo, hi), B.bvule(hi, nn))
+        .build()
+    )
+
+    # Continuation spec at .ret (after cmp returns): the callee-saved frame
+    # is intact, mid is in bounds, x0 holds an arbitrary comparison result.
+    mid = B.bv_var("mid", 64)
+    ret_inv = (
+        frame(
+            PredBuilder()
+            .exists(lo, hi, mid)
+            .reg("R19", lo)
+            .reg("R20", hi)
+            .reg("R25", mid)
+            .reg_any("R0", "R1", "R30")
+        )
+        .pure(
+            B.bvule(lo, mid),
+            B.bvult(mid, hi),
+            B.bvule(hi, nn),
+        )
+        .build()
+    )
+
+    # The callback contract C (the "f @@ C" given in the precondition): cmp
+    # may be entered with the loop frame held, arguments in x0/x1, and the
+    # return address .ret in x30.  Its behaviour is whatever satisfies the
+    # .ret continuation — i.e. completely abstract in its result.
+    cmp_contract = (
+        frame(
+            PredBuilder()
+            .exists(lo, hi, mid)
+            .reg("R19", lo)
+            .reg("R20", hi)
+            .reg("R25", mid)
+            .reg_any("R0", "R1")
+            .reg("R30", B.bv(base + RET_OFF, 64))
+        )
+        .pure(
+            B.bvule(lo, mid),
+            B.bvult(mid, hi),
+            B.bvule(hi, nn),
+        )
+        .build()
+    )
+
+    # On entry x19..x25 hold arbitrary callee state (the frame is only
+    # established by the prologue), so the entry spec lists them as
+    # wildcards rather than using frame().
+    entry = (
+        PredBuilder()
+        .reg("R0", arr)
+        .reg("R1", nn)
+        .reg("R2", key)
+        .reg("R3", f)
+        .reg("R30", r)
+        .reg_any("R19", "R20", "R21", "R22", "R23", "R24", "R25")
+        .reg_col("sys_regs", sys_regs(2, 1, sctlr=0))
+        .reg_col("CNVZ_regs", cnvz_regs())
+        .mem_array(arr, elems, elem_bytes=8)
+        .instr_pre(r, _post(arr, key, f, r, elems))
+        .instr_pre(f, cmp_contract)
+        .build()
+    )
+
+    # The loop invariant and continuation must also carry f @@ C so later
+    # iterations can call cmp again.
+    loop_inv = Pred(
+        loop_inv.exists,
+        loop_inv.assertions + (entry.assertions[-1],),
+        loop_inv.pure,
+    )
+    ret_inv = Pred(
+        ret_inv.exists,
+        ret_inv.assertions + (entry.assertions[-1],),
+        ret_inv.pure,
+    )
+
+    return {
+        base: entry,
+        base + LOOP_OFF: loop_inv,
+        base + RET_OFF: ret_inv,
+    }
+
+
+def _post(arr: Term, key: Term, f: Term, r: Term, elems: list[Term]) -> Pred:
+    """The caller's continuation: everything returned, result in x0."""
+    return (
+        PredBuilder()
+        .reg_any(
+            "R0", "R1", "R19", "R20", "R21", "R22", "R23", "R24", "R25", "R30",
+        )
+        .reg_col("sys_regs", sys_regs(2, 1, sctlr=0))
+        .reg_col("CNVZ_regs", cnvz_regs())
+        .mem_array(arr, elems, elem_bytes=8)
+        .build()
+    )
+
+
+def build(n: int = 4, base: int = BASE) -> BinsearchArm:
+    image = build_image(base)
+    assumptions = (
+        Assumptions()
+        .pin("PSTATE.EL", 2, 2)
+        .pin("PSTATE.SP", 1, 1)
+        .pin("SCTLR_EL2", 0, 64)
+    )
+    frontend = generate_instruction_map(ArmModel(), image, assumptions)
+    return BinsearchArm(n, image, frontend, build_specs(n, base), base)
+
+
+def verify(case: BinsearchArm) -> Proof:
+    from ..arch.arm.regs import PC
+
+    return ProofEngine(case.frontend.traces, case.specs, PC).verify_all()

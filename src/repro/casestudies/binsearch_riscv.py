@@ -1,0 +1,225 @@
+"""Case study: binary search on RISC-V (§6, "RISC-V: Binary search and
+memcpy").
+
+The same parametric-comparison binary search as
+:mod:`repro.casestudies.binsearch_arm`, compiled for RV64::
+
+    ; a0=arr a1=n a2=key a3=cmp ra=return
+    bsearch:  mv   s1, zero        ; lo = 0
+              mv   s2, a1          ; hi = n
+              mv   s3, a0          ; arr
+              mv   s4, a2          ; key
+              mv   s5, a3          ; cmp
+              mv   s6, ra          ; saved return address
+    .loop:    beq  s1, s2, .notfound
+              add  s7, s1, s2
+              srli s7, s7, 1       ; mid
+              slli t0, s7, 3
+              add  t0, s3, t0
+              ld   a0, 0(t0)       ; arr[mid]
+              mv   a1, s4
+              jalr ra, s5, 0       ; cmp(arr[mid], key)
+    .ret:     beqz a0, .found
+              blt  a0, zero, .less
+              mv   s2, s7          ; hi = mid
+              j    .loop
+    .less:    addi s1, s7, 1       ; lo = mid + 1
+              j    .loop
+    .found:   mv   a0, s7
+              j    .out
+    .notfound: li  a0, -1
+    .out:     mv   ra, s6
+              ret
+
+Demonstrates §2.7's claim concretely: the specification below differs from
+the Arm one only in register names, the calling convention, and the
+return-address alignment facts (``jalr`` clears bit 0) — the assertion
+language and the proof automation are identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.riscv import RiscvModel, encode as RV
+from ..arch.riscv.model import PC
+from ..frontend import FrontendResult, ProgramImage, generate_instruction_map
+from ..isla import Assumptions
+from ..logic import Pred, PredBuilder, Proof, ProofEngine
+from ..smt import builder as B
+
+BASE = 0x8000_0000
+
+LOOP_OFF = 6 * 4
+RET_OFF = 14 * 4
+LESS_OFF = 18 * 4
+FOUND_OFF = 20 * 4
+NOTFOUND_OFF = 22 * 4
+OUT_OFF = 23 * 4
+
+# callee-saved registers used for the frame (ABI names -> x-register)
+S1, S2, S3, S4, S5, S6, S7 = "s1", "s2", "s3", "s4", "s5", "s6", "s7"
+_X = {"s1": "x9", "s2": "x18", "s3": "x19", "s4": "x20", "s5": "x21",
+      "s6": "x22", "s7": "x23"}
+
+
+@dataclass
+class BinsearchRiscv:
+    n: int
+    image: ProgramImage
+    frontend: FrontendResult
+    specs: dict[int, Pred]
+    entry: int
+
+    @property
+    def asm_line_count(self) -> int:
+        return len(self.image.opcodes)
+
+
+def build_image(base: int = BASE) -> ProgramImage:
+    image = ProgramImage()
+    code = [
+        RV.mv(S1, "zero"),                      # 0 lo = 0
+        RV.mv(S2, "a1"),                        # 1 hi = n
+        RV.mv(S3, "a0"),                        # 2 arr
+        RV.mv(S4, "a2"),                        # 3 key
+        RV.mv(S5, "a3"),                        # 4 cmp
+        RV.mv(S6, "ra"),                        # 5
+        # .loop:
+        RV.beq(S1, S2, NOTFOUND_OFF - 6 * 4),   # 6
+        RV.add(S7, S1, S2),                     # 7
+        RV.srli(S7, S7, 1),                     # 8 mid
+        RV.slli("t0", S7, 3),                   # 9
+        RV.add("t0", S3, "t0"),                 # 10
+        RV.ld("a0", "t0", 0),                   # 11
+        RV.mv("a1", S4),                        # 12
+        RV.jalr("ra", S5, 0),                   # 13
+        # .ret:
+        RV.beqz("a0", FOUND_OFF - 14 * 4),      # 14
+        RV.blt("a0", "zero", LESS_OFF - 15 * 4),  # 15
+        RV.mv(S2, S7),                          # 16 hi = mid
+        RV.j(LOOP_OFF - 17 * 4),                # 17
+        # .less:
+        RV.addi(S1, S7, 1),                     # 18 lo = mid + 1
+        RV.j(LOOP_OFF - 19 * 4),                # 19
+        # .found:
+        RV.mv("a0", S7),                        # 20
+        RV.j(OUT_OFF - 21 * 4),                 # 21
+        # .notfound:
+        RV.li("a0", -1),                        # 22
+        # .out:
+        RV.mv("ra", S6),                        # 23
+        RV.ret(),                               # 24
+    ]
+    image.place(base, code, label="bsearch")
+    image.labels[".loop"] = base + LOOP_OFF
+    image.labels[".ret"] = base + RET_OFF
+    return image
+
+
+def build_specs(n: int, base: int = BASE) -> dict[int, Pred]:
+    arr = B.bv_var("arr", 64)
+    key = B.bv_var("key", 64)
+    f = B.bv_var("f", 64)
+    r = B.bv_var("ret", 64)
+    lo = B.bv_var("lo", 64)
+    hi = B.bv_var("hi", 64)
+    mid = B.bv_var("mid", 64)
+    elems = [B.bv_var(f"E{i}", 64) for i in range(n)]
+    nn = B.bv(n, 64)
+    aligned = [
+        B.eq(B.extract(0, 0, r), B.bv(0, 1)),
+        B.eq(B.extract(0, 0, f), B.bv(0, 1)),
+    ]
+
+    post = (
+        PredBuilder()
+        .reg_any("x10", "x11", "x1", "x5")
+        .regs({_X[s]: None for s in (S1, S2, S3, S4, S5, S6, S7)})
+        .mem_array(arr, elems, elem_bytes=8)
+        .build()
+    )
+
+    def frame(pb: PredBuilder) -> PredBuilder:
+        return (
+            pb.reg(_X[S3], arr)
+            .reg(_X[S4], key)
+            .reg(_X[S5], f)
+            .reg(_X[S6], r)
+            .mem_array(arr, elems, elem_bytes=8)
+            .instr_pre(r, post)
+        )
+
+    loop_inv = (
+        frame(
+            PredBuilder()
+            .exists(lo, hi)
+            .reg(_X[S1], lo)
+            .reg(_X[S2], hi)
+            .reg_any(_X[S7], "x10", "x11", "x1", "x5")
+        )
+        .pure(B.bvule(lo, hi), B.bvule(hi, nn), *aligned)
+        .build()
+    )
+
+    ret_inv = (
+        frame(
+            PredBuilder()
+            .exists(lo, hi, mid)
+            .reg(_X[S1], lo)
+            .reg(_X[S2], hi)
+            .reg(_X[S7], mid)
+            .reg_any("x10", "x11", "x1", "x5")
+        )
+        .pure(
+            B.bvule(lo, mid), B.bvult(mid, hi), B.bvule(hi, nn), *aligned
+        )
+        .build()
+    )
+
+    cmp_contract = (
+        frame(
+            PredBuilder()
+            .exists(lo, hi, mid)
+            .reg(_X[S1], lo)
+            .reg(_X[S2], hi)
+            .reg(_X[S7], mid)
+            .reg_any("x10", "x11", "x5")
+            .reg("x1", B.bv(base + RET_OFF, 64))
+        )
+        .pure(
+            B.bvule(lo, mid), B.bvult(mid, hi), B.bvule(hi, nn), *aligned
+        )
+        .build()
+    )
+
+    entry = (
+        PredBuilder()
+        .reg("x10", arr)
+        .reg("x11", nn)
+        .reg("x12", key)
+        .reg("x13", f)
+        .reg("x1", r)
+        .reg_any("x5", *(_X[s] for s in (S1, S2, S3, S4, S5, S6, S7)))
+        .mem_array(arr, elems, elem_bytes=8)
+        .instr_pre(r, post)
+        .instr_pre(f, cmp_contract)
+        .pure(*aligned)
+        .build()
+    )
+
+    f_contract = entry.assertions[-1]
+    loop_inv = Pred(loop_inv.exists, loop_inv.assertions + (f_contract,), loop_inv.pure)
+    ret_inv = Pred(ret_inv.exists, ret_inv.assertions + (f_contract,), ret_inv.pure)
+
+    return {base: entry, base + LOOP_OFF: loop_inv, base + RET_OFF: ret_inv}
+
+
+def build(n: int = 4, base: int = BASE) -> BinsearchRiscv:
+    image = build_image(base)
+    frontend = generate_instruction_map(RiscvModel(), image, Assumptions())
+    return BinsearchRiscv(n, image, frontend, build_specs(n, base), base)
+
+
+def verify(case: BinsearchRiscv) -> Proof:
+    return ProofEngine(case.frontend.traces, case.specs, PC).verify_all()

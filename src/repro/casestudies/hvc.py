@@ -1,0 +1,161 @@
+"""Case study: installing and using an exception vector (§2.6, Fig. 9).
+
+The hand-written program::
+
+    0x80000 _start:              ; *** initialisation at EL2 ***
+        mov x0, #0xa0000
+        msr vbar_el2, x0         ; install exception vector
+        mov x0, #0x80000000
+        msr hcr_el2, x0          ; hypervisor config: AArch64 at EL1
+        mov x0, #0x3c4
+        msr spsr_el2, x0         ; EL1 config (SP_EL0, no interrupts)
+        mov x0, #0x90000
+        msr elr_el2, x0          ; EL1 start address
+        eret                     ; "exception return" into EL1
+    0x90000 enter_el1:           ; *** calling the vector from EL1 ***
+        mov x0, xzr
+        hvc #0                   ; hypervisor call
+        b .                      ; hang forever
+    0xa0400 vector+0x400:        ; *** sync exception from lower EL ***
+        mov x0, #42
+        eret
+
+The verified property is the paper's: when execution reaches the hang loop
+(0x90008), ``x0`` contains 42.  The proof walks the whole EL2→EL1→EL2→EL1
+round trip through the authoritative exception-entry/-return semantics,
+interacting with VBAR_EL2 / HCR_EL2 / SPSR_EL2 / ELR_EL2 / ESR_EL2 and the
+banked PSTATE.
+
+Per the paper (§2.8), both ``eret`` instructions need instruction-specific
+constraints (SPSR_EL2 = 0x3c4, HCR_EL2.RW = 1); the resulting ``assume-reg``
+events become proof obligations discharged by the preceding ``msr`` writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.arm import ArmModel, encode as A
+from ..arch.arm.abi import cnvz_regs, daif_regs
+from ..frontend import FrontendResult, ProgramImage, generate_instruction_map
+from ..isla import Assumptions
+from ..logic import Pred, PredBuilder, Proof, ProofEngine
+from ..smt import builder as B
+
+START = 0x80000
+ENTER_EL1 = 0x90000
+VECTOR = 0xA0000
+HANDLER = VECTOR + 0x400  # synchronous, lower EL, AArch64
+HANG = ENTER_EL1 + 8
+
+SPSR_VALUE = 0x3C4  # DAIF masked, AArch64 EL1t (SP_EL0)
+HCR_VALUE = 0x8000_0000  # HCR_EL2.RW = 1
+
+
+@dataclass
+class HvcCase:
+    image: ProgramImage
+    frontend: FrontendResult
+    specs: dict[int, Pred]
+
+    @property
+    def asm_line_count(self) -> int:
+        return len(self.image.opcodes)
+
+
+def build_image() -> ProgramImage:
+    image = ProgramImage()
+    image.place(
+        START,
+        [
+            A.mov_imm(0, VECTOR),     # mov x0, #0xa0000
+            A.msr("VBAR_EL2", 0),
+            A.mov_imm(0, HCR_VALUE),  # mov x0, #0x80000000
+            A.msr("HCR_EL2", 0),
+            A.mov_imm(0, SPSR_VALUE),
+            A.msr("SPSR_EL2", 0),
+            A.mov_imm(0, ENTER_EL1),
+            A.msr("ELR_EL2", 0),
+            A.eret(),
+        ],
+        label="_start",
+    )
+    image.place(
+        ENTER_EL1,
+        [
+            A.mov_reg(0, A.XZR),      # mov x0, xzr
+            A.hvc(0),
+            A.b(0),                   # b . (hang)
+        ],
+        label="enter_el1",
+    )
+    image.place(
+        HANDLER,
+        [
+            A.mov_imm(0, 42),
+            A.eret(),
+        ],
+        label="el2_sync_lower_a64",
+    )
+    return image
+
+
+def build_assumptions() -> tuple[Assumptions, dict[int, Assumptions]]:
+    """Default EL2 constraints plus the per-instruction constraints of §2.8."""
+    el2 = Assumptions().pin("PSTATE.EL", 2, 2).pin("PSTATE.SP", 1, 1)
+    el1 = Assumptions().pin("PSTATE.EL", 1, 2).pin("PSTATE.SP", 0, 1)
+    eret_extra = (
+        Assumptions()
+        .pin("PSTATE.EL", 2, 2)
+        .pin("PSTATE.SP", 1, 1)
+        .pin("SPSR_EL2", SPSR_VALUE, 64)
+        .pin("HCR_EL2", HCR_VALUE, 64)
+    )
+    per_address = {
+        START + 32: eret_extra,       # first eret
+        ENTER_EL1: el1,               # mov x0, xzr at EL1
+        ENTER_EL1 + 4: el1,           # hvc at EL1
+        ENTER_EL1 + 8: el1,           # b . at EL1
+        HANDLER + 4: eret_extra,      # handler eret
+    }
+    return el2, per_address
+
+
+def build_specs() -> dict[int, Pred]:
+    entry = (
+        PredBuilder()
+        .reg_any("R0")
+        .reg_col("sys", {"PSTATE.EL": 2, "PSTATE.SP": 1})
+        .reg_col("CNVZ_regs", cnvz_regs())
+        .reg_col("DAIF_regs", daif_regs())
+        .reg_any(
+            "VBAR_EL2", "HCR_EL2", "SPSR_EL2", "ELR_EL2", "ESR_EL2",
+        )
+        .build()
+    )
+    # The target property: at the hang loop, x0 = 42 (at EL1).
+    hang = (
+        PredBuilder()
+        .reg("R0", B.bv(42, 64))
+        .reg_col("sys", {"PSTATE.EL": 1, "PSTATE.SP": 0})
+        .reg_col("CNVZ_regs", cnvz_regs())
+        .reg_col("DAIF_regs", daif_regs())
+        .reg_any(
+            "VBAR_EL2", "HCR_EL2", "SPSR_EL2", "ELR_EL2", "ESR_EL2",
+        )
+        .build()
+    )
+    return {START: entry, HANG: hang}
+
+
+def build() -> HvcCase:
+    image = build_image()
+    default, per_address = build_assumptions()
+    frontend = generate_instruction_map(ArmModel(), image, default, per_address)
+    return HvcCase(image, frontend, build_specs())
+
+
+def verify(case: HvcCase) -> Proof:
+    from ..arch.arm.regs import PC
+
+    return ProofEngine(case.frontend.traces, case.specs, PC).verify_all()

@@ -1,0 +1,178 @@
+"""Case study: memcpy on Armv8-A (§2.5, Figs. 7/8 of the paper).
+
+The machine code is the GCC -O2 output shown in Fig. 7::
+
+    memcpy: cbz  x2, .L1
+            mov  x3, #0
+    .L3:    ldrb w4, [x1, x3]
+            strb w4, [x0, x3]
+            add  x3, x3, #1
+            cmp  x2, x3
+            bne  .L3
+    .L1:    ret
+
+The specification is Fig. 8's: given ``x0 = d``, ``x1 = s``, ``x2 = n``,
+arrays ``s ↦* Bs`` and ``d ↦* Bd`` of length n, and a return pointer
+``x30 = r`` with ``r @@ post``, the function copies ``Bs`` to ``d`` and
+returns ownership.
+
+We verify it for a fixed length ``n`` with fully symbolic contents, via a
+genuine loop-invariant proof: a block specification at ``.L3`` states that
+the first ``m`` bytes (``m`` symbolic, ``m = x3``) have been copied:
+
+    d ↦* [ite(i < m, Bs[i], Bd[i]) | i < n]
+
+Löb-style circular reasoning (the step-indexed ``@@``) lets the back edge
+use the invariant being proved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.arm import ArmModel, encode as A
+from ..arch.arm.abi import cnvz_regs, sys_regs
+from ..frontend import FrontendResult, ProgramImage, generate_instruction_map
+from ..isla import Assumptions
+from ..logic import Pred, PredBuilder, Proof, ProofEngine
+from ..smt import builder as B
+from ..smt.terms import Term
+
+BASE = 0x40_0000
+
+
+@dataclass
+class MemcpyArm:
+    """Program, specification, and verification entry point."""
+
+    n: int
+    image: ProgramImage
+    frontend: FrontendResult
+    entry: int
+    loop: int
+    ret_addr: int
+    specs: dict[int, Pred]
+
+    @property
+    def asm_line_count(self) -> int:
+        return len(self.image.opcodes)
+
+
+def build_image(base: int = BASE) -> ProgramImage:
+    image = ProgramImage()
+    image.place(
+        base,
+        [
+            A.cbz(2, 28),          # cbz x2, .L1
+            A.movz(3, 0),          # mov x3, #0
+            A.ldrb_reg(4, 1, 3),   # .L3: ldrb w4, [x1, x3]
+            A.strb_reg(4, 0, 3),   # strb w4, [x0, x3]
+            A.add_imm(3, 3, 1),    # add x3, x3, #1
+            A.cmp_reg(2, 3),       # cmp x2, x3
+            A.b_cond("ne", -16),   # bne .L3
+            A.ret(),               # .L1: ret
+        ],
+        label="memcpy",
+    )
+    image.labels[".L3"] = base + 8
+    image.labels[".L1"] = base + 28
+    return image
+
+
+def default_assumptions() -> Assumptions:
+    return Assumptions().pin("PSTATE.EL", 2, 2).pin("PSTATE.SP", 1, 1)
+
+
+def _post(d: Term, s: Term, bs: list[Term], r_unused: Term) -> Pred:
+    """The postcondition (the ``Q`` of ``r @@ Q`` in Fig. 8, lines 5-8)."""
+    pb = (
+        PredBuilder()
+        .mem_array(s, bs)
+        .mem_array(d, bs)
+        .reg_any("R0", "R1", "R2", "R3", "R4", "R30")
+        .reg_col("sys_regs", sys_regs(2, 1))
+        .reg_col("CNVZ_regs", cnvz_regs())
+    )
+    return pb.build()
+
+
+def build_specs(n: int, base: int = BASE) -> tuple[dict[int, Pred], dict[str, object]]:
+    """Entry spec (Fig. 8) plus the .L3 loop invariant."""
+    d = B.bv_var("d", 64)
+    s = B.bv_var("s", 64)
+    r = B.bv_var("r", 64)
+    m = B.bv_var("m", 64)
+    bs = [B.bv_var(f"Bs{i}", 8) for i in range(n)]
+    bd = [B.bv_var(f"Bd{i}", 8) for i in range(n)]
+    post = _post(d, s, bs, r)
+
+    entry = (
+        PredBuilder()
+        .exists(d, s, r, *bs, *bd)
+        .reg("R0", d)
+        .reg("R1", s)
+        .reg("R2", B.bv(n, 64))
+        .reg_any("R3", "R4")
+        .reg("R30", r)
+        .reg_col("sys_regs", sys_regs(2, 1))
+        .reg_col("CNVZ_regs", cnvz_regs())
+        .mem_array(s, bs)
+        .mem_array(d, bd)
+        .instr_pre(r, post)
+        .build()
+    )
+
+    specs: dict[int, Pred] = {base: entry}
+    if n > 0:
+        # Loop invariant at .L3: the destination currently holds some bytes
+        # D, of which the first m (m = x3) equal the source:
+        #   ∀ i < n.  i < m  →  D[i] = Bs[i]
+        # (expressed as one pure implication per concrete index).
+        current = [B.bv_var(f"D{i}", 8) for i in range(n)]
+        copied = [
+            B.implies(B.bvult(B.bv(i, 64), m), B.eq(current[i], bs[i]))
+            for i in range(n)
+        ]
+        invariant = (
+            PredBuilder()
+            .exists(d, s, r, m, *bs, *current)
+            .reg("R0", d)
+            .reg("R1", s)
+            .reg("R2", B.bv(n, 64))
+            .reg("R3", m)
+            .reg_any("R4")
+            .reg("R30", r)
+            .reg_col("sys_regs", sys_regs(2, 1))
+            .reg_col("CNVZ_regs", cnvz_regs())
+            .mem_array(s, bs)
+            .mem_array(d, current)
+            .instr_pre(r, post)
+            .pure(B.bvult(m, B.bv(n, 64)), *copied)
+            .build()
+        )
+        specs[base + 8] = invariant
+    return specs, {"d": d, "s": s, "r": r, "bs": bs, "bd": bd, "post": post}
+
+
+def build(n: int = 4, base: int = BASE) -> MemcpyArm:
+    """Assemble, run Isla, and package specs for length-n memcpy."""
+    image = build_image(base)
+    frontend = generate_instruction_map(ArmModel(), image, default_assumptions())
+    specs, _ = build_specs(n, base)
+    return MemcpyArm(
+        n=n,
+        image=image,
+        frontend=frontend,
+        entry=base,
+        loop=base + 8,
+        ret_addr=base + 28,
+        specs=specs,
+    )
+
+
+def verify(case: MemcpyArm) -> Proof:
+    """Run the proof automation on the memcpy specification."""
+    from ..arch.arm.regs import PC
+
+    engine = ProofEngine(case.frontend.traces, case.specs, PC)
+    return engine.verify_all()

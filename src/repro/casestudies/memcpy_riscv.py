@@ -1,0 +1,171 @@
+"""Case study: memcpy on RISC-V (§2.7, third column of Fig. 7).
+
+The Clang -O2 output::
+
+    memcpy: beqz a2, .L2
+    .L1:    lb   a3, 0(a1)
+            sb   a3, 0(a0)
+            addi a2, a2, -1
+            addi a0, a0, 1
+            addi a1, a1, 1
+            bnez a2, .L1
+    .L2:    ret
+
+Unlike the Arm version this variant *advances the pointers* and counts
+``a2`` down, so the loop invariant is phrased over the moved pointers: after
+``m`` iterations ``a0 = d + m``, ``a1 = s + m``, ``a2 = n - m``, and the
+first ``m`` destination bytes equal the source.
+
+The point of the case study (and of §2.7) is that the specification uses
+exactly the same assertion language and the same proof automation as the
+Armv8-A one — only the register names and calling convention differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.riscv import RiscvModel, encode as RV
+from ..arch.riscv.model import PC
+from ..frontend import FrontendResult, ProgramImage, generate_instruction_map
+from ..isla import Assumptions
+from ..logic import Pred, PredBuilder, Proof, ProofEngine
+from ..smt import builder as B
+from ..smt.terms import Term
+
+BASE = 0x8000_0000
+
+
+@dataclass
+class MemcpyRiscv:
+    n: int
+    image: ProgramImage
+    frontend: FrontendResult
+    entry: int
+    loop: int
+    ret_addr: int
+    specs: dict[int, Pred]
+
+    @property
+    def asm_line_count(self) -> int:
+        return len(self.image.opcodes)
+
+
+def build_image(base: int = BASE) -> ProgramImage:
+    image = ProgramImage()
+    image.place(
+        base,
+        [
+            RV.beqz("a2", 28),          # beqz a2, .L2
+            RV.lb("a3", "a1", 0),       # .L1: lb a3, 0(a1)
+            RV.sb("a3", "a0", 0),       # sb a3, 0(a0)
+            RV.addi("a2", "a2", -1),    # addi a2, a2, -1
+            RV.addi("a0", "a0", 1),     # addi a0, a0, 1
+            RV.addi("a1", "a1", 1),     # addi a1, a1, 1
+            RV.bnez("a2", -20),         # bnez a2, .L1
+            RV.ret(),                   # .L2: ret
+        ],
+        label="memcpy",
+    )
+    image.labels[".L1"] = base + 4
+    image.labels[".L2"] = base + 28
+    return image
+
+
+def _post(d: Term, s: Term, bs: list[Term]) -> Pred:
+    return (
+        PredBuilder()
+        .mem_array(s, bs)
+        .mem_array(d, bs)
+        .reg_any("x10", "x11", "x12", "x13", "x1")
+        .build()
+    )
+
+
+def build_specs(n: int, base: int = BASE) -> tuple[dict[int, Pred], dict[str, object]]:
+    d = B.bv_var("d", 64)
+    s = B.bv_var("s", 64)
+    r = B.bv_var("r", 64)
+    m = B.bv_var("m", 64)
+    bs = [B.bv_var(f"Bs{i}", 8) for i in range(n)]
+    bd = [B.bv_var(f"Bd{i}", 8) for i in range(n)]
+    post = _post(d, s, bs)
+
+    # RISC-V LP64 calling convention: a0=x10 d, a1=x11 s, a2=x12 n, ra=x1.
+    entry = (
+        PredBuilder()
+        .exists(d, s, r, *bs, *bd)
+        .reg("x10", d)
+        .reg("x11", s)
+        .reg("x12", B.bv(n, 64))
+        .reg_any("x13")
+        .reg("x1", r)
+        .mem_array(s, bs)
+        .mem_array(d, bd)
+        .instr_pre(r, post)
+        .pure(B.eq(B.extract(0, 0, r), B.bv(0, 1)))  # aligned return address
+        .build()
+    )
+
+    specs: dict[int, Pred] = {base: entry}
+    if n > 0:
+        # The loop advances a0/a1 and counts a2 down, so the invariant's
+        # primary existentials are the *current* register values p, q, k;
+        # the array bases and the iteration count are derived:
+        #     m = n - k,   d = p - m,   s = q - m,   1 <= k <= n.
+        # Unification then binds p, q, k directly from the registers and
+        # every other pattern is closed — the deterministic (Lithium-style)
+        # evar discipline of §4.3.
+        p = B.bv_var("p", 64)
+        q = B.bv_var("q", 64)
+        k = B.bv_var("k", 64)
+        nn = B.bv(n, 64)
+        m_expr = B.bvsub(nn, k)
+        d_expr = B.bvsub(p, m_expr)
+        s_expr = B.bvsub(q, m_expr)
+        current = [B.bv_var(f"D{i}", 8) for i in range(n)]
+        copied = [
+            B.implies(B.bvult(B.bv(i, 64), m_expr), B.eq(current[i], bs[i]))
+            for i in range(n)
+        ]
+        invariant = (
+            PredBuilder()
+            .exists(p, q, k, r, *bs, *current)
+            .reg("x10", p)
+            .reg("x11", q)
+            .reg("x12", k)
+            .reg_any("x13")
+            .reg("x1", r)
+            .mem_array(s_expr, bs)
+            .mem_array(d_expr, current)
+            .instr_pre(r, _post(d_expr, s_expr, bs))
+            .pure(
+                B.bvult(B.bv(0, 64), k),
+                B.bvule(k, nn),
+                B.eq(B.extract(0, 0, r), B.bv(0, 1)),
+                *copied,
+            )
+            .build()
+        )
+        specs[base + 4] = invariant
+    return specs, {"d": d, "s": s, "r": r, "bs": bs, "bd": bd, "post": post}
+
+
+def build(n: int = 4, base: int = BASE) -> MemcpyRiscv:
+    image = build_image(base)
+    frontend = generate_instruction_map(RiscvModel(), image, Assumptions())
+    specs, _ = build_specs(n, base)
+    return MemcpyRiscv(
+        n=n,
+        image=image,
+        frontend=frontend,
+        entry=base,
+        loop=base + 4,
+        ret_addr=base + 28,
+        specs=specs,
+    )
+
+
+def verify(case: MemcpyRiscv) -> Proof:
+    engine = ProofEngine(case.frontend.traces, case.specs, PC)
+    return engine.verify_all()

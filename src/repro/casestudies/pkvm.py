@@ -1,0 +1,251 @@
+"""Case study: the pKVM-style exception handler (§6).
+
+Models the structure of the pKVM (Google's protected-KVM hypervisor)
+EL2 exception-dispatch path the paper verifies:
+
+- the handler inspects ``ESR_EL2`` to check the exception class (HVC from
+  AArch64), then dispatches on the hypercall id in ``x0``;
+- non-HVC exceptions and unknown hypercalls branch into the large pKVM C
+  codebase, which is *assumed* correct (a code-pointer assertion with a
+  trivial contract, exactly the paper's treatment);
+- ``HVC_SOFT_RESTART`` (id 1) re-initialises the EL2 trap configuration
+  (CPTR/HSTR/MDCR/CNTHCTL/CNTVOFF/VTTBR/VTCR/TPIDR), redirects the return
+  to the address requested in ``x1``, and — crucially — rewrites
+  ``SPSR_EL2`` so the ``eret`` returns *to EL2 itself* (needed during
+  hypervisor initialisation);
+- ``HVC_RESET_VECTORS`` (id 2) keeps the caller's saved state, so the same
+  ``eret`` returns to the EL1 caller;
+- both hypercalls install a *relocated* exception-vector base: the address
+  is materialised by four ``movz``/``movk`` instructions whose 16-bit
+  immediates are **patched at load time**.  We verify the whole family of
+  programs at once using Isla's partially-symbolic opcodes: the immediates
+  ``g0..g3`` are free 16-bit variables, and the verified property states
+  that ``VBAR_EL2`` ends up holding exactly ``g3:g2:g1:g0`` for *every*
+  relocation offset.
+
+The two hypercall paths share a single ``eret`` whose trace is generated
+under the paper's *relaxed* constraint ``SPSR_EL2 ∈ {0x3c4, 0x3c9}``; the
+proof automation resolves the resulting trace cases per incoming path.
+
+The verified property is the paper's: each hypercall returns to the correct
+address at the correct exception level with appropriately updated system
+state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.arm import ArmModel, encode as A
+from ..arch.arm.abi import cnvz_regs, daif_regs
+from ..frontend import FrontendResult, ProgramImage, generate_instruction_map
+from ..isla import Assumptions
+from ..logic import Pred, PredBuilder, Proof, ProofEngine
+from ..smt import builder as B
+from ..smt.terms import Term
+
+HANDLER = 0xA0400  # old vector base 0xa0000, sync-from-lower-EL-A64 entry
+
+SPSR_CALLER = 0x3C4  # EL1t, DAIF masked (saved by the hvc exception entry)
+SPSR_EL2H = 0x3C9  # EL2h: where HVC_SOFT_RESTART returns
+HCR_VALUE = 0x8000_0000
+
+HVC_SOFT_RESTART = 1
+HVC_RESET_VECTORS = 2
+
+#: EL2 configuration registers re-initialised by HVC_SOFT_RESTART.
+EL2_INIT_REGS = [
+    "CPTR_EL2", "HSTR_EL2", "MDCR_EL2", "CNTHCTL_EL2",
+    "CNTVOFF_EL2", "VTTBR_EL2", "VTCR_EL2", "TPIDR_EL2",
+]
+
+#: Host (EL1/EL0) context saved to the context buffer before the restart —
+#: the breadth of system-register traffic the paper's pKVM row exhibits.
+HOST_CTX_REGS = [
+    "SCTLR_EL1", "ACTLR_EL1", "CPACR_EL1", "TTBR0_EL1", "TTBR1_EL1",
+    "TCR_EL1", "ESR_EL1", "FAR_EL1", "AFSR0_EL1", "AFSR1_EL1",
+    "MAIR_EL1", "AMAIR_EL1", "VBAR_EL1", "CONTEXTIDR_EL1", "TPIDR_EL1",
+    "CNTKCTL_EL1", "PAR_EL1", "SPSR_EL1", "ELR_EL1", "SP_EL1",
+    "TPIDR_EL0", "TPIDRRO_EL0",
+]
+
+# Instruction indices (see build_image).
+OTHER_IDX = 8
+SOFT_IDX = 9
+RESET_IDX = 12 + 2 * len(EL2_INIT_REGS) + 1
+TAIL_IDX = RESET_IDX + 1
+ERET_IDX = TAIL_IDX + 5
+
+
+@dataclass
+class PkvmCase:
+    image: ProgramImage
+    frontend: FrontendResult
+    specs: dict[int, Pred]
+    #: the four symbolic relocation immediates
+    g: tuple[Term, Term, Term, Term]
+
+    @property
+    def asm_line_count(self) -> int:
+        return len(self.image.opcodes)
+
+    @property
+    def sysregs_touched(self) -> int:
+        """Number of distinct (system) registers the traces interact with."""
+        from ..itl import events as E
+
+        regs = set()
+        for trace in self.frontend.traces.values():
+            for j in trace.iter_events():
+                if isinstance(j, (E.ReadReg, E.WriteReg, E.AssumeReg)):
+                    regs.add(str(j.reg))
+        return len(regs)
+
+
+def symbolic_movz(rd: int, imm_var: Term, hw: int) -> Term:
+    """A ``movz`` opcode whose imm16 field is a symbolic variable."""
+    base = A.movz(rd, 0, hw)
+    return B.bvor(B.bv(base, 32), B.bvshl(B.zext_to(32, imm_var), B.bv(5, 32)))
+
+
+def symbolic_movk(rd: int, imm_var: Term, hw: int) -> Term:
+    base = A.movk(rd, 0, hw)
+    return B.bvor(B.bv(base, 32), B.bvshl(B.zext_to(32, imm_var), B.bv(5, 32)))
+
+
+def build_image(g: tuple[Term, Term, Term, Term]) -> ProgramImage:
+    save_host = []
+    for i, reg in enumerate(HOST_CTX_REGS):
+        save_host.append(A.mrs(10, reg))
+        save_host.append(A.str64_imm(10, 2, 8 * i))
+    soft = save_host + [
+        A.mov_imm(10, SPSR_EL2H),
+        A.msr("SPSR_EL2", 10),
+        A.msr("ELR_EL2", 1),
+        A.movz(10, 0),
+    ] + [A.msr(reg, 10) for reg in EL2_INIT_REGS]
+    tail = [
+        symbolic_movz(9, g[0], 0),
+        symbolic_movk(9, g[1], 1),
+        symbolic_movk(9, g[2], 2),
+        symbolic_movk(9, g[3], 3),
+        A.msr("VBAR_EL2", 9),
+        A.eret(),
+    ]
+    n_soft = len(soft)
+    other_idx = 8
+    soft_idx = 9
+    reset_idx = soft_idx + n_soft + 1  # after soft body + its jump to tail
+    tail_idx = reset_idx + 1
+    code = [
+        A.mrs(10, "ESR_EL2"),                          # 0
+        A.lsr_imm(10, 10, 26),                         # 1
+        A.cmp_imm(10, 0x16),                           # 2
+        A.b_cond("ne", (other_idx - 3) * 4),           # 3
+        A.cmp_imm(0, HVC_SOFT_RESTART),                # 4
+        A.b_cond("eq", (soft_idx - 5) * 4),            # 5
+        A.cmp_imm(0, HVC_RESET_VECTORS),               # 6
+        A.b_cond("eq", (reset_idx - 7) * 4),           # 7
+        A.br(5),                                       # 8 .other: br x5
+        *soft,                                         # 9 .. 8+n_soft
+        A.b((tail_idx - (soft_idx + n_soft)) * 4),     # jump over .reset
+        A.b(4),                                        # .reset: b .tail
+        *tail,
+    ]
+    image = ProgramImage()
+    image.place(HANDLER, code, label="el2_sync_handler")
+    image.labels[".other"] = HANDLER + other_idx * 4
+    image.labels[".soft"] = HANDLER + soft_idx * 4
+    image.labels[".reset"] = HANDLER + reset_idx * 4
+    image.labels[".tail"] = HANDLER + tail_idx * 4
+    return image
+
+
+def build_assumptions(image: ProgramImage) -> tuple[Assumptions, dict[int, Assumptions]]:
+    el2 = (
+        Assumptions()
+        .pin("PSTATE.EL", 2, 2)
+        .pin("PSTATE.SP", 1, 1)
+        .pin("SCTLR_EL2", 0, 64)  # alignment checks off for the context saves
+    )
+    eret_addr = max(image.opcodes)  # the eret is the last instruction
+    relaxed = (
+        Assumptions()
+        .pin("PSTATE.EL", 2, 2)
+        .pin("PSTATE.SP", 1, 1)
+        .pin("HCR_EL2", HCR_VALUE, 64)
+        .constrain(
+            "SPSR_EL2",
+            lambda v: B.or_(
+                B.eq(v, B.bv(SPSR_CALLER, 64)), B.eq(v, B.bv(SPSR_EL2H, 64))
+            ),
+        )
+    )
+    return el2, {eret_addr: relaxed}
+
+
+def build_specs(g: tuple[Term, Term, Term, Term], image: ProgramImage) -> dict[int, Pred]:
+    esr = B.bv_var("esr", 64)
+    hid = B.bv_var("hid", 64)  # hypercall id (x0)
+    newpc = B.bv_var("newpc", 64)  # HVC_SOFT_RESTART target (x1)
+    elr0 = B.bv_var("elr0", 64)  # the EL1 caller's return address
+    h = B.bv_var("h", 64)  # the assumed-correct pKVM C entry point
+    ctx = B.bv_var("ctxbuf", 64)  # the host-context save area
+    host_vals = [B.bv_var(f"host_{reg}", 64) for reg in HOST_CTX_REGS]
+    patched = B.concat_many(g[3], g[2], g[1], g[0])
+
+    def returned_state(el: int, sp: int) -> PredBuilder:
+        return (
+            PredBuilder()
+            .reg_col("pstate", {"PSTATE.EL": el, "PSTATE.SP": sp})
+            .reg_col("CNVZ_regs", {k: 0 for k in cnvz_regs()})
+            .reg_col("DAIF_regs", {k: 1 for k in daif_regs()})
+            .reg("VBAR_EL2", patched)
+        )
+
+    # HVC_SOFT_RESTART: back at EL2h, vectors relocated, and the host EL1
+    # context saved verbatim into the context buffer.
+    q_soft = returned_state(2, 1).mem_array(ctx, host_vals, elem_bytes=8).build()
+    # HVC_RESET_VECTORS: back at the EL1 caller, vectors relocated.
+    q_reset = returned_state(1, 0).build()
+    # The non-hypercall path: assumed-correct C code, no obligations.
+    q_other = Pred()
+
+    entry = (
+        PredBuilder()
+        .reg("R0", hid)
+        .reg("R1", newpc)
+        .reg("R2", ctx)
+        .reg("R5", h)
+        .reg_any("R9", "R10")
+        .reg_col("pstate", {"PSTATE.EL": 2, "PSTATE.SP": 1})
+        .reg_col("CNVZ_regs", cnvz_regs())
+        .reg_col("DAIF_regs", {k: 1 for k in daif_regs()})
+        .reg("ESR_EL2", esr)
+        .reg("SPSR_EL2", B.bv(SPSR_CALLER, 64))
+        .reg("ELR_EL2", elr0)
+        .reg("HCR_EL2", B.bv(HCR_VALUE, 64))
+        .reg("SCTLR_EL2", B.bv(0, 64))
+        .reg_any("VBAR_EL2", *EL2_INIT_REGS)
+        .regs({reg: val for reg, val in zip(HOST_CTX_REGS, host_vals)})
+        .mem_array(ctx, [B.bv_var(f"slot{i}", 64) for i in range(len(HOST_CTX_REGS))], elem_bytes=8)
+        .instr_pre(h, q_other)
+        .instr_pre(newpc, q_soft)
+        .instr_pre(elr0, q_reset)
+        .build()
+    )
+    return {HANDLER: entry}
+
+
+def build() -> PkvmCase:
+    g = tuple(B.bv_var(f"g{i}", 16) for i in range(4))
+    image = build_image(g)
+    default, per_address = build_assumptions(image)
+    frontend = generate_instruction_map(ArmModel(), image, default, per_address)
+    return PkvmCase(image, frontend, build_specs(g, image), g)
+
+
+def verify(case: PkvmCase) -> Proof:
+    from ..arch.arm.regs import PC
+
+    return ProofEngine(case.frontend.traces, case.specs, PC).verify_all()

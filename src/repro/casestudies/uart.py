@@ -1,0 +1,166 @@
+"""Case study: memory-mapped IO — a UART putc (§6).
+
+The compiled C function (Fig. in §6)::
+
+    void uart1_putc(char c) {
+      while (!(*LSR & LSR_TX_EMPTY)) { asm volatile("nop"); }
+      *IO = (u32)c;
+    }
+
+assembled as::
+
+    uart1_putc: mov  x1, #LSR
+    .Lpoll:     ldr  w2, [x1]          ; MMIO read of the line-status reg
+                tst  w2, #0x20         ; LSR_TX_EMPTY
+                b.eq .Lpoll            ; not ready: poll again
+                nop
+                mov  x3, #IO
+                str  w0, [x3]          ; MMIO write of the character
+                ret
+
+The verified specification is the paper's ``srec``/``scons`` process::
+
+    srec(R. ∃b. scons(R(LSR, b), b[5] ? scons(W(IO, c), s) : R))
+
+i.e. the only externally visible behaviour is: read LSR; if bit 5 was set,
+write exactly ``c`` to IO and stop polling, otherwise read LSR again.  The
+polling loop gets a block specification whose spec-state component is the
+recursive spec itself (resolved through the ``SChoice`` by the branch facts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.arm import ArmModel, encode as A
+from ..arch.arm.abi import cnvz_regs, sys_regs
+from ..frontend import FrontendResult, ProgramImage, generate_instruction_map
+from ..isla import Assumptions
+from ..logic import Pred, PredBuilder, Proof, ProofEngine
+from ..logic.spec import LabelSpec, SChoice, SRead, SRec, SStop, SWrite
+from ..smt import builder as B
+from ..smt.terms import Term
+
+BASE = 0x40_0000
+LSR_ADDR = 0x9054  # line status register (mini-UART style layout)
+IO_ADDR = 0x9040  # transmit holding register
+LSR_TX_EMPTY_BIT = 5
+
+
+@dataclass
+class UartCase:
+    image: ProgramImage
+    frontend: FrontendResult
+    specs: dict[int, Pred]
+    label_spec: LabelSpec
+
+    @property
+    def asm_line_count(self) -> int:
+        return len(self.image.opcodes)
+
+
+def build_image(base: int = BASE) -> ProgramImage:
+    image = ProgramImage()
+    image.place(
+        base,
+        [
+            A.mov_imm(1, LSR_ADDR),        # mov x1, #LSR
+            A.ldr32_imm(2, 1),             # .Lpoll: ldr w2, [x1]
+            A.tst_imm(2, 1 << LSR_TX_EMPTY_BIT, sf=0),
+            A.b_cond("eq", -8),            # b.eq .Lpoll
+            A.nop(),
+            A.mov_imm(3, IO_ADDR),         # mov x3, #IO
+            A.str32_imm(0, 3),             # str w0, [x3]
+            A.ret(),
+        ],
+        label="uart1_putc",
+    )
+    image.labels[".Lpoll"] = base + 4
+    return image
+
+
+def uart_label_spec(c: Term) -> LabelSpec:
+    """The §6 specification: poll LSR until TX-empty, then write ``c``."""
+    lsr = B.bv(LSR_ADDR, 64)
+    io = B.bv(IO_ADDR, 64)
+    value = B.extract(31, 0, c)
+
+    def body(loop: SRec) -> LabelSpec:
+        return SRead(
+            lsr,
+            4,
+            lambda b: SChoice(
+                B.eq(B.extract(LSR_TX_EMPTY_BIT, LSR_TX_EMPTY_BIT, b), B.bv(1, 1)),
+                SWrite(io, 4, value, SStop()),
+                loop,
+            ),
+        )
+
+    return SRec(body)
+
+
+def build_specs(base: int = BASE) -> tuple[dict[int, Pred], LabelSpec, dict]:
+    c = B.bv_var("c", 64)
+    r = B.bv_var("r", 64)
+    spec = uart_label_spec(c)
+
+    post = (
+        PredBuilder()
+        .reg_any("R0", "R1", "R2", "R3", "R30")
+        .reg_col("sys_regs", sys_regs(2, 1, sctlr=0))
+        .reg_col("CNVZ_regs", cnvz_regs())
+        .mmio(LSR_ADDR, 4)
+        .mmio(IO_ADDR, 4)
+        .spec(SStop())
+        .build()
+    )
+    # c and r stay *free* (meta-universal) rather than existential: the
+    # label-spec object captures them in closures, which fresh instantiation
+    # could not rename.
+    entry = (
+        PredBuilder()
+        .reg("R0", c)
+        .reg_any("R1", "R2", "R3")
+        .reg("R30", r)
+        .reg_col("sys_regs", sys_regs(2, 1, sctlr=0))
+        .reg_col("CNVZ_regs", cnvz_regs())
+        .mmio(LSR_ADDR, 4)
+        .mmio(IO_ADDR, 4)
+        .spec(spec)
+        .instr_pre(r, post)
+        .build()
+    )
+    poll = (
+        PredBuilder()
+        .reg("R0", c)
+        .reg("R1", B.bv(LSR_ADDR, 64))
+        .reg_any("R2", "R3")
+        .reg("R30", r)
+        .reg_col("sys_regs", sys_regs(2, 1, sctlr=0))
+        .reg_col("CNVZ_regs", cnvz_regs())
+        .mmio(LSR_ADDR, 4)
+        .mmio(IO_ADDR, 4)
+        .spec(spec)
+        .instr_pre(r, post)
+        .build()
+    )
+    return {base: entry, base + 4: poll}, spec, {"c": c, "r": r, "post": post}
+
+
+def build(base: int = BASE) -> UartCase:
+    image = build_image(base)
+    assumptions = (
+        Assumptions()
+        .pin("PSTATE.EL", 2, 2)
+        .pin("PSTATE.SP", 1, 1)
+        .pin("SCTLR_EL2", 0, 64)  # alignment checking off
+    )
+    frontend = generate_instruction_map(ArmModel(), image, assumptions)
+    specs, label_spec, _ = build_specs(base)
+    return UartCase(image, frontend, specs, label_spec)
+
+
+def verify(case: UartCase) -> Proof:
+    from ..arch.arm.regs import PC
+
+    return ProofEngine(case.frontend.traces, case.specs, PC).verify_all()

@@ -1,0 +1,137 @@
+"""Case study: unaligned access faults (§6).
+
+A single ``str w0, [x1]`` executed in a machine configuration where
+``SCTLR_EL2.A = 1`` (alignment checking enabled) and ``x1`` is *misaligned*.
+The verified property is the paper's: the store does not write memory but
+raises a Data Abort that
+
+- jumps to the correct exception-handler entry (``VBAR_EL2 + 0x200``,
+  current-EL-with-SPx synchronous vector),
+- saves the return address (``ELR_EL2`` = the faulting PC) and PSTATE
+  (``SPSR_EL2`` = packed flags/EL/SP),
+- masks interrupts (PSTATE.DAIF = 1111),
+- sets the exception syndrome (``ESR_EL2``: EC = Data Abort same EL,
+  WnR = 1, DFSC = alignment fault) and the fault address (``FAR_EL2`` = x1).
+
+The Isla trace of the store has two ``Cases``; the aligned one is refuted by
+the precondition's misalignment fact, so only the fault path survives
+verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.arm import ArmModel, encode as A
+from ..arch.arm import regs as R
+from ..arch.arm.model import pack_spsr
+from ..frontend import FrontendResult, ProgramImage, generate_instruction_map
+from ..isla import Assumptions
+from ..logic import Pred, PredBuilder, Proof, ProofEngine
+from ..smt import builder as B
+
+BASE = 0x40_0000
+SCTLR_A = 1 << 1  # SCTLR_EL2.A: alignment check enable
+
+#: ESR_EL2 for this fault: Data Abort same EL, 32-bit instr, write, alignment.
+ESR_VALUE = (R.EC_DATA_ABORT_SAME << 26) | (1 << 25) | (1 << 6) | R.DFSC_ALIGNMENT
+
+
+@dataclass
+class UnalignedCase:
+    image: ProgramImage
+    frontend: FrontendResult
+    specs: dict[int, Pred]
+
+    @property
+    def asm_line_count(self) -> int:
+        return len(self.image.opcodes)
+
+
+def build_image(base: int = BASE) -> ProgramImage:
+    image = ProgramImage()
+    image.place(base, [A.str32_imm(0, 1)], label="faulting_store")
+    return image
+
+
+def build_specs(base: int = BASE) -> dict[int, Pred]:
+    a = B.bv_var("a", 64)  # the misaligned address
+    v = B.bv_var("v", 64)  # the vector base
+    n, z, c, vf = (B.bv_var(f"flag_{x}", 1) for x in "nzcv")
+    one = B.bv(1, 1)
+
+    # What PSTATE must be saved as: flags at fault time, EL2, SP=1.
+    saved_spsr = pack_spsr(
+        n, z, c, vf,
+        B.bv_var("flag_d", 1), B.bv_var("flag_a", 1),
+        B.bv_var("flag_i", 1), B.bv_var("flag_f", 1),
+        B.bv(2, 2), B.bv(1, 1),
+    )
+
+    handler = (
+        PredBuilder()
+        .reg_any("R0", "R1")
+        .reg_col(
+            "sys",
+            {
+                "PSTATE.EL": 2,
+                "PSTATE.SP": 1,
+                "PSTATE.D": 1,  # interrupts masked by the exception entry
+                "PSTATE.A": 1,
+                "PSTATE.I": 1,
+                "PSTATE.F": 1,
+            },
+        )
+        .reg_col(
+            "CNVZ_regs",
+            {"PSTATE.N": None, "PSTATE.Z": None, "PSTATE.C": None, "PSTATE.V": None},
+        )
+        .reg("SCTLR_EL2", B.bv(SCTLR_A, 64))
+        .reg("VBAR_EL2", v)
+        .reg("ELR_EL2", B.bv(base, 64))  # the faulting instruction's PC
+        .reg("ESR_EL2", B.bv(ESR_VALUE, 64))
+        .reg("FAR_EL2", a)  # the faulting address
+        .reg("SPSR_EL2", saved_spsr)
+        .build()
+    )
+
+    entry = (
+        PredBuilder()
+        .reg_any("R0")
+        .reg("R1", a)
+        .reg_col("sys", {"PSTATE.EL": 2, "PSTATE.SP": 1})
+        .regs(
+            {
+                "PSTATE.N": n, "PSTATE.Z": z, "PSTATE.C": c, "PSTATE.V": vf,
+                "PSTATE.D": B.bv_var("flag_d", 1),
+                "PSTATE.A": B.bv_var("flag_a", 1),
+                "PSTATE.I": B.bv_var("flag_i", 1),
+                "PSTATE.F": B.bv_var("flag_f", 1),
+            }
+        )
+        .reg("SCTLR_EL2", B.bv(SCTLR_A, 64))
+        .reg("VBAR_EL2", v)
+        .reg_any("ELR_EL2", "ESR_EL2", "FAR_EL2", "SPSR_EL2")
+        .instr_pre(B.bvadd(v, B.bv(R.VECTOR_CURRENT_SPX_SYNC, 64)), handler)
+        .pure(B.not_(B.eq(B.extract(1, 0, a), B.bv(0, 2))))  # misaligned
+        .build()
+    )
+    return {base: entry}
+
+
+def build(base: int = BASE) -> UnalignedCase:
+    image = build_image(base)
+    assumptions = (
+        Assumptions()
+        .pin("PSTATE.EL", 2, 2)
+        .pin("PSTATE.SP", 1, 1)
+        .pin("SCTLR_EL2", SCTLR_A, 64)
+    )
+    frontend = generate_instruction_map(ArmModel(), image, assumptions)
+    return UnalignedCase(image, frontend, build_specs(base))
+
+
+def verify(case: UnalignedCase) -> Proof:
+    from ..arch.arm.regs import PC
+
+    return ProofEngine(case.frontend.traces, case.specs, PC).verify_all()

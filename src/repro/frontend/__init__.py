@@ -1,0 +1,16 @@
+"""``repro.frontend`` — program images, instruction-map generation, and
+annotated listings."""
+
+from .listing import annotated_listing
+from .program import (
+    FrontendResult,
+    ProgramImage,
+    generate_instruction_map,
+    install_traces,
+    load_image_into_state,
+)
+
+__all__ = [
+    "FrontendResult", "ProgramImage", "annotated_listing",
+    "generate_instruction_map", "install_traces", "load_image_into_state",
+]

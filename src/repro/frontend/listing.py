@@ -1,0 +1,55 @@
+"""Annotated listings: the objdump-style view of a program plus its traces.
+
+The paper's tooling "generate[s] the Coq embedding of the Isla traces for
+the opcodes in an annotated objdump file"; this module renders the inverse
+view for humans — disassembly, per-instruction trace statistics, and
+optionally the traces themselves.
+"""
+
+from __future__ import annotations
+
+from ..itl.printer import trace_to_sexpr
+from ..smt.terms import Term
+from .program import FrontendResult, ProgramImage
+
+
+def _disassemble(arch: str, opcode: int | Term) -> str:
+    if not isinstance(opcode, int):
+        if opcode.is_value():
+            opcode = opcode.value
+        else:
+            return f"<symbolic: {opcode!r}>"
+    if arch.startswith("arm"):
+        from ..arch.arm.decode import try_disassemble
+    else:
+        from ..arch.riscv.decode import try_disassemble
+    return try_disassemble(opcode)
+
+
+def annotated_listing(
+    image: ProgramImage,
+    frontend: FrontendResult,
+    arch: str = "armv8-a",
+    show_traces: bool = False,
+) -> str:
+    """Render the program with labels, disassembly, and trace statistics."""
+    by_addr_labels: dict[int, list[str]] = {}
+    for label, addr in image.labels.items():
+        by_addr_labels.setdefault(addr, []).append(label)
+    lines: list[str] = []
+    for addr in sorted(image.opcodes):
+        for label in by_addr_labels.get(addr, []):
+            lines.append(f"{label}:")
+        opcode = image.opcodes[addr]
+        text = _disassemble(arch, opcode)
+        trace = frontend.traces.get(addr)
+        if trace is None:
+            stats = ""
+        else:
+            stats = f"; {trace.num_events()} events, {trace.num_paths()} path(s)"
+        raw = f"{opcode:08x}" if isinstance(opcode, int) else "symbolic"
+        lines.append(f"  {addr:#10x}: {raw}  {text:<32} {stats}")
+        if show_traces and trace is not None:
+            for tline in trace_to_sexpr(trace).splitlines():
+                lines.append(f"      {tline}")
+    return "\n".join(lines)

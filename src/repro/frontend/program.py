@@ -1,0 +1,111 @@
+"""The Islaris frontend (Fig. 1): machine code + constraints → instruction map.
+
+Feeds each opcode of a program through Isla under per-program default
+assumptions (plus optional per-address ones), producing the address → trace
+instruction map the proof engine consumes.  This plays the role of the
+paper's annotated-objdump tooling that generates the Coq embedding of the
+traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isla.assumptions import Assumptions
+from ..isla.executor import IslaResult, trace_for_opcode
+from ..itl.machine import MachineState
+from ..itl.trace import Trace
+from ..sail.model import IsaModel
+from ..smt.terms import Term
+
+
+@dataclass
+class ProgramImage:
+    """Machine code laid out at addresses.
+
+    ``opcodes`` maps address → 32-bit opcode; entries may be
+    :class:`~repro.smt.Term` for partially symbolic instructions (the pKVM
+    relocation patching).  ``labels`` are optional symbolic names.
+    """
+
+    opcodes: dict[int, int | Term] = field(default_factory=dict)
+    labels: dict[str, int] = field(default_factory=dict)
+
+    def place(self, addr: int, opcodes: list[int | Term], label: str | None = None) -> "ProgramImage":
+        if label is not None:
+            self.labels[label] = addr
+        for i, op in enumerate(opcodes):
+            a = addr + 4 * i
+            if a in self.opcodes:
+                raise ValueError(f"overlapping code at 0x{a:x}")
+            self.opcodes[a] = op
+        return self
+
+    def __getitem__(self, label: str) -> int:
+        return self.labels[label]
+
+    def concrete_bytes(self) -> dict[int, bytes]:
+        """Little-endian code bytes (requires all opcodes concrete)."""
+        out: dict[int, bytes] = {}
+        for addr, op in self.opcodes.items():
+            if not isinstance(op, int):
+                if op.is_value():
+                    op = op.value
+                else:
+                    raise ValueError(f"symbolic opcode at 0x{addr:x}")
+            out[addr] = op.to_bytes(4, "little")
+        return out
+
+
+@dataclass
+class FrontendResult:
+    """The generated instruction map plus per-instruction Isla metrics."""
+
+    traces: dict[int, Trace]
+    results: dict[int, IslaResult]
+
+    @property
+    def total_events(self) -> int:
+        return sum(t.num_events() for t in self.traces.values())
+
+    @property
+    def total_model_steps(self) -> int:
+        return sum(r.model_steps for r in self.results.values())
+
+    @property
+    def total_paths(self) -> int:
+        return sum(r.paths for r in self.results.values())
+
+
+def generate_instruction_map(
+    model: IsaModel,
+    image: ProgramImage,
+    default_assumptions: Assumptions | None = None,
+    per_address: dict[int, Assumptions] | None = None,
+) -> FrontendResult:
+    """Run Isla on every opcode of the image."""
+    per_address = per_address or {}
+    traces: dict[int, Trace] = {}
+    results: dict[int, IslaResult] = {}
+    for addr in sorted(image.opcodes):
+        opcode = image.opcodes[addr]
+        assumptions = (default_assumptions or Assumptions()).merged_with(
+            per_address.get(addr)
+        )
+        result = trace_for_opcode(model, opcode, assumptions)
+        traces[addr] = result.trace
+        results[addr] = result
+    return FrontendResult(traces, results)
+
+
+def load_image_into_state(image: ProgramImage, state: MachineState) -> None:
+    """Install the image's code bytes into a concrete machine state (for
+    opsem/adequacy runs and for concrete model execution)."""
+    for addr, code in image.concrete_bytes().items():
+        state.load_bytes(addr, code)
+
+
+def install_traces(image_traces: dict[int, Trace], state: MachineState) -> None:
+    """Install traces as the instruction map of an ITL machine state."""
+    for addr, trace in image_traces.items():
+        state.set_instr(addr, trace)

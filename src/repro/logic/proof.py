@@ -1,0 +1,149 @@
+"""Proof objects.
+
+The automation does not just answer yes/no: every rule application is
+recorded as a :class:`ProofStep`, including the side conditions it
+discharged (each a boolean term together with the pure assumptions it was
+proved under).  The resulting :class:`Proof` is machine-checkable: the
+independent checker (:mod:`repro.logic.checker`) replays every side
+condition against a fresh solver, playing the role Coq's kernel plays for
+the paper's Iris proofs (see DESIGN.md for the TCB discussion).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..smt.smtlib import term_to_sexpr
+from ..smt.sorts import BitVecSort
+from ..smt.terms import Term
+
+
+@dataclass(frozen=True)
+class SideCondition:
+    """A validity obligation: ``assumptions ⊨ goal``."""
+
+    assumptions: tuple[Term, ...]
+    goal: Term
+    description: str
+
+
+@dataclass(frozen=True)
+class ProofStep:
+    """One rule application of the Islaris logic."""
+
+    rule: str  # e.g. "hoare-read-reg", "hoare-cases", "instr-pre-intro"
+    detail: str  # human-readable event/target description
+    block: int  # block address being verified
+    path: tuple[int, ...]  # Cases branch indices leading to this step
+    side_conditions: tuple[SideCondition, ...] = ()
+
+
+@dataclass
+class Proof:
+    """A complete verification certificate for a program."""
+
+    steps: list[ProofStep] = field(default_factory=list)
+    blocks_verified: list[int] = field(default_factory=list)
+
+    def add(self, step: ProofStep) -> None:
+        self.steps.append(step)
+
+    @property
+    def num_side_conditions(self) -> int:
+        return sum(len(s.side_conditions) for s in self.steps)
+
+    def rules_used(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for s in self.steps:
+            out[s.rule] = out.get(s.rule, 0) + 1
+        return out
+
+    def summary(self) -> str:
+        rules = ", ".join(f"{k}×{v}" for k, v in sorted(self.rules_used().items()))
+        return (
+            f"{len(self.steps)} steps over {len(self.blocks_verified)} blocks, "
+            f"{self.num_side_conditions} side conditions [{rules}]"
+        )
+
+    # -- serialisation ------------------------------------------------------
+    #
+    # Proof objects serialise to JSON so the checker can run out-of-process
+    # (the "ship the certificate, check it elsewhere" discipline of
+    # foundational tools).  Terms are serialised in SMT-LIB concrete syntax
+    # together with the sorts of their free variables.
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "version": 1,
+                "blocks_verified": self.blocks_verified,
+                "steps": [_step_to_dict(s) for s in self.steps],
+            }
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "Proof":
+        data = json.loads(text)
+        if data.get("version") != 1:
+            raise ValueError("unsupported proof format version")
+        proof = Proof()
+        proof.blocks_verified = list(data["blocks_verified"])
+        for item in data["steps"]:
+            proof.add(_step_from_dict(item))
+        return proof
+
+
+def _sort_text(sort) -> str:
+    if isinstance(sort, BitVecSort):
+        return f"bv{sort.width}"
+    return "bool"
+
+
+def _term_record(term: Term) -> dict:
+    return {
+        "sexpr": term_to_sexpr(term),
+        "vars": {v.name: _sort_text(v.sort) for v in term.free_vars()},
+    }
+
+
+def _term_from_record(record: dict) -> Term:
+    from ..smt import builder as B
+    from ..smt.itl_parse_compat import TermParser, parse_sort_text, read_term_tree
+
+    env = {
+        name: B.var(name, parse_sort_text(sort_text))
+        for name, sort_text in record["vars"].items()
+    }
+    return TermParser(env).parse(read_term_tree(record["sexpr"]))
+
+
+def _step_to_dict(step: ProofStep) -> dict:
+    return {
+        "rule": step.rule,
+        "detail": step.detail,
+        "block": step.block,
+        "path": list(step.path),
+        "side_conditions": [
+            {
+                "assumptions": [_term_record(a) for a in sc.assumptions],
+                "goal": _term_record(sc.goal),
+                "description": sc.description,
+            }
+            for sc in step.side_conditions
+        ],
+    }
+
+
+def _step_from_dict(item: dict) -> ProofStep:
+    conditions = tuple(
+        SideCondition(
+            tuple(_term_from_record(a) for a in sc["assumptions"]),
+            _term_from_record(sc["goal"]),
+            sc["description"],
+        )
+        for sc in item["side_conditions"]
+    )
+    return ProofStep(
+        item["rule"], item["detail"], item["block"], tuple(item["path"]), conditions
+    )

@@ -1,0 +1,19 @@
+"""``repro.sail`` — the mini-Sail ISA definition layer.
+
+ISA models are written in an embedded effectful style against
+:class:`~repro.sail.iface.MachineInterface`, with the shared primitive
+library of :mod:`~repro.sail.primitives` (ZeroExtend, AddWithCarry, ...).
+The same model code runs concretely (:mod:`~repro.sail.concrete`, the
+authoritative semantics) and symbolically (driven by :mod:`repro.isla`).
+"""
+
+from . import primitives
+from .concrete import ConcreteMachine, StepCounter
+from .iface import MachineInterface, ModelError, sail_fn
+from .model import IsaModel
+from .registers import RegisterDecl, RegisterFile
+
+__all__ = [
+    "ConcreteMachine", "IsaModel", "MachineInterface", "ModelError",
+    "RegisterDecl", "RegisterFile", "StepCounter", "primitives", "sail_fn",
+]

@@ -1,0 +1,124 @@
+"""Concrete interpretation of mini-Sail models.
+
+:class:`ConcreteMachine` interprets model code directly against a
+:class:`~repro.itl.machine.MachineState`.  This is the *authoritative
+semantics* of the architecture in this reproduction — the role the
+Sail-generated Coq model plays in §5 of the paper.  Translation validation
+checks Isla's traces against executions of this machine.
+
+Values flowing through model code are constant SMT terms; the shared
+primitive library folds them, and :meth:`branch` just inspects the folded
+boolean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..itl.events import Label, LabelRead, LabelWrite, Reg
+from ..itl.machine import MachineState
+from ..smt import builder as B
+from ..smt.terms import Term
+from .iface import MachineInterface, ModelError
+from .registers import RegisterFile
+
+
+@dataclass
+class StepCounter:
+    """Model-execution metrics (functions entered, operations performed)."""
+
+    calls: int = 0
+    steps: int = 0
+    functions: list[str] = field(default_factory=list)
+
+    def reset(self) -> None:
+        self.calls = 0
+        self.steps = 0
+        self.functions.clear()
+
+
+class ConcreteMachine(MachineInterface):
+    """Executes model code against concrete machine state.
+
+    Unmapped-memory accesses are routed to a device function and recorded as
+    visible labels, mirroring the ITL operational semantics, so concrete
+    model runs and ITL runs produce comparable observations.
+    """
+
+    def __init__(
+        self,
+        regfile: RegisterFile,
+        state: MachineState,
+        device=None,
+    ) -> None:
+        self.regfile = regfile
+        self.state = state
+        self.device = device or (lambda addr, n: 0)
+        self.labels: list[Label] = []
+        self.counter = StepCounter()
+
+    # -- registers -------------------------------------------------------------
+
+    def read_reg(self, reg: Reg) -> Term:
+        width = self.regfile.width_of(reg)
+        value = self.state.read_reg(reg)
+        if value is None:
+            raise ModelError(f"read of unmapped register {reg}")
+        self.counter.steps += 1
+        return B.bv(int(value), width)
+
+    def write_reg(self, reg: Reg, value: Term) -> None:
+        width = self.regfile.width_of(reg)
+        if value.width != width:
+            raise ModelError(f"write to {reg}: width {value.width} != {width}")
+        if not value.is_value():
+            raise ModelError(f"symbolic write to {reg} in concrete execution")
+        self.counter.steps += 1
+        self.state.write_reg(reg, value.value)
+
+    # -- memory ------------------------------------------------------------------
+
+    def read_mem(self, addr: Term, nbytes: int) -> Term:
+        if not addr.is_value():
+            raise ModelError("symbolic address in concrete execution")
+        a = addr.value
+        self.counter.steps += 1
+        if self.state.mem_mapped(a, nbytes):
+            return B.bv(self.state.read_mem(a, nbytes), 8 * nbytes)
+        if self.state.mem_unmapped(a, nbytes):
+            data = self.device(a, nbytes) & ((1 << (8 * nbytes)) - 1)
+            self.labels.append(LabelRead(a, data, nbytes))
+            return B.bv(data, 8 * nbytes)
+        raise ModelError(f"partially mapped read at 0x{a:x}")
+
+    def write_mem(self, addr: Term, data: Term, nbytes: int) -> None:
+        if not addr.is_value() or not data.is_value():
+            raise ModelError("symbolic memory write in concrete execution")
+        a = addr.value
+        self.counter.steps += 1
+        if self.state.mem_mapped(a, nbytes):
+            self.state.write_mem(a, data.value, nbytes)
+        elif self.state.mem_unmapped(a, nbytes):
+            self.labels.append(LabelWrite(a, data.value, nbytes))
+        else:
+            raise ModelError(f"partially mapped write at 0x{a:x}")
+
+    # -- control -------------------------------------------------------------------
+
+    def branch(self, cond: Term, hint: str = "") -> bool:
+        self.counter.steps += 1
+        if not cond.is_value():
+            raise ModelError(f"symbolic branch in concrete execution ({hint})")
+        return bool(cond.value)
+
+    def define(self, hint: str, value: Term) -> Term:
+        return value
+
+    # -- instrumentation ---------------------------------------------------------------
+
+    def note_call(self, name: str) -> None:
+        self.counter.calls += 1
+        self.counter.functions.append(name)
+
+    def note_step(self, n: int = 1) -> None:
+        self.counter.steps += n

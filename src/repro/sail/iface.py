@@ -1,0 +1,101 @@
+"""The machine interface of the mini-Sail embedding.
+
+Real Sail compiles each instruction's semantics to a *free monad* over a
+small effect signature (register reads/writes, memory accesses, branching,
+assertions); Isla symbolically executes that monad, and the Sail-generated
+Coq model interprets it concretely (§5 of the paper).  Our mini-Sail uses
+the same factoring, embedded in Python: ISA models are written against the
+abstract :class:`MachineInterface`, and the two interpreters are
+
+- :class:`repro.sail.concrete.ConcreteMachine` — the authoritative model
+  semantics (plays the role of the Sail-generated Coq model), and
+- :class:`repro.isla.executor.SymbolicMachine` — Isla's symbolic execution,
+  which records ITL events and forks on branches.
+
+All data values are SMT terms (:class:`repro.smt.Term`); in concrete
+execution they are simply constant terms, so the entire primitive library is
+shared between the two interpreters — exactly the property that makes
+translation validation (§5) meaningful.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from ..itl.events import Reg
+from ..smt import Term
+
+
+class ModelError(Exception):
+    """An ISA model invariant failed (a Sail ``assert``/reserved value)."""
+
+
+class MachineInterface(ABC):
+    """Effect signature available to ISA model code."""
+
+    # -- registers ----------------------------------------------------------
+
+    @abstractmethod
+    def read_reg(self, reg: Reg) -> Term:
+        """Read a register (or register field) as a term."""
+
+    @abstractmethod
+    def write_reg(self, reg: Reg, value: Term) -> None:
+        """Write a register (or register field)."""
+
+    # -- memory ---------------------------------------------------------------
+
+    @abstractmethod
+    def read_mem(self, addr: Term, nbytes: int) -> Term:
+        """Little-endian read of ``nbytes`` bytes; returns an 8*nbytes term."""
+
+    @abstractmethod
+    def write_mem(self, addr: Term, data: Term, nbytes: int) -> None:
+        """Little-endian write."""
+
+    # -- control ---------------------------------------------------------------
+
+    @abstractmethod
+    def branch(self, cond: Term, hint: str = "") -> bool:
+        """Evaluate a boolean condition, forking in symbolic execution.
+
+        Model code uses this for every data-dependent ``if``; the symbolic
+        interpreter explores both feasible outcomes (producing ITL ``Cases``),
+        the concrete interpreter just evaluates.
+        """
+
+    @abstractmethod
+    def define(self, hint: str, value: Term) -> Term:
+        """Name an intermediate value (ITL ``DefineConst``); returns the
+        variable standing for it (or the value itself concretely)."""
+
+    def unreachable(self, why: str) -> None:
+        """A Sail ``assert false`` / reserved encoding."""
+        raise ModelError(why)
+
+    # -- instrumentation ----------------------------------------------------------
+
+    def note_call(self, name: str) -> None:
+        """Record entry into a named model function (metrics only)."""
+
+    def note_step(self, n: int = 1) -> None:
+        """Record ``n`` executed model operations (metrics only)."""
+
+
+def sail_fn(fn: Callable) -> Callable:
+    """Decorator marking a model function, for step accounting.
+
+    Mirrors the paper's observation that e.g. ``add sp, sp, 64`` executes 9
+    Sail functions / 146 lines: the decorated call tree is what our
+    Fig. 2→3 "simplification factor" benchmark counts.
+    """
+
+    def wrapper(machine: MachineInterface, *args, **kwargs):
+        machine.note_call(fn.__name__)
+        return fn(machine, *args, **kwargs)
+
+    wrapper.__name__ = fn.__name__
+    wrapper.__doc__ = fn.__doc__
+    wrapper.__wrapped__ = fn
+    return wrapper

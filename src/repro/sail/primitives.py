@@ -1,0 +1,144 @@
+"""The mini-Sail primitive library.
+
+These are the Sail builtins the real Armv8-A/RISC-V models use constantly:
+``ZeroExtend``, ``SignExtend``, ``AddWithCarry`` (the shared add/sub/flags
+path of Fig. 2), slicing, replication, bit-reversal, alignment checks.  They
+operate on SMT terms, so the same code serves concrete execution (constant
+terms fold) and symbolic execution (terms stay symbolic).
+"""
+
+from __future__ import annotations
+
+from ..smt import builder as B
+from ..smt.terms import Term
+
+
+def zero_extend(value: Term, width: int) -> Term:
+    """Sail ``ZeroExtend(value, width)``."""
+    if width < value.width:
+        raise ValueError(f"ZeroExtend to smaller width {width} < {value.width}")
+    return B.zero_extend(width - value.width, value)
+
+
+def sign_extend(value: Term, width: int) -> Term:
+    """Sail ``SignExtend(value, width)``."""
+    if width < value.width:
+        raise ValueError(f"SignExtend to smaller width {width} < {value.width}")
+    return B.sign_extend(width - value.width, value)
+
+
+def zeros(width: int) -> Term:
+    return B.bv(0, width)
+
+
+def ones(width: int) -> Term:
+    return B.bv((1 << width) - 1, width)
+
+
+def replicate(bit: Term, count: int) -> Term:
+    """Replicate a 1-bit value ``count`` times."""
+    if bit.width != 1:
+        raise ValueError("replicate expects a 1-bit value")
+    out = bit
+    for _ in range(count - 1):
+        out = B.concat(out, bit)
+    return out
+
+
+def slice_bits(value: Term, lo: int, width: int) -> Term:
+    """Sail ``value[lo +: width]``."""
+    return B.extract(lo + width - 1, lo, value)
+
+
+def set_slice(value: Term, lo: int, part: Term) -> Term:
+    """Functional update of bits [lo, lo+|part|) of ``value``."""
+    hi = lo + part.width - 1
+    w = value.width
+    pieces = []
+    if hi < w - 1:
+        pieces.append(B.extract(w - 1, hi + 1, value))
+    pieces.append(part)
+    if lo > 0:
+        pieces.append(B.extract(lo - 1, 0, value))
+    return B.concat_many(*pieces)
+
+
+def bit(value: Term, index: int) -> Term:
+    """Bit ``index`` of ``value`` as a 1-bit term."""
+    return B.extract(index, index, value)
+
+
+def bit_set(value: Term, index: int) -> Term:
+    """Boolean: is bit ``index`` of ``value`` set?"""
+    return B.eq(bit(value, index), B.bv(1, 1))
+
+
+def uint(value: Term) -> Term:
+    """Sail ``UInt``: we keep values as bitvectors, so this is identity (the
+    unbounded-integer detour of the real model is collapsed by Isla anyway,
+    cf. the 128-bit addition vestige in Fig. 3)."""
+    return value
+
+
+def add_with_carry(x: Term, y: Term, carry_in: Term) -> tuple[Term, Term]:
+    """Sail/ASL ``AddWithCarry``: returns ``(result, nzcv)``.
+
+    This is the single shared datapath for Arm's add/sub/cmp family: the
+    caller passes ``~y`` and carry 1 for subtraction (Fig. 2, lines 21-23).
+    ``nzcv`` is a 4-bit vector N:Z:C:V.
+    """
+    w = x.width
+    if y.width != w or carry_in.width != 1:
+        raise ValueError("AddWithCarry operand widths")
+    # Unsigned sum at width w+1 gives the carry-out; signed overflow compares
+    # sign-extended sums, exactly like the ASL source.
+    ext = B.bvadd(
+        B.bvadd(B.zero_extend(1, x), B.zero_extend(1, y)),
+        B.zero_extend(w, carry_in),
+    )
+    result = B.extract(w - 1, 0, ext)
+    carry_out = B.extract(w, w, ext)
+    sext = B.bvadd(
+        B.bvadd(B.sign_extend(1, x), B.sign_extend(1, y)),
+        B.zero_extend(w, carry_in),
+    )
+    overflow = B.ite(
+        B.eq(B.extract(w, w - 1, sext), B.bv(0b00, 2)),
+        B.bv(0, 1),
+        B.ite(
+            B.eq(B.extract(w, w - 1, sext), B.bv(0b11, 2)), B.bv(0, 1), B.bv(1, 1)
+        ),
+    )
+    n = B.extract(w - 1, w - 1, result)
+    z = B.ite(B.eq(result, zeros(w)), B.bv(1, 1), B.bv(0, 1))
+    nzcv = B.concat_many(n, z, carry_out, overflow)
+    return result, nzcv
+
+
+def reverse_bits(value: Term) -> Term:
+    """Sail ``ReverseBits`` (the ``rbit`` datapath): MSB..LSB reversal."""
+    bits = [B.extract(i, i, value) for i in range(value.width)]
+    return B.concat_many(*bits)  # first arg most significant == old LSB
+
+
+def count_leading_zeros(value: Term) -> Term:
+    """CLZ as a balanced ite tree (loop-free, like the generated model)."""
+    w = value.width
+    out = B.bv(w, w)
+    for i in range(w):  # scan from LSB up; later (higher) bits override
+        out = B.ite(bit_set(value, i), B.bv(w - 1 - i, w), out)
+    return out
+
+
+def is_aligned(addr: Term, nbytes: int) -> Term:
+    """Alignment predicate: addr mod nbytes == 0 (nbytes a power of two)."""
+    if nbytes & (nbytes - 1):
+        raise ValueError("alignment must be a power of two")
+    if nbytes == 1:
+        return B.true()
+    low = (nbytes - 1).bit_length()
+    return B.eq(B.extract(low - 1, 0, addr), B.bv(0, low))
+
+
+def bool_to_bit(cond: Term) -> Term:
+    return B.ite(cond, B.bv(1, 1), B.bv(0, 1))

@@ -1,0 +1,59 @@
+"""Register file declarations for ISA models.
+
+A :class:`RegisterFile` declares every architectural register with its width,
+plus *struct registers* with named bit-fields (the paper's ``ρ.f`` syntax,
+used for ``PSTATE.EL`` etc.).  Field registers are modelled as independent
+cells named ``BASE.FIELD`` — the same flattening Isla applies when it prints
+``(read-reg |PSTATE| ((_ field |EL|)) ...)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..itl.events import Reg
+
+
+@dataclass(frozen=True)
+class RegisterDecl:
+    """One architectural register (or register field) and its width."""
+
+    reg: Reg
+    width: int
+    reset: int = 0
+
+
+@dataclass
+class RegisterFile:
+    """The set of declared registers of an architecture."""
+
+    decls: dict[Reg, RegisterDecl] = field(default_factory=dict)
+
+    def declare(self, name: str, width: int, reset: int = 0) -> Reg:
+        reg = Reg.parse(name)
+        if reg in self.decls:
+            raise ValueError(f"register {reg} already declared")
+        self.decls[reg] = RegisterDecl(reg, width, reset)
+        return reg
+
+    def declare_struct(self, base: str, fields: dict[str, int]) -> dict[str, Reg]:
+        """Declare a struct register (one cell per field)."""
+        out = {}
+        for fname, width in fields.items():
+            out[fname] = self.declare(f"{base}.{fname}", width)
+        return out
+
+    def width_of(self, reg: Reg) -> int:
+        try:
+            return self.decls[reg].width
+        except KeyError:
+            raise KeyError(f"register {reg} not declared") from None
+
+    def __contains__(self, reg: Reg) -> bool:
+        return reg in self.decls
+
+    def __iter__(self):
+        return iter(self.decls.values())
+
+    def reset_values(self) -> dict[Reg, int]:
+        return {d.reg: d.reset for d in self.decls.values()}

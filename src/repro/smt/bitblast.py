@@ -1,0 +1,206 @@
+"""Bit-blasting from QF_BV terms to CNF.
+
+Each bitvector term maps to a list of SAT literals (LSB first); each boolean
+term to one literal.  Results are cached per term, so the shared-DAG
+structure of interned terms translates directly into shared circuitry.
+"""
+
+from __future__ import annotations
+
+from . import terms as T
+from .cnf import CnfBuilder
+from .terms import Term
+
+
+class UnsupportedOperation(Exception):
+    """Raised for operators the blaster does not encode (bvudiv/bvurem with a
+    symbolic divisor — never produced by our ISA models)."""
+
+
+class BitBlaster:
+    def __init__(self, cnf: CnfBuilder) -> None:
+        self.cnf = cnf
+        self._bv_cache: dict[Term, list[int]] = {}
+        self._bool_cache: dict[Term, int] = {}
+        self.var_bits: dict[Term, list[int]] = {}
+        self.var_lits: dict[Term, int] = {}
+
+    # -- public -----------------------------------------------------------
+
+    def assert_term(self, term: Term) -> None:
+        """Assert a boolean term into the underlying solver."""
+        lit = self.blast_bool(term)
+        self.cnf.add_clause([lit])
+
+    def blast_bool(self, term: Term) -> int:
+        if not term.sort.is_bool():
+            raise TypeError(f"expected boolean term, got {term.sort!r}")
+        hit = self._bool_cache.get(term)
+        if hit is None:
+            hit = self._blast_bool(term)
+            self._bool_cache[term] = hit
+        return hit
+
+    def blast_bv(self, term: Term) -> list[int]:
+        if not term.sort.is_bv():
+            raise TypeError(f"expected bitvector term, got {term.sort!r}")
+        hit = self._bv_cache.get(term)
+        if hit is None:
+            hit = self._blast_bv(term)
+            self._bv_cache[term] = hit
+        return hit
+
+    # -- boolean terms -------------------------------------------------------
+
+    def _blast_bool(self, t: Term) -> int:
+        cnf = self.cnf
+        op = t.op
+        if op == T.BOOLVAL:
+            return cnf.const(t.value)
+        if op == T.VAR:
+            lit = self.var_lits.get(t)
+            if lit is None:
+                lit = cnf.new_lit()
+                self.var_lits[t] = lit
+            return lit
+        if op == T.NOT:
+            return -self.blast_bool(t.args[0])
+        if op == T.AND:
+            return cnf.and_gate([self.blast_bool(a) for a in t.args])
+        if op == T.OR:
+            return cnf.or_gate([self.blast_bool(a) for a in t.args])
+        if op == T.XOR_BOOL:
+            return cnf.xor_gate(self.blast_bool(t.args[0]), self.blast_bool(t.args[1]))
+        if op == T.EQ:
+            a, b = t.args
+            if a.sort.is_bool():
+                return cnf.xnor_gate(self.blast_bool(a), self.blast_bool(b))
+            abits, bbits = self.blast_bv(a), self.blast_bv(b)
+            return cnf.and_gate([cnf.xnor_gate(x, y) for x, y in zip(abits, bbits)])
+        if op == T.BVULT:
+            return self._ult(self.blast_bv(t.args[0]), self.blast_bv(t.args[1]))
+        if op == T.BVULE:
+            return -self._ult(self.blast_bv(t.args[1]), self.blast_bv(t.args[0]))
+        if op == T.BVSLT:
+            return self._ult(self._flip_msb(t.args[0]), self._flip_msb(t.args[1]))
+        if op == T.BVSLE:
+            return -self._ult(self._flip_msb(t.args[1]), self._flip_msb(t.args[0]))
+        raise UnsupportedOperation(f"boolean operator {op!r}")
+
+    def _flip_msb(self, t: Term) -> list[int]:
+        bits = list(self.blast_bv(t))
+        bits[-1] = -bits[-1]
+        return bits
+
+    def _ult(self, a: list[int], b: list[int]) -> int:
+        """a < b unsigned, via an MSB-first less-than chain."""
+        cnf = self.cnf
+        lt = cnf.const(False)
+        for x, y in zip(a, b):  # LSB to MSB; rebuild chain so MSB dominates
+            bit_lt = cnf.and_gate([-x, y])
+            bit_eq = cnf.xnor_gate(x, y)
+            lt = cnf.or_gate([bit_lt, cnf.and_gate([bit_eq, lt])])
+        return lt
+
+    # -- bitvector terms -------------------------------------------------------
+
+    def _blast_bv(self, t: Term) -> list[int]:
+        cnf = self.cnf
+        op = t.op
+        w = t.sort.width
+        if op == T.BVVAL:
+            return [cnf.const(bool((t.value >> i) & 1)) for i in range(w)]
+        if op == T.VAR:
+            bits = self.var_bits.get(t)
+            if bits is None:
+                bits = [cnf.new_lit() for _ in range(w)]
+                self.var_bits[t] = bits
+            return bits
+        if op == T.ITE:
+            c = self.blast_bool(t.args[0])
+            a, b = self.blast_bv(t.args[1]), self.blast_bv(t.args[2])
+            return [cnf.ite_gate(c, x, y) for x, y in zip(a, b)]
+        if op == T.BVNOT:
+            return [-x for x in self.blast_bv(t.args[0])]
+        if op == T.BVAND:
+            a, b = (self.blast_bv(x) for x in t.args)
+            return [cnf.and_gate([x, y]) for x, y in zip(a, b)]
+        if op == T.BVOR:
+            a, b = (self.blast_bv(x) for x in t.args)
+            return [cnf.or_gate([x, y]) for x, y in zip(a, b)]
+        if op == T.BVXOR:
+            a, b = (self.blast_bv(x) for x in t.args)
+            return [cnf.xor_gate(x, y) for x, y in zip(a, b)]
+        if op == T.BVADD:
+            a, b = (self.blast_bv(x) for x in t.args)
+            return self._adder(a, b, cnf.const(False))[0]
+        if op == T.BVSUB:
+            a, b = (self.blast_bv(x) for x in t.args)
+            return self._adder(a, [-y for y in b], cnf.const(True))[0]
+        if op == T.BVNEG:
+            a = self.blast_bv(t.args[0])
+            zeros = [cnf.const(False)] * w
+            return self._adder(zeros, [-x for x in a], cnf.const(True))[0]
+        if op == T.BVMUL:
+            return self._mul(t)
+        if op == T.CONCAT:
+            hi, lo = t.args
+            return self.blast_bv(lo) + self.blast_bv(hi)
+        if op == T.EXTRACT:
+            hi, lo = t.attrs
+            return self.blast_bv(t.args[0])[lo : hi + 1]
+        if op == T.ZERO_EXTEND:
+            return self.blast_bv(t.args[0]) + [cnf.const(False)] * t.attrs[0]
+        if op == T.SIGN_EXTEND:
+            bits = self.blast_bv(t.args[0])
+            return bits + [bits[-1]] * t.attrs[0]
+        if op in (T.BVSHL, T.BVLSHR, T.BVASHR):
+            return self._shift(t)
+        if op in (T.BVUDIV, T.BVUREM):
+            raise UnsupportedOperation(f"{op} with symbolic operands")
+        raise UnsupportedOperation(f"bitvector operator {op!r}")
+
+    def _adder(self, a: list[int], b: list[int], cin: int) -> tuple[list[int], int]:
+        out = []
+        carry = cin
+        for x, y in zip(a, b):
+            s, carry = self.cnf.full_adder(x, y, carry)
+            out.append(s)
+        return out, carry
+
+    def _mul(self, t: Term) -> list[int]:
+        cnf = self.cnf
+        w = t.sort.width
+        a, b = (self.blast_bv(x) for x in t.args)
+        acc = [cnf.const(False)] * w
+        for i in range(w):
+            # partial product: (a << i) AND b[i]
+            part = [cnf.const(False)] * i + [
+                cnf.and_gate([a[j], b[i]]) for j in range(w - i)
+            ]
+            acc = self._adder(acc, part, cnf.const(False))[0]
+        return acc
+
+    def _shift(self, t: Term) -> list[int]:
+        cnf = self.cnf
+        w = t.sort.width
+        a = self.blast_bv(t.args[0])
+        sh = self.blast_bv(t.args[1])
+        fill = a[-1] if t.op == T.BVASHR else cnf.const(False)
+        left = t.op == T.BVSHL
+        # Barrel shifter over the log2(w) relevant shift bits.
+        bits = list(a)
+        k = 0
+        while (1 << k) < w:
+            amount = 1 << k
+            c = sh[k]
+            if left:
+                shifted = [cnf.const(False)] * amount + bits[: w - amount]
+            else:
+                shifted = bits[amount:] + [fill] * amount
+            bits = [cnf.ite_gate(c, s, b) for s, b in zip(shifted, bits)]
+            k += 1
+        # If any higher shift bit is set, the result saturates.
+        high = cnf.or_gate(sh[k:]) if sh[k:] else cnf.const(False)
+        saturated = fill if t.op == T.BVASHR else cnf.const(False)
+        return [cnf.ite_gate(high, saturated, b) for b in bits]

@@ -1,0 +1,128 @@
+"""Tseitin-style CNF construction on top of the SAT core.
+
+``CnfBuilder`` hands out fresh literals and encodes boolean gates as
+clauses.  Gate outputs are cached by structure so the bit-blaster can share
+subcircuits freely.  Constants are encoded with a single always-true literal.
+"""
+
+from __future__ import annotations
+
+from .sat import SatSolver
+
+
+class CnfBuilder:
+    """Builds gates into a :class:`SatSolver`."""
+
+    def __init__(self, solver: SatSolver | None = None) -> None:
+        self.solver = solver or SatSolver()
+        self._true = self.solver.new_var()
+        self.solver.add_clause([self._true])
+        self._gate_cache: dict[tuple, int] = {}
+
+    # -- primitives ---------------------------------------------------------
+
+    def new_lit(self) -> int:
+        return self.solver.new_var()
+
+    def const(self, value: bool) -> int:
+        return self._true if value else -self._true
+
+    def is_const(self, lit: int) -> bool | None:
+        if lit == self._true:
+            return True
+        if lit == -self._true:
+            return False
+        return None
+
+    def add_clause(self, lits: list[int]) -> None:
+        self.solver.add_clause(lits)
+
+    # -- gates ---------------------------------------------------------------
+
+    def and_gate(self, lits: list[int]) -> int:
+        out: list[int] = []
+        for lit in lits:
+            c = self.is_const(lit)
+            if c is False:
+                return self.const(False)
+            if c is True:
+                continue
+            out.append(lit)
+        out = sorted(set(out))
+        for lit in out:
+            if -lit in out:
+                return self.const(False)
+        if not out:
+            return self.const(True)
+        if len(out) == 1:
+            return out[0]
+        key = ("and", tuple(out))
+        hit = self._gate_cache.get(key)
+        if hit is not None:
+            return hit
+        y = self.new_lit()
+        for lit in out:
+            self.add_clause([-y, lit])
+        self.add_clause([y] + [-lit for lit in out])
+        self._gate_cache[key] = y
+        return y
+
+    def or_gate(self, lits: list[int]) -> int:
+        return -self.and_gate([-lit for lit in lits])
+
+    def xor_gate(self, a: int, b: int) -> int:
+        ca, cb = self.is_const(a), self.is_const(b)
+        if ca is not None and cb is not None:
+            return self.const(ca != cb)
+        if ca is False:
+            return b
+        if cb is False:
+            return a
+        if ca is True:
+            return -b
+        if cb is True:
+            return -a
+        if a == b:
+            return self.const(False)
+        if a == -b:
+            return self.const(True)
+        key = ("xor", tuple(sorted((abs(a), abs(b)))), a > 0, b > 0)
+        # Canonicalise polarity: xor(a,b) == xor(-a,-b); xor(-a,b) == -xor(a,b)
+        neg = (a < 0) != (b < 0)
+        a, b = abs(a), abs(b)
+        if a > b:
+            a, b = b, a
+        key = ("xor", a, b)
+        hit = self._gate_cache.get(key)
+        if hit is None:
+            y = self.new_lit()
+            self.add_clause([-y, a, b])
+            self.add_clause([-y, -a, -b])
+            self.add_clause([y, -a, b])
+            self.add_clause([y, a, -b])
+            self._gate_cache[key] = y
+            hit = y
+        return -hit if neg else hit
+
+    def xnor_gate(self, a: int, b: int) -> int:
+        return -self.xor_gate(a, b)
+
+    def ite_gate(self, c: int, t: int, e: int) -> int:
+        cc = self.is_const(c)
+        if cc is True:
+            return t
+        if cc is False:
+            return e
+        if t == e:
+            return t
+        return self.or_gate([self.and_gate([c, t]), self.and_gate([-c, e])])
+
+    # -- arithmetic helpers ----------------------------------------------------
+
+    def full_adder(self, a: int, b: int, cin: int) -> tuple[int, int]:
+        """Returns (sum, carry-out)."""
+        s = self.xor_gate(self.xor_gate(a, b), cin)
+        cout = self.or_gate(
+            [self.and_gate([a, b]), self.and_gate([a, cin]), self.and_gate([b, cin])]
+        )
+        return s, cout

@@ -1,0 +1,5 @@
+"""Alias module so higher layers can import ``evaluate`` without cycles."""
+
+from .interp import evaluate
+
+__all__ = ["evaluate"]

@@ -1,0 +1,34 @@
+"""Term-parsing helpers shared by proof serialisation.
+
+Re-exports the ITL parser's term machinery under an smt-level name (the
+proof layer should not depend on the trace syntax module directly), plus a
+compact sort notation (``bv64`` / ``bool``) used in serialised proofs.
+"""
+
+from __future__ import annotations
+
+from .sorts import BOOL, Sort, bv_sort
+
+
+def parse_sort_text(text: str) -> Sort:
+    if text == "bool":
+        return BOOL
+    if text.startswith("bv"):
+        return bv_sort(int(text[2:]))
+    raise ValueError(f"unknown sort text {text!r}")
+
+
+def read_term_tree(sexpr: str):
+    from ..itl.parser import read_sexpr, tokenize
+
+    tokens = tokenize(sexpr)
+    tree, pos = read_sexpr(tokens, 0)
+    if pos != len(tokens):
+        raise ValueError("trailing tokens in term")
+    return tree
+
+
+def TermParser(env):
+    from ..itl.parser import TermParser as _TermParser
+
+    return _TermParser(env)

@@ -1,0 +1,140 @@
+"""Contextual simplification of terms.
+
+The smart constructors in :mod:`repro.smt.builder` already do local rewriting
+at construction time.  This module adds the *contextual* simplification Isla
+performs when finalising traces: under a set of path constraints, conditions
+that are entailed (or refuted) collapse, ``ite`` nodes resolve, and variables
+that the constraints pin to a constant are inlined.
+"""
+
+from __future__ import annotations
+
+from . import builder as B
+from . import terms as T
+from .solver import SAT, UNSAT, Solver
+from .terms import FALSE, TRUE, Term
+
+
+def simplify(term: Term) -> Term:
+    """Bottom-up rebuild through the smart constructors.
+
+    Useful after substitution created new folding opportunities.
+    """
+    cache: dict[Term, Term] = {}
+
+    def go(t: Term) -> Term:
+        hit = cache.get(t)
+        if hit is not None:
+            return hit
+        if not t.args:
+            out = t
+        else:
+            # Always rebuild through the smart constructors: terms created
+            # by raw mk_term (e.g. parsed input) fold here too.
+            out = B.rebuild(t.op, tuple(go(a) for a in t.args), t.attrs)
+        cache[t] = out
+        return out
+
+    return go(term)
+
+
+def equalities_from(constraints: list[Term]) -> dict[Term, Term]:
+    """Extract ``var = value`` bindings implied syntactically by constraints.
+
+    Looks through top-level conjunctions for ``(= x c)`` and bare boolean
+    variables (``x`` binds x:=true, ``(not x)`` binds x:=false).
+    """
+    bindings: dict[Term, Term] = {}
+    work = list(constraints)
+    while work:
+        c = work.pop()
+        if c.op == T.AND:
+            work.extend(c.args)
+        elif c.op == T.EQ:
+            a, b = c.args
+            if a.is_var() and b.is_value():
+                bindings.setdefault(a, b)
+            elif b.is_var() and a.is_value():
+                bindings.setdefault(b, a)
+        elif c.is_var() and c.sort.is_bool():
+            bindings.setdefault(c, TRUE)
+        elif c.op == T.NOT and c.args[0].is_var():
+            bindings.setdefault(c.args[0], FALSE)
+    return bindings
+
+
+class ContextualSimplifier:
+    """Simplify terms under a set of assumed constraints.
+
+    This is the engine behind Isla's branch pruning: :meth:`decide` asks
+    whether a branch condition is forced by the context, and
+    :meth:`simplify` collapses conditions inside a term.
+    """
+
+    def __init__(self, constraints: list[Term] | None = None, solver: Solver | None = None):
+        self.solver = solver or Solver()
+        self.constraints: list[Term] = []
+        for c in constraints or []:
+            self.assume(c)
+
+    def assume(self, constraint: Term) -> None:
+        self.constraints.append(constraint)
+        self.solver.add(constraint)
+
+    def decide(self, cond: Term) -> bool | None:
+        """Return True/False if the context forces ``cond``, else None."""
+        if cond is TRUE:
+            return True
+        if cond is FALSE:
+            return False
+        if self.solver.check(cond) == UNSAT:
+            return False
+        if self.solver.check(B.not_(cond)) == UNSAT:
+            return True
+        return None
+
+    def feasible(self, cond: Term) -> bool:
+        """Can ``cond`` hold together with the context?"""
+        return self.solver.check(cond) == SAT
+
+    def simplify(self, term: Term) -> Term:
+        """Inline pinned variables, then resolve decided conditions in
+        ``ite``/comparison positions."""
+        term = B.substitute(term, equalities_from(self.constraints))
+        return self._resolve(term, {})
+
+    def _resolve(self, t: Term, cache: dict[Term, Term]) -> Term:
+        hit = cache.get(t)
+        if hit is not None:
+            return hit
+        if t.op == T.ITE:
+            cond = self._resolve(t.args[0], cache)
+            decided = self.decide(cond) if cond.sort.is_bool() else None
+            if decided is True:
+                out = self._resolve(t.args[1], cache)
+            elif decided is False:
+                out = self._resolve(t.args[2], cache)
+            else:
+                out = B.ite(
+                    cond,
+                    self._resolve(t.args[1], cache),
+                    self._resolve(t.args[2], cache),
+                )
+        elif t.sort.is_bool() and t.op in (T.EQ, T.BVULT, T.BVULE, T.BVSLT, T.BVSLE):
+            decided = self.decide(t)
+            if decided is None:
+                out = self._rebuild_children(t, cache)
+            else:
+                out = B.bool_val(decided)
+        elif not t.args:
+            out = t
+        else:
+            out = self._rebuild_children(t, cache)
+        cache[t] = out
+        return out
+
+    def _rebuild_children(self, t: Term, cache: dict[Term, Term]) -> Term:
+        args = tuple(self._resolve(a, cache) for a in t.args)
+        if all(n is o for n, o in zip(args, t.args)):
+            return t
+        return B.rebuild(t.op, args, t.attrs)

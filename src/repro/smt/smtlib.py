@@ -1,0 +1,55 @@
+"""SMT-LIB 2 style printing of terms.
+
+Used by the ITL s-expression printer so that traces render in the concrete
+syntax of the paper's Fig. 3 (e.g. ``(bvadd ((_ extract 63 0) ((_ zero_extend
+64) v38)) #x0000000000000040)``).
+"""
+
+from __future__ import annotations
+
+from . import terms as T
+from .terms import Term
+
+
+def bv_literal_to_sexpr(value: int, width: int) -> str:
+    """Render a bitvector literal: ``#x...`` when the width is a multiple of
+    four, ``#b...`` otherwise (matching Isla's output)."""
+    if width % 4 == 0:
+        return f"#x{value:0{width // 4}x}"
+    return f"#b{value:0{width}b}"
+
+
+def term_to_sexpr(term: Term) -> str:
+    """Render a term as an SMT-LIB s-expression."""
+    out: list[str] = []
+    _render(term, out)
+    return "".join(out)
+
+
+def _render(t: Term, out: list[str]) -> None:
+    op = t.op
+    if op == T.VAR:
+        out.append(t.name)
+    elif op == T.BVVAL:
+        out.append(bv_literal_to_sexpr(t.attrs[0], t.attrs[1]))
+    elif op == T.BOOLVAL:
+        out.append("true" if t.attrs[0] else "false")
+    elif op == T.EXTRACT:
+        hi, lo = t.attrs
+        out.append(f"((_ extract {hi} {lo}) ")
+        _render(t.args[0], out)
+        out.append(")")
+    elif op == T.ZERO_EXTEND:
+        out.append(f"((_ zero_extend {t.attrs[0]}) ")
+        _render(t.args[0], out)
+        out.append(")")
+    elif op == T.SIGN_EXTEND:
+        out.append(f"((_ sign_extend {t.attrs[0]}) ")
+        _render(t.args[0], out)
+        out.append(")")
+    else:
+        out.append(f"({op}")
+        for a in t.args:
+            out.append(" ")
+            _render(a, out)
+        out.append(")")

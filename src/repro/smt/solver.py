@@ -1,0 +1,292 @@
+"""The solver façade used by the rest of the system.
+
+A :class:`Solver` holds a stack of asserted boolean terms (with ``push`` /
+``pop`` scoping, mirroring SMT-LIB) and answers satisfiability and validity
+queries by bit-blasting into the CDCL core.  Results are cached keyed on the
+asserted set, which matters a lot in practice: the Isla executor asks about
+many branch conditions under the same path prefix, and the separation-logic
+automation re-discharges structurally identical side conditions.
+"""
+
+from __future__ import annotations
+
+from . import builder as B
+from .bitblast import BitBlaster, UnsupportedOperation
+from .cnf import CnfBuilder
+from .interp import evaluate
+from .sat import SatSolver
+from .theory import refutes as theory_refutes
+from .terms import FALSE, TRUE, Term
+
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+
+#: Conflict budget for the SAT fallback.  Queries the word-level theory layer
+#: cannot decide and that exceed this budget come back ``unknown``; the
+#: verification layers treat that conservatively (branch kept / side
+#: condition not discharged), mirroring how the paper's automation falls back
+#: to manual hints.
+DEFAULT_MAX_CONFLICTS = 60_000
+
+_GLOBAL_CHECK_CACHE: dict[frozenset[Term], str] = {}
+
+
+class SolverStats:
+    """Aggregate query counters (read by the benchmark harness)."""
+
+    def __init__(self) -> None:
+        self.checks = 0
+        self.cache_hits = 0
+        self.sat_results = 0
+        self.unsat_results = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+
+class Solver:
+    """A scoped assertion stack with SAT/validity queries.
+
+    Example::
+
+        s = Solver()
+        x = B.bv_var("x", 64)
+        s.add(B.eq(x, B.bv(5, 64)))
+        assert s.check() == SAT
+        assert s.is_valid(B.bvult(x, B.bv(6, 64)))
+    """
+
+    def __init__(
+        self,
+        use_global_cache: bool = True,
+        max_conflicts: int | None = DEFAULT_MAX_CONFLICTS,
+    ) -> None:
+        self._assertions: list[Term] = []
+        self._scopes: list[int] = []
+        self._use_cache = use_global_cache
+        self._max_conflicts = max_conflicts
+        self._model: dict[Term, object] | None = None
+        self.stats = SolverStats()
+
+    # -- assertion stack ------------------------------------------------------
+
+    def add(self, *terms: Term) -> None:
+        for t in terms:
+            if not t.sort.is_bool():
+                raise TypeError(f"can only assert booleans, got {t.sort!r}")
+            if t is not TRUE:
+                self._assertions.append(t)
+
+    def push(self) -> None:
+        self._scopes.append(len(self._assertions))
+
+    def pop(self) -> None:
+        if not self._scopes:
+            raise RuntimeError("pop without matching push")
+        del self._assertions[self._scopes.pop() :]
+
+    @property
+    def assertions(self) -> tuple[Term, ...]:
+        return tuple(self._assertions)
+
+    # -- queries ---------------------------------------------------------------
+
+    def check(self, *extra: Term) -> str:
+        """Satisfiability of the asserted set plus ``extra``."""
+        self.stats.checks += 1
+        goal = list(self._assertions) + [t for t in extra if t is not TRUE]
+        if any(t is FALSE for t in goal):
+            self._model = None
+            self.stats.unsat_results += 1
+            return UNSAT
+        key = frozenset(goal)
+        if self._use_cache:
+            hit = _GLOBAL_CHECK_CACHE.get(key)
+            if hit is not None:
+                self.stats.cache_hits += 1
+                # A cached result has no model; recompute if the caller needs
+                # one (model() recomputes on demand).
+                self._model = None
+                self._model_goal = goal if hit == SAT else None
+                if hit == SAT:
+                    self.stats.sat_results += 1
+                else:
+                    self.stats.unsat_results += 1
+                return hit
+        result, model = self._solve(goal, self._max_conflicts)
+        self._model = model
+        self._model_goal = goal if result == SAT else None
+        if self._use_cache and result != UNKNOWN:
+            _GLOBAL_CHECK_CACHE[key] = result
+        if result == SAT:
+            self.stats.sat_results += 1
+        elif result == UNSAT:
+            self.stats.unsat_results += 1
+        return result
+
+    def is_valid(self, term: Term, *extra: Term) -> bool:
+        """Is ``term`` entailed by the current assertions (plus ``extra``)?
+
+        ``unknown`` counts as *not proven* — sound for use as a side-condition
+        discharger.
+        """
+        return self.check(*extra, B.not_(term)) == UNSAT
+
+    def quick_valid(self, term: Term) -> bool:
+        """Theory-layer-only validity: sound but incomplete, never touches
+        the SAT core.  Used for *resource search* (findₘ candidate
+        screening), where a miss just means "try the next resource" — an
+        expensive refutation attempt against the wrong candidate would be
+        wasted work."""
+        if term is TRUE:
+            return True
+        if term is FALSE:
+            return False
+        goal = list(self._assertions) + [B.not_(term)]
+        return _quick_refutes(goal, 0)
+
+    def model(self) -> dict[Term, object]:
+        """A model for the last SAT :meth:`check` (variables -> int/bool)."""
+        if self._model is None:
+            goal = getattr(self, "_model_goal", None)
+            if goal is None:
+                raise RuntimeError("no model available (last check was not sat?)")
+            result, model = self._solve(goal)
+            if result != SAT or model is None:
+                raise RuntimeError("no model available (last check was not sat?)")
+            self._model = model
+        return dict(self._model)
+
+    # -- engine ------------------------------------------------------------------
+
+    @staticmethod
+    def _solve(
+        goal: list[Term], max_conflicts: int | None = None, depth: int = 0
+    ) -> tuple[str, dict[Term, object] | None]:
+        # Word-level theory layer first: decides relational 64-bit goals
+        # (ordering chains, interval bounds) without touching the SAT core.
+        if theory_refutes(goal):
+            return UNSAT, None
+        # Small-domain enumeration: when the facts pin a variable into a
+        # small interval (e.g. a loop counter with 0 <= m < n for concrete
+        # n), case-split on its value — substitution constant-folds the whole
+        # goal, which decides the ite-heavy loop-invariant side conditions
+        # far faster than bit-blasting.
+        if depth < 3:
+            split = _enumerable_var(goal)
+            if split is not None:
+                var, lo, hi = split
+                for val in range(lo, hi + 1):
+                    binding = B.bv(val, var.sort.width)
+                    sub_goal = [
+                        t for t in (B.substitute(g, {var: binding}) for g in goal)
+                        if t is not TRUE
+                    ]
+                    if any(t is FALSE for t in sub_goal):
+                        continue
+                    result, model = Solver._solve(sub_goal, max_conflicts, depth + 1)
+                    if result == SAT:
+                        model = dict(model or {})
+                        model[var] = val
+                        return SAT, model
+                    if result == UNKNOWN:
+                        return UNKNOWN, None
+                return UNSAT, None
+        sat_solver = SatSolver()
+        cnf = CnfBuilder(sat_solver)
+        blaster = BitBlaster(cnf)
+        try:
+            for t in goal:
+                blaster.assert_term(t)
+        except UnsupportedOperation:
+            return UNKNOWN, None
+        outcome = sat_solver.solve(max_conflicts=max_conflicts)
+        if outcome is None:
+            return UNKNOWN, None
+        if not outcome:
+            return UNSAT, None
+        sat_model = sat_solver.model()
+
+        def lit_value(lit: int) -> bool:
+            if abs(lit) == cnf._true:
+                return lit > 0
+            val = sat_model.get(abs(lit), False)
+            return val if lit > 0 else not val
+
+        model: dict[Term, object] = {}
+        for var, bits in blaster.var_bits.items():
+            model[var] = sum(1 << i for i, lit in enumerate(bits) if lit_value(lit))
+        for var, lit in blaster.var_lits.items():
+            model[var] = lit_value(lit)
+        return SAT, model
+
+
+_ENUM_LIMIT = 16
+
+
+def _quick_refutes(goal: list[Term], depth: int) -> bool:
+    """Theory refutation plus small-domain enumeration (SAT-free)."""
+    if theory_refutes(goal):
+        return True
+    if depth >= 2:
+        return False
+    split = _enumerable_var(goal)
+    if split is None:
+        return False
+    var, lo, hi = split
+    for val in range(lo, hi + 1):
+        binding = B.bv(val, var.sort.width)
+        sub_goal = [
+            t for t in (B.substitute(g, {var: binding}) for g in goal)
+            if t is not TRUE
+        ]
+        if any(t is FALSE for t in sub_goal):
+            continue
+        if not _quick_refutes(sub_goal, depth + 1):
+            return False
+    return True
+
+
+def _enumerable_var(goal: list[Term]) -> tuple[Term, int, int] | None:
+    """Find a free bitvector variable whose interval (per the word-level
+    fact base) spans at most ``_ENUM_LIMIT`` values; returns the tightest."""
+    from .theory import FactBase
+
+    facts = FactBase()
+    for t in goal:
+        facts.assume(t)
+    if facts.contradiction or facts.saturate():
+        return None
+    seen: set[Term] = set()
+    best: tuple[int, Term, int, int] | None = None
+    for t in goal:
+        for v in t.free_vars():
+            if v in seen or not v.sort.is_bv():
+                continue
+            seen.add(v)
+            if len(seen) > 64:
+                return best[1:] if best else None
+            interval = facts.interval_of(v)
+            span = interval.hi - interval.lo + 1
+            if 1 <= span <= _ENUM_LIMIT and (best is None or span < best[0]):
+                best = (span, v, interval.lo, interval.hi)
+    return best[1:] if best else None
+
+
+def clear_check_cache() -> None:
+    """Drop the global result cache (used by benchmarks for cold timings)."""
+    _GLOBAL_CHECK_CACHE.clear()
+
+
+def check_model(goal: list[Term], model: dict[Term, object]) -> bool:
+    """Re-evaluate ``goal`` under ``model`` — a soundness cross-check used in
+    tests to validate the SAT core against the concrete interpreter."""
+    env = dict(model)
+    for t in goal:
+        for v in t.free_vars():
+            if v not in env:
+                env[v] = False if v.sort.is_bool() else 0
+        if not evaluate(t, env):
+            return False
+    return True

@@ -1,0 +1,58 @@
+"""Sorts for the SMT term language.
+
+The Isla trace language only needs the quantifier-free theory of fixed-size
+bitvectors with booleans (QF_BV), so the sort language is tiny: ``Bool`` and
+``BitVec(n)`` for positive ``n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Sort:
+    """Base class for SMT sorts."""
+
+    __slots__ = ()
+
+    def is_bv(self) -> bool:
+        return isinstance(self, BitVecSort)
+
+    def is_bool(self) -> bool:
+        return isinstance(self, BoolSort)
+
+
+@dataclass(frozen=True, slots=True)
+class BoolSort(Sort):
+    """The sort of booleans."""
+
+    def __repr__(self) -> str:
+        return "Bool"
+
+
+@dataclass(frozen=True, slots=True)
+class BitVecSort(Sort):
+    """The sort of bitvectors of a fixed positive width."""
+
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError(f"bitvector width must be positive, got {self.width}")
+
+    def __repr__(self) -> str:
+        return f"(_ BitVec {self.width})"
+
+
+BOOL = BoolSort()
+
+_BV_CACHE: dict[int, BitVecSort] = {}
+
+
+def bv_sort(width: int) -> BitVecSort:
+    """Return the (cached) bitvector sort of the given width."""
+    sort = _BV_CACHE.get(width)
+    if sort is None:
+        sort = BitVecSort(width)
+        _BV_CACHE[width] = sort
+    return sort

@@ -1,0 +1,243 @@
+"""Hash-consed term representation for QF_BV.
+
+Terms are immutable and interned: structurally equal terms are the same
+Python object, so equality and hashing are O(1).  This matters because the
+Isla symbolic executor and the separation-logic automation both manipulate
+large shared DAGs of bitvector expressions.
+
+Construction should normally go through :mod:`repro.smt.builder`, whose smart
+constructors perform constant folding and local simplification; the raw
+:func:`mk_term` here only checks well-sortedness.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .sorts import BOOL, BitVecSort, Sort, bv_sort
+
+# ---------------------------------------------------------------------------
+# Operator tags.
+# ---------------------------------------------------------------------------
+
+# Nullary
+VAR = "var"  # attrs = (name,)
+BVVAL = "bvval"  # attrs = (value, width)
+BOOLVAL = "boolval"  # attrs = (value,)
+
+# Boolean connectives
+NOT = "not"
+AND = "and"
+OR = "or"
+XOR_BOOL = "xor"
+IMPLIES = "=>"
+
+# Polymorphic
+EQ = "="
+ITE = "ite"
+
+# Bitvector arithmetic / logic
+BVADD = "bvadd"
+BVSUB = "bvsub"
+BVMUL = "bvmul"
+BVNEG = "bvneg"
+BVAND = "bvand"
+BVOR = "bvor"
+BVXOR = "bvxor"
+BVNOT = "bvnot"
+BVSHL = "bvshl"
+BVLSHR = "bvlshr"
+BVASHR = "bvashr"
+BVUDIV = "bvudiv"
+BVUREM = "bvurem"
+
+# Structural
+CONCAT = "concat"
+EXTRACT = "extract"  # attrs = (hi, lo)
+ZERO_EXTEND = "zero_extend"  # attrs = (extra,)
+SIGN_EXTEND = "sign_extend"  # attrs = (extra,)
+
+# Predicates
+BVULT = "bvult"
+BVULE = "bvule"
+BVSLT = "bvslt"
+BVSLE = "bvsle"
+
+BV_BINOPS = frozenset(
+    {BVADD, BVSUB, BVMUL, BVAND, BVOR, BVXOR, BVSHL, BVLSHR, BVASHR, BVUDIV, BVUREM}
+)
+BV_CMPS = frozenset({BVULT, BVULE, BVSLT, BVSLE})
+BOOL_NARY = frozenset({AND, OR, XOR_BOOL})
+
+
+class Term:
+    """An interned SMT term.
+
+    Attributes:
+        op: operator tag (one of the module-level constants).
+        args: child terms.
+        attrs: non-term attributes (variable name, constant value, widths...).
+        sort: the sort of the term.
+    """
+
+    __slots__ = ("op", "args", "attrs", "sort", "uid", "_hash")
+
+    op: str
+    args: tuple["Term", ...]
+    attrs: tuple
+    sort: Sort
+    uid: int  # creation index; a deterministic total order on terms
+
+    def __init__(self, op: str, args: tuple, attrs: tuple, sort: Sort, uid: int):
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "args", args)
+        object.__setattr__(self, "attrs", attrs)
+        object.__setattr__(self, "sort", sort)
+        object.__setattr__(self, "uid", uid)
+        object.__setattr__(self, "_hash", hash((op, args, attrs)))
+
+    def __setattr__(self, name, value):  # pragma: no cover - defensive
+        raise AttributeError("Term is immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # Interning makes identity equality correct, but we keep a structural
+    # fallback so terms survive pickling and cross-cache comparisons.
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Term):
+            return NotImplemented
+        return (
+            self.op == other.op and self.attrs == other.attrs and self.args == other.args
+        )
+
+    # -- convenience ------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """Width of a bitvector term (raises for booleans)."""
+        if not isinstance(self.sort, BitVecSort):
+            raise TypeError(f"term {self!r} is not a bitvector")
+        return self.sort.width
+
+    def is_value(self) -> bool:
+        """True for bitvector and boolean literals."""
+        return self.op in (BVVAL, BOOLVAL)
+
+    def is_var(self) -> bool:
+        return self.op == VAR
+
+    @property
+    def name(self) -> str:
+        if self.op != VAR:
+            raise TypeError(f"term {self!r} is not a variable")
+        return self.attrs[0]
+
+    @property
+    def value(self):
+        if self.op == BVVAL:
+            return self.attrs[0]
+        if self.op == BOOLVAL:
+            return self.attrs[0]
+        raise TypeError(f"term {self!r} is not a literal")
+
+    def free_vars(self) -> frozenset["Term"]:
+        """The set of free variables of the term (cached per call via DAG walk)."""
+        seen: set[Term] = set()
+        out: set[Term] = set()
+        stack = [self]
+        while stack:
+            t = stack.pop()
+            if t in seen:
+                continue
+            seen.add(t)
+            if t.op == VAR:
+                out.add(t)
+            else:
+                stack.extend(t.args)
+        return frozenset(out)
+
+    def iter_subterms(self) -> Iterator["Term"]:
+        """Iterate over all distinct subterms (DAG nodes), children first order
+        not guaranteed."""
+        seen: set[Term] = set()
+        stack = [self]
+        while stack:
+            t = stack.pop()
+            if t in seen:
+                continue
+            seen.add(t)
+            yield t
+            stack.extend(t.args)
+
+    def size(self) -> int:
+        """Number of distinct DAG nodes."""
+        return sum(1 for _ in self.iter_subterms())
+
+    def __repr__(self) -> str:
+        from .smtlib import term_to_sexpr
+
+        return term_to_sexpr(self)
+
+
+_INTERN: dict[tuple, Term] = {}
+
+
+def intern_cache_size() -> int:
+    """Number of distinct terms ever built (for diagnostics)."""
+    return len(_INTERN)
+
+
+def mk_term(op: str, args: tuple[Term, ...], attrs: tuple, sort: Sort) -> Term:
+    """Intern and return the term ``op(args; attrs) : sort``.
+
+    Performs no simplification; use :mod:`repro.smt.builder` for that.
+    """
+    key = (op, args, attrs)
+    term = _INTERN.get(key)
+    if term is None:
+        term = Term(op, args, attrs, sort, len(_INTERN))
+        _INTERN[key] = term
+    return term
+
+
+# ---------------------------------------------------------------------------
+# Raw constructors (sort-checked, not simplifying).
+# ---------------------------------------------------------------------------
+
+
+def mk_var(name: str, sort: Sort) -> Term:
+    return mk_term(VAR, (), (name, sort), sort)
+
+
+def mk_bv_value(value: int, width: int) -> Term:
+    value &= (1 << width) - 1
+    return mk_term(BVVAL, (), (value, width), bv_sort(width))
+
+
+def mk_bool_value(value: bool) -> Term:
+    return mk_term(BOOLVAL, (), (bool(value),), BOOL)
+
+
+TRUE = mk_bool_value(True)
+FALSE = mk_bool_value(False)
+
+
+def check_bv(term: Term, context: str) -> int:
+    if not isinstance(term.sort, BitVecSort):
+        raise TypeError(f"{context}: expected bitvector, got {term.sort!r}")
+    return term.sort.width
+
+
+def check_same_width(a: Term, b: Term, context: str) -> int:
+    wa, wb = check_bv(a, context), check_bv(b, context)
+    if wa != wb:
+        raise TypeError(f"{context}: width mismatch {wa} vs {wb}")
+    return wa
+
+
+def check_bool(term: Term, context: str) -> None:
+    if not term.sort.is_bool():
+        raise TypeError(f"{context}: expected boolean, got {term.sort!r}")

@@ -1,0 +1,107 @@
+"""CLI: run the Theorem 1 adequacy harness for a verified case study.
+
+Usage::
+
+    python -m repro.tools.adequacy memcpy [--n 4] [--iterations 25]
+    python -m repro.tools.adequacy uart [--ready-after 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def run_memcpy(n: int, iterations: int) -> int:
+    from ..arch.arm.regs import PC
+    from ..casestudies import memcpy_arm
+    from ..logic.adequacy import AdequacyHarness
+    from ..smt import builder as B
+
+    case = memcpy_arm.build(n=n)
+    memcpy_arm.verify(case)
+    specs, meta = memcpy_arm.build_specs(n)
+    d, s, r = meta["d"], meta["s"], meta["r"]
+
+    def final_check(env, state):
+        for i in range(n):
+            assert state.read_mem((env[s] + i) % 2**64, 1) == state.read_mem(
+                (env[d] + i) % 2**64, 1
+            ), f"byte {i} differs"
+
+    harness = AdequacyHarness(
+        pred=specs[case.entry],
+        traces=case.frontend.traces,
+        pc_reg=PC,
+        entry=case.entry,
+        stop_at=lambda env: {env[r]},
+        final_check=final_check,
+        extra_constraints=[
+            B.bvult(d, B.bv(0x1000, 64)),
+            B.bvult(B.bv(0x2000, 64), s),
+            B.bvult(s, B.bv(0x3000, 64)),
+            B.bvult(B.bv(0x8000, 64), r),
+            B.eq(B.extract(1, 0, r), B.bv(0, 2)),
+        ],
+    )
+    result = harness.run(iterations=iterations)
+    print(
+        f"memcpy(n={n}): {result.runs} random executions, "
+        f"{result.total_instructions} instructions — no ⊥, all bytes copied"
+    )
+    return 0
+
+
+def run_uart(ready_after: int, iterations: int) -> int:
+    from ..arch.arm.regs import PC
+    from ..casestudies import uart
+    from ..logic.adequacy import AdequacyHarness
+    from ..smt import builder as B
+
+    case = uart.build()
+    uart.verify(case)
+    specs, _, meta = uart.build_specs()
+    c, r = meta["c"], meta["r"]
+    polls = {"count": 0}
+
+    def device(addr, nbytes):
+        if addr == uart.LSR_ADDR:
+            polls["count"] += 1
+            return 0x20 if polls["count"] > ready_after else 0
+        return 0
+
+    harness = AdequacyHarness(
+        pred=specs[case.image["uart1_putc"]],
+        traces=case.frontend.traces,
+        pc_reg=PC,
+        entry=case.image["uart1_putc"],
+        stop_at=lambda env: {env[r]},
+        device=device,
+        sample_vars=[c, r],
+        extra_constraints=[
+            B.bvult(B.bv(0x100000, 64), r),
+            B.eq(B.extract(1, 0, r), B.bv(0, 2)),
+        ],
+    )
+    result = harness.run(iterations=iterations)
+    print(
+        f"uart: {result.runs} executions, {result.total_labels} visible "
+        f"labels, all allowed by the srec/scons spec"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.tools.adequacy", description=__doc__)
+    parser.add_argument("case", choices=["memcpy", "uart"])
+    parser.add_argument("--n", type=int, default=4)
+    parser.add_argument("--iterations", type=int, default=25)
+    parser.add_argument("--ready-after", type=int, default=2)
+    args = parser.parse_args(argv)
+    if args.case == "memcpy":
+        return run_memcpy(args.n, args.iterations)
+    return run_uart(args.ready_after, args.iterations)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,40 @@
+"""CLI: re-check a serialised proof certificate.
+
+The independent-checker workflow across process boundaries::
+
+    python -m repro.tools.verify memcpy_arm --emit-proof proof.json  # (or API)
+    python -m repro.tools.check proof.json
+
+Example of producing a certificate from the API::
+
+    proof = ProofEngine(traces, specs, PC).verify_all()
+    open("proof.json", "w").write(proof.to_json())
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.tools.check", description=__doc__)
+    parser.add_argument("proof", help="path to a serialised proof (JSON)")
+    args = parser.parse_args(argv)
+
+    from ..logic.checker import CheckFailure, check_proof
+    from ..logic.proof import Proof
+
+    with open(args.proof) as handle:
+        proof = Proof.from_json(handle.read())
+    try:
+        report = check_proof(proof)
+    except CheckFailure as exc:
+        print(f"REJECTED: {exc}", file=sys.stderr)
+        return 1
+    print(f"OK: {report}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,50 @@
+"""CLI: disassemble opcodes, or list a case study with trace statistics.
+
+Examples::
+
+    python -m repro.tools.disas arm 0x910103ff 0xd69f03e0
+    python -m repro.tools.disas --case memcpy_arm
+    python -m repro.tools.disas --case pkvm --traces
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.tools.disas", description=__doc__)
+    parser.add_argument("arch", nargs="?", choices=["arm", "riscv"])
+    parser.add_argument("opcodes", nargs="*", help="32-bit opcodes")
+    parser.add_argument("--case", help="annotate a case study's whole image")
+    parser.add_argument("--traces", action="store_true", help="include the traces")
+    args = parser.parse_args(argv)
+
+    if args.case:
+        from .. import casestudies
+        from ..frontend import annotated_listing
+
+        module = getattr(casestudies, args.case, None)
+        if module is None:
+            print(f"unknown case study {args.case!r}", file=sys.stderr)
+            return 1
+        case = module.build()
+        arch = "riscv" if "riscv" in args.case else "armv8-a"
+        print(annotated_listing(case.image, case.frontend, arch, args.traces))
+        return 0
+
+    if not args.arch:
+        parser.error("arch required unless --case is given")
+    if args.arch == "arm":
+        from ..arch.arm.decode import try_disassemble
+    else:
+        from ..arch.riscv.decode import try_disassemble
+    for text in args.opcodes:
+        opcode = int(text, 0)
+        print(f"{opcode:#010x}  {try_disassemble(opcode)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

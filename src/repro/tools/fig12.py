@@ -1,0 +1,43 @@
+"""CLI: print the Fig. 12 reproduction table.
+
+Usage::
+
+    python -m repro.tools.fig12 [case ...]
+
+With no arguments, runs every case study.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(__file__), "..", "..", "..", "benchmarks")
+    )
+    try:
+        from fig12_common import CASE_BUILDERS, format_table, run_case
+    except ImportError:
+        print(
+            "error: run from a checkout (needs benchmarks/fig12_common.py)",
+            file=sys.stderr,
+        )
+        return 1
+
+    parser = argparse.ArgumentParser(prog="repro.tools.fig12", description=__doc__)
+    parser.add_argument("cases", nargs="*", choices=[[], *CASE_BUILDERS])
+    args = parser.parse_args(argv)
+    names = args.cases or list(CASE_BUILDERS)
+    rows = []
+    for name in names:
+        print(f"running {name} ...", file=sys.stderr)
+        rows.append(run_case(name))
+    print(format_table(rows))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

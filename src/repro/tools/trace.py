@@ -1,0 +1,78 @@
+"""CLI: generate the Isla trace of one opcode.
+
+Examples::
+
+    python -m repro.tools.trace arm 0x910103ff --pin PSTATE.EL=2 --pin PSTATE.SP=1
+    python -m repro.tools.trace riscv 0x00058683
+    python -m repro.tools.trace arm 0x910103ff            # unconstrained
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..isla import Assumptions, IslaError, trace_for_opcode
+from ..itl.printer import trace_to_sexpr
+
+
+def parse_pin(text: str) -> tuple[str, int]:
+    name, _, value = text.partition("=")
+    if not value:
+        raise argparse.ArgumentTypeError(f"expected REG=VALUE, got {text!r}")
+    return name, int(value, 0)
+
+
+def width_of(model, name: str) -> int:
+    from ..itl.events import Reg
+
+    return model.regfile.width_of(Reg.parse(name))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.trace", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("arch", choices=["arm", "riscv"])
+    parser.add_argument("opcode", help="32-bit opcode (0x-prefixed or decimal)")
+    parser.add_argument(
+        "--pin", action="append", default=[], type=parse_pin, metavar="REG=VAL",
+        help="pin a register (may be repeated)",
+    )
+    parser.add_argument("--disassemble", action="store_true", help="show the mnemonic")
+    args = parser.parse_args(argv)
+
+    if args.arch == "arm":
+        from ..arch.arm import ArmModel
+        from ..arch.arm.decode import try_disassemble
+
+        model = ArmModel()
+    else:
+        from ..arch.riscv import RiscvModel
+        from ..arch.riscv.decode import try_disassemble
+
+        model = RiscvModel()
+    opcode = int(args.opcode, 0)
+
+    if args.disassemble:
+        print(f"; {try_disassemble(opcode)}")
+    assumptions = Assumptions()
+    for name, value in args.pin:
+        assumptions.pin(name, value, width_of(model, name))
+    try:
+        result = trace_for_opcode(model, opcode, assumptions)
+    except IslaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(trace_to_sexpr(result.trace))
+    print(
+        f"; {result.paths} path(s), {result.trace.num_events()} events, "
+        f"{result.model_calls} model functions",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

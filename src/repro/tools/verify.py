@@ -1,0 +1,68 @@
+"""CLI: run a case study's full pipeline and print a summary.
+
+Examples::
+
+    python -m repro.tools.verify memcpy_arm --n 4
+    python -m repro.tools.verify pkvm
+    python -m repro.tools.verify --all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def run_one(name: str, n: int | None) -> bool:
+    from .. import casestudies
+    from ..logic.checker import check_proof
+    from ..logic.context import ProofError
+
+    module = getattr(casestudies, name, None)
+    if module is None:
+        print(f"unknown case study {name!r}", file=sys.stderr)
+        return False
+    kwargs = {}
+    import inspect
+
+    if n is not None and "n" in inspect.signature(module.build).parameters:
+        kwargs["n"] = n
+    t0 = time.perf_counter()
+    case = module.build(**kwargs)
+    t1 = time.perf_counter()
+    try:
+        proof = module.verify(case)
+    except ProofError as exc:
+        print(f"{name}: VERIFICATION FAILED: {exc}", file=sys.stderr)
+        return False
+    t2 = time.perf_counter()
+    report = check_proof(proof, expected_blocks=set(case.specs))
+    t3 = time.perf_counter()
+    print(
+        f"{name}: OK — {case.asm_line_count} instrs, "
+        f"{case.frontend.total_events} ITL events, {len(proof.steps)} proof "
+        f"steps, {proof.num_side_conditions} side conditions "
+        f"(isla {t1 - t0:.2f}s, verify {t2 - t1:.2f}s, re-check {t3 - t2:.2f}s)"
+    )
+    return True
+
+
+def main(argv: list[str] | None = None) -> int:
+    from .. import casestudies
+
+    all_names = list(casestudies.__all__)
+    parser = argparse.ArgumentParser(prog="repro.tools.verify", description=__doc__)
+    parser.add_argument("case", nargs="?", choices=all_names)
+    parser.add_argument("--all", action="store_true", help="run every case study")
+    parser.add_argument("--n", type=int, default=None, help="array length where applicable")
+    args = parser.parse_args(argv)
+    if not args.all and not args.case:
+        parser.error("give a case study name or --all")
+    names = all_names if args.all else [args.case]
+    ok = all([run_one(name, args.n) for name in names])
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

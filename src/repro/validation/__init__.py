@@ -1,0 +1,17 @@
+"""``repro.validation`` — §5 translation validation (``m ~ t``)."""
+
+from .freemonad import Effect, EffectRecorder, effects_match_trace, interpret, reify
+from .refinement import (
+    RefinementError,
+    SimulationReport,
+    StateFamily,
+    ValidationResult,
+    simulate_instruction,
+    validate_program,
+)
+
+__all__ = [
+    "Effect", "EffectRecorder", "RefinementError", "SimulationReport",
+    "StateFamily", "ValidationResult", "effects_match_trace", "interpret",
+    "reify", "simulate_instruction", "validate_program",
+]

@@ -1,0 +1,145 @@
+"""Tests for conditional compare (CCMP/CCMN) and division (UDIV/SDIV)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.arch.arm import ArmModel, encode as A
+from repro.arch.arm.regs import PC, gpr, pstate
+from repro.isla import Assumptions, trace_for_opcode
+from repro.itl.events import Reg
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ArmModel()
+
+
+def run_one(model, opcode, regs=None, flags=0, pc=0x1000):
+    state = model.initial_state(
+        {
+            "PSTATE.EL": 2, "PSTATE.SP": 1,
+            "PSTATE.N": (flags >> 3) & 1, "PSTATE.Z": (flags >> 2) & 1,
+            "PSTATE.C": (flags >> 1) & 1, "PSTATE.V": flags & 1,
+        }
+    )
+    state.write_reg(PC, pc)
+    for name, val in (regs or {}).items():
+        state.write_reg(Reg.parse(name), val)
+    state.load_bytes(pc, opcode.to_bytes(4, "little"))
+    model.step_concrete(state)
+    return state
+
+
+def read_flags(state) -> int:
+    return (
+        (state.read_reg(pstate("N")) << 3) | (state.read_reg(pstate("Z")) << 2)
+        | (state.read_reg(pstate("C")) << 1) | state.read_reg(pstate("V"))
+    )
+
+
+class TestCcmp:
+    def test_condition_holds_compares(self, model):
+        # Z set -> eq holds -> flags from comparing equal values: Z=1, C=1.
+        state = run_one(
+            model, A.ccmp_reg(1, 2, 0b0000, "eq"),
+            regs={"R1": 5, "R2": 5}, flags=0b0100,
+        )
+        assert read_flags(state) == 0b0110
+
+    def test_condition_fails_uses_immediate(self, model):
+        # Z clear -> eq fails -> nzcv := the immediate field.
+        state = run_one(
+            model, A.ccmp_reg(1, 2, 0b1010, "eq"),
+            regs={"R1": 5, "R2": 5}, flags=0b0000,
+        )
+        assert read_flags(state) == 0b1010
+
+    def test_ccmp_immediate_form(self, model):
+        state = run_one(
+            model, A.ccmp_imm(1, 7, 0b0001, "al"), regs={"R1": 7}, flags=0
+        )
+        assert read_flags(state) == 0b0110  # 7 == 7: Z, C
+
+    def test_ccmn_adds(self, model):
+        # ccmn rn, rm: flags from rn + rm.
+        state = run_one(
+            model, A.ccmn_reg(1, 2, 0, "al"),
+            regs={"R1": (1 << 64) - 1, "R2": 1},
+        )
+        assert read_flags(state) == 0b0110  # wraps to zero: Z and carry
+
+    def test_and_chain_idiom(self, model):
+        """The compiled `a == 1 && b == 2` idiom: cmp; ccmp; b.eq."""
+        from repro.frontend import ProgramImage, load_image_into_state
+
+        image = ProgramImage().place(
+            0x1000,
+            [
+                A.cmp_imm(0, 1),                 # a == 1?
+                A.ccmp_imm(1, 2, 0b0000, "eq"),  # if so, b == 2? else Z:=0
+                A.cset(2, "eq"),                 # x2 := both held
+                A.ret(),
+            ],
+        )
+        for a, b, expect in [(1, 2, 1), (1, 3, 0), (0, 2, 0)]:
+            state = model.initial_state({"PSTATE.EL": 2, "PSTATE.SP": 1})
+            load_image_into_state(image, state)
+            state.write_reg(PC, 0x1000)
+            state.write_reg(gpr(0), a)
+            state.write_reg(gpr(1), b)
+            state.write_reg(gpr(30), 0x9000)
+            model.run_concrete(state, stop_pcs={0x9000})
+            assert state.read_reg(gpr(2)) == expect, (a, b)
+
+
+class TestDivision:
+    def test_udiv(self, model):
+        state = run_one(model, A.udiv(0, 1, 2), regs={"R1": 100, "R2": 7})
+        assert state.read_reg(gpr(0)) == 14
+
+    def test_udiv_by_zero_is_zero(self, model):
+        state = run_one(model, A.udiv(0, 1, 2), regs={"R1": 100, "R2": 0})
+        assert state.read_reg(gpr(0)) == 0
+
+    @given(st.integers(-1000, 1000), st.integers(-50, 50))
+    @settings(max_examples=80, deadline=None)
+    def test_sdiv_matches_c_semantics(self, model, n, d):
+        mask = (1 << 64) - 1
+        state = run_one(
+            model, A.sdiv(0, 1, 2), regs={"R1": n & mask, "R2": d & mask}
+        )
+        got = state.read_reg(gpr(0))
+        if d == 0:
+            expected = 0
+        else:
+            expected = int(abs(n) // abs(d))
+            if (n < 0) != (d < 0):
+                expected = -expected
+        assert got == expected & mask, (n, d)
+
+    def test_sdiv_intmin_by_minus_one(self, model):
+        # INT64_MIN / -1 overflows; Arm defines it as INT64_MIN.
+        intmin = 1 << 63
+        state = run_one(
+            model, A.sdiv(0, 1, 2), regs={"R1": intmin, "R2": (1 << 64) - 1}
+        )
+        assert state.read_reg(gpr(0)) == intmin
+
+
+class TestSymbolic:
+    def test_ccmp_trace_is_linear(self, model):
+        # The conditional behaviour folds into an ite, not a Cases split.
+        assm = Assumptions().pin("PSTATE.EL", 2, 2).pin("PSTATE.SP", 1, 1)
+        res = trace_for_opcode(model, A.ccmp_reg(1, 2, 0b0100, "eq"), assm)
+        assert res.paths == 1
+
+    def test_udiv_refines(self, model):
+        from repro.validation import StateFamily, simulate_instruction
+
+        assm = Assumptions().pin("PSTATE.EL", 2, 2).pin("PSTATE.SP", 1, 1)
+        trace = trace_for_opcode(model, A.udiv(0, 1, 2), assm).trace
+        family = StateFamily(
+            fixed={"PSTATE.EL": 2, "PSTATE.SP": 1}, vary=["R1", "R2"]
+        )
+        simulate_instruction(model, A.udiv(0, 1, 2), trace, family, samples=10)

@@ -1,0 +1,295 @@
+"""Tests for the extended AArch64 instruction families: load/store pairs,
+pre/post-indexed addressing, PC-relative address generation, multiply-add —
+the idioms of real compiled prologues/epilogues."""
+
+import pytest
+
+from repro.arch.arm import ArmModel, encode as A
+from repro.arch.arm.regs import PC, gpr
+from repro.isla import Assumptions, trace_for_opcode
+from repro.itl.events import Reg
+from repro.validation import StateFamily, simulate_instruction
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ArmModel()
+
+
+def run_one(model, opcode, regs=None, mem=None, pc=0x1000):
+    state = model.initial_state({"PSTATE.EL": 2, "PSTATE.SP": 1, "SCTLR_EL2": 0})
+    state.write_reg(PC, pc)
+    for name, val in (regs or {}).items():
+        state.write_reg(Reg.parse(name), val)
+    for addr, (val, n) in (mem or {}).items():
+        state.write_mem(addr, val, n)
+    state.load_bytes(pc, opcode.to_bytes(4, "little"))
+    model.step_concrete(state)
+    return state
+
+
+class TestPairs:
+    def test_stp_signed_offset(self, model):
+        state = run_one(
+            model, A.stp64(1, 2, 3, 16),
+            regs={"R1": 0xAAAA, "R2": 0xBBBB, "R3": 0x100},
+            mem={0x110: (0, 8), 0x118: (0, 8)},
+        )
+        assert state.read_mem(0x110, 8) == 0xAAAA
+        assert state.read_mem(0x118, 8) == 0xBBBB
+        assert state.read_reg(gpr(3)) == 0x100  # no writeback
+
+    def test_ldp_signed_offset(self, model):
+        state = run_one(
+            model, A.ldp64(1, 2, 3),
+            regs={"R3": 0x200},
+            mem={0x200: (0x11, 8), 0x208: (0x22, 8)},
+        )
+        assert state.read_reg(gpr(1)) == 0x11
+        assert state.read_reg(gpr(2)) == 0x22
+
+    def test_stp_pre_index_prologue(self, model):
+        # stp x29, x30, [sp, #-16]!
+        state = run_one(
+            model, A.stp64_pre(29, 30, 31, -16),
+            regs={"R29": 0xF9, "R30": 0x1234, "SP_EL2": 0x8010},
+            mem={0x8000: (0, 8), 0x8008: (0, 8)},
+        )
+        assert state.read_reg(Reg("SP_EL2")) == 0x8000
+        assert state.read_mem(0x8000, 8) == 0xF9
+        assert state.read_mem(0x8008, 8) == 0x1234
+
+    def test_ldp_post_index_epilogue(self, model):
+        # ldp x29, x30, [sp], #16
+        state = run_one(
+            model, A.ldp64_post(29, 30, 31, 16),
+            regs={"SP_EL2": 0x8000},
+            mem={0x8000: (0x77, 8), 0x8008: (0x88, 8)},
+        )
+        assert state.read_reg(gpr(29)) == 0x77
+        assert state.read_reg(gpr(30)) == 0x88
+        assert state.read_reg(Reg("SP_EL2")) == 0x8010
+
+    def test_pair_offset_must_be_scaled(self):
+        with pytest.raises(ValueError):
+            A.stp64(0, 1, 2, 4)  # not a multiple of 8
+
+
+class TestIndexedSingles:
+    def test_str_pre_index(self, model):
+        state = run_one(
+            model, A.str64_pre(0, 1, -8),
+            regs={"R0": 0x42, "R1": 0x108},
+            mem={0x100: (0, 8)},
+        )
+        assert state.read_mem(0x100, 8) == 0x42
+        assert state.read_reg(gpr(1)) == 0x100
+
+    def test_ldr_post_index(self, model):
+        state = run_one(
+            model, A.ldr64_post(0, 1, 8),
+            regs={"R1": 0x100},
+            mem={0x100: (0x99, 8)},
+        )
+        assert state.read_reg(gpr(0)) == 0x99
+        assert state.read_reg(gpr(1)) == 0x108
+
+    def test_ldur_negative_unscaled(self, model):
+        state = run_one(
+            model, A.ldur64(0, 1, -3),
+            regs={"R1": 0x103},
+            mem={0x100: (0xABCD, 8)},
+        )
+        assert state.read_reg(gpr(0)) == 0xABCD
+        assert state.read_reg(gpr(1)) == 0x103  # no writeback
+
+    def test_imm9_range_checked(self):
+        with pytest.raises(ValueError):
+            A.str64_pre(0, 1, 256)
+
+
+class TestPcRelative:
+    def test_adr_forward(self, model):
+        state = run_one(model, A.adr(0, 0x400), pc=0x1000)
+        assert state.read_reg(gpr(0)) == 0x1400
+
+    def test_adr_backward(self, model):
+        state = run_one(model, A.adr(0, -4), pc=0x1000)
+        assert state.read_reg(gpr(0)) == 0xFFC
+
+    def test_adrp_pages(self, model):
+        state = run_one(model, A.adrp(0, 2), pc=0x1234)
+        assert state.read_reg(gpr(0)) == 0x3000  # (pc & ~0xfff) + 2*4096
+
+    def test_adrp_negative(self, model):
+        state = run_one(model, A.adrp(0, -1), pc=0x1234)
+        assert state.read_reg(gpr(0)) == 0x0
+
+
+class TestMultiply:
+    def test_mul(self, model):
+        state = run_one(model, A.mul(0, 1, 2), regs={"R1": 6, "R2": 7})
+        assert state.read_reg(gpr(0)) == 42
+
+    def test_madd(self, model):
+        state = run_one(
+            model, A.madd(0, 1, 2, 3), regs={"R1": 6, "R2": 7, "R3": 100}
+        )
+        assert state.read_reg(gpr(0)) == 142
+
+    def test_msub(self, model):
+        state = run_one(
+            model, A.msub(0, 1, 2, 3), regs={"R1": 6, "R2": 7, "R3": 100}
+        )
+        assert state.read_reg(gpr(0)) == 58
+
+    def test_mul_wraps_64(self, model):
+        big = 1 << 63
+        state = run_one(model, A.mul(0, 1, 2), regs={"R1": big, "R2": 2})
+        assert state.read_reg(gpr(0)) == 0
+
+
+class TestSymbolicTraces:
+    """The new instructions flow through Isla and refine the model."""
+
+    def el2(self):
+        return (
+            Assumptions()
+            .pin("PSTATE.EL", 2, 2)
+            .pin("PSTATE.SP", 1, 1)
+            .pin("SCTLR_EL2", 0, 64)
+        )
+
+    @pytest.mark.parametrize(
+        "opcode",
+        [
+            A.stp64(1, 2, 3, 16),
+            A.ldp64(1, 2, 3),
+            A.str64_pre(0, 1, -8),
+            A.ldr64_post(0, 1, 8),
+            A.adr(0, 0x400),
+            A.madd(0, 1, 2, 3),
+        ],
+        ids=["stp", "ldp", "str-pre", "ldr-post", "adr", "madd"],
+    )
+    def test_trace_generation(self, model, opcode):
+        res = trace_for_opcode(model, opcode, self.el2())
+        assert res.paths == 1
+        assert res.trace.num_events() > 0
+
+    @pytest.mark.parametrize(
+        "opcode",
+        [A.adr(0, 64), A.madd(0, 1, 2, 3), A.mul(4, 5, 6)],
+        ids=["adr", "madd", "mul"],
+    )
+    def test_refinement(self, model, opcode):
+        trace = trace_for_opcode(model, opcode, self.el2()).trace
+        family = StateFamily(
+            fixed={"PSTATE.EL": 2, "PSTATE.SP": 1},
+            vary=["R1", "R2", "R3", "R5", "R6"],
+        )
+        simulate_instruction(model, opcode, trace, family, samples=8)
+
+    def test_stp_refinement_with_memory(self, model):
+        opcode = A.stp64(1, 2, 3, 0)
+        trace = trace_for_opcode(model, opcode, self.el2()).trace
+        family = StateFamily(
+            fixed={"PSTATE.EL": 2, "PSTATE.SP": 1, "SCTLR_EL2": 0, "R3": 0x5000},
+            vary=["R1", "R2"],
+            mem_ranges=[(0x5000, 16)],
+        )
+        simulate_instruction(model, opcode, trace, family, samples=8)
+
+
+class TestStackFrameVerification:
+    """Verify a function with a real prologue/epilogue — beyond the paper's
+    examples, exercising stp/ldp with SP writeback in the logic."""
+
+    def test_prologue_epilogue_roundtrip(self, model):
+        from repro.arch.arm.abi import cnvz_regs
+        from repro.frontend import ProgramImage, generate_instruction_map
+        from repro.logic import PredBuilder, ProofEngine
+        from repro.smt import builder as B
+
+        base = 0x1000
+        image = ProgramImage().place(
+            base,
+            [
+                A.stp64_pre(29, 30, 31, -16),  # stp x29, x30, [sp, #-16]!
+                A.mov_reg(29, 31),             # mov x29, sp... (orr w/ sp? use add)
+                A.add_imm(0, 0, 1),            # body: x0 += 1
+                A.ldp64_post(29, 30, 31, 16),  # ldp x29, x30, [sp], #16
+                A.ret(),
+            ],
+        )
+        # mov x29, sp must be ADD x29, sp, #0 (orr can't read SP); patch it.
+        image.opcodes[base + 4] = A.add_imm(29, 31, 0)
+
+        fe = generate_instruction_map(
+            ArmModel(), image,
+            Assumptions().pin("PSTATE.EL", 2, 2).pin("PSTATE.SP", 1, 1)
+            .pin("SCTLR_EL2", 0, 64),
+        )
+        x = B.bv_var("x", 64)
+        sp = B.bv_var("sp", 64)
+        r = B.bv_var("r", 64)
+        fp = B.bv_var("fp", 64)
+        s0, s1 = B.bv_var("s0", 64), B.bv_var("s1", 64)
+        post = (
+            PredBuilder()
+            .reg("R0", B.bvadd(x, B.bv(1, 64)))
+            .reg("R29", fp)          # callee-saved registers restored
+            .reg("R30", r)
+            .reg("SP_EL2", sp)       # stack pointer restored
+            .reg_col("sys_regs", {"PSTATE.EL": 2, "PSTATE.SP": 1, "SCTLR_EL2": 0})
+            .mem(B.bvsub(sp, B.bv(16, 64)), fp, 8)
+            .mem(B.bvsub(sp, B.bv(8, 64)), r, 8)
+            .build()
+        )
+        spec = (
+            PredBuilder()
+            .exists(x, sp, r, fp, s0, s1)
+            .reg("R0", x)
+            .reg("R29", fp)
+            .reg("R30", r)
+            .reg("SP_EL2", sp)
+            .reg_col("sys_regs", {"PSTATE.EL": 2, "PSTATE.SP": 1, "SCTLR_EL2": 0})
+            .mem(B.bvsub(sp, B.bv(16, 64)), s0, 8)
+            .mem(B.bvsub(sp, B.bv(8, 64)), s1, 8)
+            .instr_pre(r, post)
+            .build()
+        )
+        proof = ProofEngine(fe.traces, {base: spec}, PC).verify_all()
+        assert proof.blocks_verified == [base]
+
+
+class TestTestBitBranch:
+    """TBZ/TBNZ: single-bit conditional branches."""
+
+    def test_tbz_taken_when_bit_clear(self, model):
+        state = run_one(model, A.tbz(0, 5, 16), regs={"R0": 0})
+        assert state.read_reg(PC) == 0x1010
+
+    def test_tbz_not_taken_when_bit_set(self, model):
+        state = run_one(model, A.tbz(0, 5, 16), regs={"R0": 1 << 5})
+        assert state.read_reg(PC) == 0x1004
+
+    def test_tbnz_high_bit(self, model):
+        state = run_one(model, A.tbnz(1, 63, -8), regs={"R1": 1 << 63})
+        assert state.read_reg(PC) == 0xFF8
+
+    def test_symbolic_two_cases(self, model):
+        res = trace_for_opcode(model, A.tbz(2, 31, 12), Assumptions())
+        assert res.paths == 2
+
+    def test_refinement(self, model):
+        opcode = A.tbnz(0, 7, 32)
+        trace = trace_for_opcode(model, opcode, Assumptions()).trace
+        family = StateFamily(vary=["R0"])
+        simulate_instruction(model, opcode, trace, family, samples=10)
+
+    def test_bit_out_of_range(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            A.tbz(0, 64, 8)

@@ -1,0 +1,361 @@
+"""Tests for the AArch64 model: encoder correctness, concrete-execution
+semantics, and banked-register behaviour."""
+
+import pytest
+
+from repro.arch.arm import ArmModel, encode as A
+from repro.arch.arm.model import bits_match, decode_bit_masks
+from repro.arch.arm.regs import PC, gpr, pstate
+from repro.itl.events import Reg
+from repro.smt import builder as B
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ArmModel()
+
+
+def run_one(model, opcode, regs=None, mem=None, pc=0x1000, pstate_over=None):
+    """Execute one opcode concretely; returns the machine state."""
+    overrides = {"PSTATE.EL": 2, "PSTATE.SP": 1}
+    overrides.update(pstate_over or {})
+    state = model.initial_state(overrides)
+    state.write_reg(PC, pc)
+    for name, val in (regs or {}).items():
+        state.write_reg(Reg.parse(name), val)
+    for addr, (val, n) in (mem or {}).items():
+        state.write_mem(addr, val, n)
+    state.load_bytes(pc, (opcode).to_bytes(4, "little"))
+    model.step_concrete(state)
+    return state
+
+
+class TestBitsMatch:
+    def test_concrete_match(self):
+        assert bits_match(B.bv(0x91010000, 32), "xxx_100010_xxxxxxxxxxxxxxxxxxxxxxx") is B.true()
+
+    def test_concrete_mismatch(self):
+        assert bits_match(B.bv(0, 32), "1" + "x" * 31) is B.false()
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            bits_match(B.bv(0, 32), "xx")
+
+
+class TestEncoderKnownOpcodes:
+    """Cross-checked against binutils/the paper."""
+
+    def test_add_sp_sp_64(self):
+        # The paper's Fig. 3 opcode.
+        assert A.add_imm(31, 31, 0x40) == 0x910103FF
+
+    def test_nop(self):
+        assert A.nop() == 0xD503201F
+
+    def test_eret(self):
+        assert A.eret() == 0xD69F03E0
+
+    def test_ret(self):
+        assert A.ret() == 0xD65F03C0
+
+    def test_hvc_0(self):
+        assert A.hvc(0) == 0xD4000002
+
+    def test_mov_x0_42(self):
+        assert A.mov_imm(0, 42) == 0xD2800540
+
+    def test_b_dot(self):
+        assert A.b(0) == 0x14000000
+
+    def test_range_checks(self):
+        with pytest.raises(ValueError):
+            A.add_imm(32, 0, 0)
+        with pytest.raises(ValueError):
+            A.add_imm(0, 0, 1 << 12)
+        with pytest.raises(ValueError):
+            A.b(2)  # not a multiple of 4
+        with pytest.raises(ValueError):
+            A.movz(0, 1 << 16)
+
+    def test_assemble_little_endian(self):
+        data = A.assemble([0x11223344])
+        assert data == bytes([0x44, 0x33, 0x22, 0x11])
+
+
+class TestArithmetic:
+    def test_add_immediate(self, model):
+        state = run_one(model, A.add_imm(0, 1, 5), regs={"R1": 10})
+        assert state.read_reg(gpr(0)) == 15
+        assert state.read_reg(PC) == 0x1004
+
+    def test_add_shift12(self, model):
+        state = run_one(model, A.add_imm(0, 1, 1, shift12=True), regs={"R1": 0})
+        assert state.read_reg(gpr(0)) == 0x1000
+
+    def test_sub_immediate_wraps(self, model):
+        state = run_one(model, A.sub_imm(0, 1, 1), regs={"R1": 0})
+        assert state.read_reg(gpr(0)) == (1 << 64) - 1
+
+    def test_add_sp_uses_banked_sp_el2(self, model):
+        state = run_one(model, A.add_imm(31, 31, 0x40), regs={"SP_EL2": 0x8000})
+        assert state.read_reg(Reg("SP_EL2")) == 0x8040
+
+    def test_add_sp_uses_sp_el0_when_unbanked(self, model):
+        state = run_one(
+            model,
+            A.add_imm(31, 31, 0x40),
+            regs={"SP_EL0": 0x100, "SP_EL2": 0x8000},
+            pstate_over={"PSTATE.SP": 0},
+        )
+        assert state.read_reg(Reg("SP_EL0")) == 0x140
+        assert state.read_reg(Reg("SP_EL2")) == 0x8000
+
+    def test_cmp_sets_flags_equal(self, model):
+        state = run_one(model, A.cmp_reg(1, 2), regs={"R1": 5, "R2": 5})
+        assert state.read_reg(pstate("Z")) == 1
+        assert state.read_reg(pstate("C")) == 1
+
+    def test_cmp_sets_flags_less(self, model):
+        state = run_one(model, A.cmp_reg(1, 2), regs={"R1": 3, "R2": 5})
+        assert state.read_reg(pstate("Z")) == 0
+        assert state.read_reg(pstate("C")) == 0  # borrow
+
+    def test_adds_overflow_flag(self, model):
+        big = 0x7FFF_FFFF_FFFF_FFFF
+        state = run_one(model, A.adds_reg(0, 1, 2), regs={"R1": big, "R2": 1})
+        assert state.read_reg(pstate("V")) == 1
+        assert state.read_reg(pstate("N")) == 1
+
+    def test_xzr_reads_zero(self, model):
+        state = run_one(model, A.add_reg(0, 31, 31), regs={"R0": 99})
+        assert state.read_reg(gpr(0)) == 0
+
+    def test_w_form_zero_extends(self, model):
+        state = run_one(model, A.add_imm(0, 1, 1, sf=0), regs={"R1": 0xFFFF_FFFF})
+        assert state.read_reg(gpr(0)) == 0  # 32-bit wrap, zero-extended
+
+
+class TestLogicalAndMoves:
+    def test_mov_reg(self, model):
+        state = run_one(model, A.mov_reg(0, 1), regs={"R1": 0x1234})
+        assert state.read_reg(gpr(0)) == 0x1234
+
+    def test_movz_with_shift(self, model):
+        state = run_one(model, A.movz(0, 0xA, hw=1))
+        assert state.read_reg(gpr(0)) == 0xA0000
+
+    def test_movk_keeps_other_bits(self, model):
+        state = run_one(model, A.movk(0, 0xBEEF, hw=1), regs={"R0": 0x1111_0000_1111})
+        assert state.read_reg(gpr(0)) == 0x1111_BEEF_1111
+
+    def test_movn(self, model):
+        state = run_one(model, A.movn(0, 0))
+        assert state.read_reg(gpr(0)) == (1 << 64) - 1
+
+    def test_and_or_eor(self, model):
+        state = run_one(model, A.and_reg(0, 1, 2), regs={"R1": 0xFF00, "R2": 0x0FF0})
+        assert state.read_reg(gpr(0)) == 0x0F00
+        state = run_one(model, A.orr_reg(0, 1, 2), regs={"R1": 0xFF00, "R2": 0x0FF0})
+        assert state.read_reg(gpr(0)) == 0xFFF0
+        state = run_one(model, A.eor_reg(0, 1, 2), regs={"R1": 0xFF00, "R2": 0x0FF0})
+        assert state.read_reg(gpr(0)) == 0xF0F0
+
+    def test_tst_immediate_flags(self, model):
+        state = run_one(model, A.tst_imm(1, 0x20, sf=0), regs={"R1": 0x20})
+        assert state.read_reg(pstate("Z")) == 0
+        state = run_one(model, A.tst_imm(1, 0x20, sf=0), regs={"R1": 0x1F})
+        assert state.read_reg(pstate("Z")) == 1
+
+    def test_lsr_lsl_immediate(self, model):
+        state = run_one(model, A.lsr_imm(0, 1, 4), regs={"R1": 0x100})
+        assert state.read_reg(gpr(0)) == 0x10
+        state = run_one(model, A.lsl_imm(0, 1, 4), regs={"R1": 0x100})
+        assert state.read_reg(gpr(0)) == 0x1000
+
+    def test_rbit(self, model):
+        state = run_one(model, A.rbit(0, 1), regs={"R1": 1})
+        assert state.read_reg(gpr(0)) == 1 << 63
+
+    def test_csel_csinc(self, model):
+        # after cmp equal: eq holds
+        state = model.initial_state({"PSTATE.EL": 2, "PSTATE.SP": 1, "PSTATE.Z": 1})
+        state.write_reg(PC, 0x1000)
+        state.write_reg(gpr(1), 10)
+        state.write_reg(gpr(2), 20)
+        state.load_bytes(0x1000, A.csel(0, 1, 2, "eq").to_bytes(4, "little"))
+        model.step_concrete(state)
+        assert state.read_reg(gpr(0)) == 10
+
+
+class TestDecodeBitMasks:
+    @pytest.mark.parametrize(
+        "value,datasize",
+        [(0x20, 32), (0xFF, 64), (0x0F0F0F0F, 32), (0xAAAAAAAAAAAAAAAA, 64), (1, 64)],
+    )
+    def test_roundtrip_through_encoder(self, value, datasize):
+        immn, immr, imms = A.encode_bitmask_immediate(value, datasize)
+        assert decode_bit_masks(immn, imms, immr, datasize) == value
+
+    def test_unencodable_rejected(self):
+        with pytest.raises(ValueError):
+            A.encode_bitmask_immediate(0, 64)  # all-zeros not encodable
+        with pytest.raises(ValueError):
+            A.encode_bitmask_immediate((1 << 64) - 1, 64)  # all-ones neither
+
+
+class TestLoadsStores:
+    def test_ldrb_register_offset(self, model):
+        state = run_one(
+            model,
+            A.ldrb_reg(4, 1, 3),
+            regs={"R1": 0x100, "R3": 2},
+            mem={0x102: (0xAB, 1)},
+        )
+        assert state.read_reg(gpr(4)) == 0xAB
+
+    def test_strb_register_offset(self, model):
+        state = run_one(
+            model,
+            A.strb_reg(4, 0, 3),
+            regs={"R0": 0x200, "R3": 1, "R4": 0x1FF},
+            mem={0x201: (0, 1)},
+        )
+        assert state.read_mem(0x201, 1) == 0xFF  # low byte only
+
+    def test_ldr64_immediate_scaled(self, model):
+        state = run_one(
+            model,
+            A.ldr64_imm(0, 1, 16),
+            regs={"R1": 0x100},
+            mem={0x110: (0x1122334455667788, 8)},
+        )
+        assert state.read_reg(gpr(0)) == 0x1122334455667788
+
+    def test_ldr64_register_scaled(self, model):
+        state = run_one(
+            model,
+            A.ldr64_reg(0, 1, 2),
+            regs={"R1": 0x100, "R2": 3},
+            mem={0x118: (0xCAFE, 8)},
+        )
+        assert state.read_reg(gpr(0)) == 0xCAFE
+
+    def test_str32(self, model):
+        state = run_one(
+            model,
+            A.str32_imm(0, 1),
+            regs={"R0": 0xDDCCBBAA99887766, "R1": 0x100},
+            mem={0x100: (0, 4)},
+        )
+        assert state.read_mem(0x100, 4) == 0x99887766
+
+
+class TestBranches:
+    def test_b_forward(self, model):
+        state = run_one(model, A.b(16))
+        assert state.read_reg(PC) == 0x1010
+
+    def test_b_backward(self, model):
+        state = run_one(model, A.b(-16))
+        assert state.read_reg(PC) == 0xFF0
+
+    def test_bl_sets_lr(self, model):
+        state = run_one(model, A.bl(8))
+        assert state.read_reg(PC) == 0x1008
+        assert state.read_reg(gpr(30)) == 0x1004
+
+    def test_cbz_taken_and_not(self, model):
+        state = run_one(model, A.cbz(0, 32), regs={"R0": 0})
+        assert state.read_reg(PC) == 0x1020
+        state = run_one(model, A.cbz(0, 32), regs={"R0": 1})
+        assert state.read_reg(PC) == 0x1004
+
+    def test_cbnz(self, model):
+        state = run_one(model, A.cbnz(0, 32), regs={"R0": 1})
+        assert state.read_reg(PC) == 0x1020
+
+    def test_bcond_eq(self, model):
+        state = run_one(model, A.b_cond("eq", -16), pstate_over={"PSTATE.Z": 1})
+        assert state.read_reg(PC) == 0xFF0
+        state = run_one(model, A.b_cond("eq", -16), pstate_over={"PSTATE.Z": 0})
+        assert state.read_reg(PC) == 0x1004
+
+    def test_bcond_lt_uses_n_and_v(self, model):
+        state = run_one(model, A.b_cond("lt", 8), pstate_over={"PSTATE.N": 1, "PSTATE.V": 0})
+        assert state.read_reg(PC) == 0x1008
+
+    def test_br_blr_ret(self, model):
+        state = run_one(model, A.br(5), regs={"R5": 0x4000})
+        assert state.read_reg(PC) == 0x4000
+        state = run_one(model, A.blr(5), regs={"R5": 0x4000})
+        assert state.read_reg(PC) == 0x4000
+        assert state.read_reg(gpr(30)) == 0x1004
+        state = run_one(model, A.ret(), regs={"R30": 0x7000})
+        assert state.read_reg(PC) == 0x7000
+
+
+class TestSystem:
+    def test_nop_advances_pc(self, model):
+        state = run_one(model, A.nop())
+        assert state.read_reg(PC) == 0x1004
+
+    def test_msr_mrs_roundtrip(self, model):
+        state = run_one(model, A.msr("VBAR_EL2", 0), regs={"R0": 0xA0000})
+        assert state.read_reg(Reg("VBAR_EL2")) == 0xA0000
+        state = run_one(model, A.mrs(1, "VBAR_EL2"), regs={"VBAR_EL2": 0xB0000})
+        assert state.read_reg(gpr(1)) == 0xB0000
+
+    def test_hvc_takes_exception_to_el2(self, model):
+        state = run_one(
+            model,
+            A.hvc(0),
+            regs={"VBAR_EL2": 0xA0000},
+            pstate_over={"PSTATE.EL": 1, "PSTATE.SP": 0},
+        )
+        assert state.read_reg(PC) == 0xA0400  # lower-EL AArch64 sync entry
+        assert state.read_reg(pstate("EL")) == 2
+        assert state.read_reg(pstate("SP")) == 1
+        assert state.read_reg(Reg("ELR_EL2")) == 0x1004
+        esr = state.read_reg(Reg("ESR_EL2"))
+        assert esr >> 26 == 0x16  # EC_HVC64
+        for f in "DAIF":
+            assert state.read_reg(pstate(f)) == 1
+
+    def test_eret_restores_state(self, model):
+        state = run_one(
+            model,
+            A.eret(),
+            regs={
+                "SPSR_EL2": 0x3C4,  # EL1t, DAIF set
+                "ELR_EL2": 0x90000,
+                "HCR_EL2": 0x8000_0000,
+            },
+        )
+        assert state.read_reg(PC) == 0x90000
+        assert state.read_reg(pstate("EL")) == 1
+        assert state.read_reg(pstate("SP")) == 0
+        for f in "DAIF":
+            assert state.read_reg(pstate(f)) == 1
+
+    def test_alignment_fault_on_misaligned_str(self, model):
+        state = run_one(
+            model,
+            A.str32_imm(0, 1),
+            regs={"R1": 0x101, "VBAR_EL2": 0xC0000, "SCTLR_EL2": 0b10},
+            mem={0x100: (0, 8)},
+        )
+        assert state.read_reg(PC) == 0xC0200  # current EL, SPx vector
+        assert state.read_reg(Reg("FAR_EL2")) == 0x101
+        esr = state.read_reg(Reg("ESR_EL2"))
+        assert esr >> 26 == 0x25  # data abort, same EL
+        assert esr & 0x3F == 0b100001  # alignment DFSC
+
+    def test_aligned_str_no_fault_despite_sctlr(self, model):
+        state = run_one(
+            model,
+            A.str32_imm(0, 1),
+            regs={"R0": 0x55, "R1": 0x100, "SCTLR_EL2": 0b10},
+            mem={0x100: (0, 4)},
+        )
+        assert state.read_mem(0x100, 4) == 0x55
+        assert state.read_reg(PC) == 0x1004

@@ -1,0 +1,197 @@
+"""Tests for the RISC-V machine-mode trap support (Zicsr, ecall/mret).
+
+This is the RISC-V counterpart of the Arm exception tests: CSR access,
+synchronous trap entry/return, and — mirroring the paper's hvc case study —
+a full verified trap round trip (install mtvec, ecall into the handler,
+mret back) through the Islaris logic.
+"""
+
+import pytest
+
+from repro.arch.riscv import RiscvModel, encode as RV
+from repro.arch.riscv.model import PC, xreg
+from repro.isla import Assumptions, trace_for_opcode
+from repro.itl.events import Reg
+
+
+@pytest.fixture(scope="module")
+def model():
+    return RiscvModel()
+
+
+def run_one(model, opcode, regs=None, pc=0x1000):
+    state = model.initial_state()
+    state.write_reg(PC, pc)
+    for name, val in (regs or {}).items():
+        state.write_reg(Reg(name), val)
+    state.load_bytes(pc, opcode.to_bytes(4, "little"))
+    model.step_concrete(state)
+    return state
+
+
+class TestCsr:
+    def test_csrrw_swaps(self, model):
+        state = run_one(
+            model, RV.csrrw("a0", "mscratch", "a1"),
+            regs={"x11": 0xBEEF, "mscratch": 0x1234},
+        )
+        assert state.read_reg(xreg(10)) == 0x1234
+        assert state.read_reg(Reg("mscratch")) == 0xBEEF
+
+    def test_csrrs_sets_bits(self, model):
+        state = run_one(
+            model, RV.csrrs("a0", "mstatus", "a1"),
+            regs={"x11": 0b1000, "mstatus": 0b0001},
+        )
+        assert state.read_reg(xreg(10)) == 0b0001
+        assert state.read_reg(Reg("mstatus")) == 0b1001
+
+    def test_csrrc_clears_bits(self, model):
+        state = run_one(
+            model, RV.csrrc("a0", "mstatus", "a1"),
+            regs={"x11": 0b1000, "mstatus": 0b1001},
+        )
+        assert state.read_reg(Reg("mstatus")) == 0b0001
+
+    def test_csrr_reads_without_write(self, model):
+        state = run_one(model, RV.csrr("a0", "mhartid"), regs={"mhartid": 7})
+        assert state.read_reg(xreg(10)) == 7
+        assert state.read_reg(Reg("mhartid")) == 7
+
+    def test_csrrs_x0_does_not_write(self, model):
+        # csrr == csrrs rd, csr, x0: the write is architecturally skipped.
+        state = run_one(model, RV.csrr("a0", "mcause"), regs={"mcause": 11})
+        assert state.read_reg(Reg("mcause")) == 11
+
+    def test_csrrwi_immediate(self, model):
+        state = run_one(model, RV.csrrwi("a0", "mscratch", 21), regs={"mscratch": 1})
+        assert state.read_reg(Reg("mscratch")) == 21
+        assert state.read_reg(xreg(10)) == 1
+
+    def test_unknown_csr_undecodable(self, model):
+        from repro.sail.iface import ModelError
+
+        with pytest.raises(ModelError):
+            run_one(model, RV.csrrw("a0", 0x7C0, "a1"))
+
+
+class TestTraps:
+    def test_ecall_enters_handler(self, model):
+        state = run_one(
+            model, RV.ecall(),
+            regs={"mtvec": 0x8000, "mstatus": 1 << 3},  # MIE set
+            pc=0x1000,
+        )
+        assert state.read_reg(PC) == 0x8000
+        assert state.read_reg(Reg("mepc")) == 0x1000
+        assert state.read_reg(Reg("mcause")) == 11
+        status = state.read_reg(Reg("mstatus"))
+        assert (status >> 3) & 1 == 0  # MIE cleared
+        assert (status >> 7) & 1 == 1  # MPIE stacked
+
+    def test_ebreak_sets_tval(self, model):
+        state = run_one(model, RV.ebreak(), regs={"mtvec": 0x8000}, pc=0x2000)
+        assert state.read_reg(Reg("mcause")) == 3
+        assert state.read_reg(Reg("mtval")) == 0x2000
+
+    def test_mret_returns_and_unstacks(self, model):
+        state = run_one(
+            model, RV.mret(),
+            regs={"mepc": 0x1004, "mstatus": 1 << 7},  # MPIE set
+        )
+        assert state.read_reg(PC) == 0x1004
+        status = state.read_reg(Reg("mstatus"))
+        assert (status >> 3) & 1 == 1  # MIE restored from MPIE
+        assert (status >> 7) & 1 == 1  # MPIE set
+
+    def test_wfi_is_nop(self, model):
+        state = run_one(model, RV.wfi())
+        assert state.read_reg(PC) == 0x1004
+
+    def test_roundtrip_concrete(self, model):
+        """ecall -> handler sets a0 = 42 -> mret -> back after the ecall."""
+        state = model.initial_state()
+        program = {
+            0x1000: RV.csrw("mtvec", "t0"),     # install handler
+            0x1004: RV.ecall(),
+            0x1008: RV.nop(),                   # resume point... (mepc=0x1004)
+            # handler:
+            0x8000: RV.li("a0", 42),
+            0x8004: RV.csrr("t1", "mepc"),
+            0x8008: RV.addi("t1", "t1", 4),
+            0x800C: RV.csrw("mepc", "t1"),      # return past the ecall
+            0x8010: RV.mret(),
+        }
+        for addr, op in program.items():
+            state.load_bytes(addr, op.to_bytes(4, "little"))
+        state.write_reg(PC, 0x1000)
+        state.write_reg(xreg(5), 0x8000)  # t0
+        labels, executed = model.run_concrete(state, stop_pcs={0x1008})
+        assert state.read_reg(PC) == 0x1008
+        assert state.read_reg(xreg(10)) == 42
+        assert executed == 7
+
+
+class TestTrapTraces:
+    def test_ecall_trace_generation(self, model):
+        res = trace_for_opcode(model, RV.ecall(), Assumptions())
+        assert res.paths == 1
+        regs = {str(j.reg) for j in res.trace.iter_events()
+                if hasattr(j, "reg")}
+        assert {"mepc", "mcause", "mtvec", "mstatus"} <= regs
+
+    def test_csr_trace_generation(self, model):
+        res = trace_for_opcode(model, RV.csrrw("a0", "mscratch", "a1"), Assumptions())
+        assert res.paths == 1
+
+    def test_mret_refines(self, model):
+        from repro.validation import StateFamily, simulate_instruction
+
+        trace = trace_for_opcode(model, RV.mret(), Assumptions()).trace
+        family = StateFamily(vary=["mepc", "mstatus"])
+        simulate_instruction(model, RV.mret(), trace, family, samples=8)
+
+
+class TestVerifiedTrapRoundtrip:
+    """The hvc case study's shape, on RISC-V: verify that an ecall from a
+    program with an installed handler resumes with a0 = 42."""
+
+    def test_verify(self, model):
+        from repro.frontend import ProgramImage, generate_instruction_map
+        from repro.logic import PredBuilder, ProofEngine
+        from repro.smt import builder as B
+
+        base, handler, resume = 0x1000, 0x8000, 0x1008
+        image = ProgramImage()
+        image.place(base, [RV.csrw("mtvec", "t0"), RV.ecall(), RV.j(0)])
+        image.place(
+            handler,
+            [
+                RV.li("a0", 42),
+                RV.csrr("t1", "mepc"),
+                RV.addi("t1", "t1", 4),
+                RV.csrw("mepc", "t1"),
+                RV.mret(),
+            ],
+        )
+        fe = generate_instruction_map(model, image, Assumptions())
+        hang = (
+            PredBuilder()
+            .reg("x10", B.bv(42, 64))
+            .reg_any("x5", "x6")
+            .reg_any("mtvec", "mepc", "mcause", "mtval", "mstatus")
+            .build()
+        )
+        entry = (
+            PredBuilder()
+            .reg("x5", B.bv(handler, 64))
+            .reg_any("x6", "x10")
+            .reg_any("mtvec", "mepc", "mcause", "mtval", "mstatus")
+            .build()
+        )
+        proof = ProofEngine(fe.traces, {base: entry, resume: hang}, PC).verify_all()
+        assert sorted(proof.blocks_verified) == [base, resume]
+
+        from repro.logic.checker import check_proof
+
+        check_proof(proof, expected_blocks={base, resume})

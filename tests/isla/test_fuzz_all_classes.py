@@ -1,0 +1,137 @@
+"""Cross-cutting fuzz: random opcodes from every modelled instruction
+class, each checked for trace-vs-model refinement.
+
+This is the broadest soundness net in the suite: any disagreement between
+the symbolic executor (+ trace simplification) and the concrete model for
+any generated instruction is a bug in encoder, model, executor, simplifier,
+or opsem.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.arch.arm import ArmModel, encode as A
+from repro.arch.riscv import RiscvModel, encode as RV
+from repro.isla import Assumptions, trace_for_opcode
+from repro.validation import StateFamily, simulate_instruction
+
+ARM = ArmModel()
+RISCV = RiscvModel()
+
+r5 = st.integers(0, 30)
+any5 = st.integers(0, 31)
+
+
+@st.composite
+def arm_any_instruction(draw):
+    """An opcode from any modelled A64 class (register-state only)."""
+    pick = draw(st.integers(0, 13))
+    rd, rn, rm, ra = draw(r5), draw(r5), draw(r5), draw(r5)
+    sf = draw(st.integers(0, 1))
+    if pick == 0:
+        return A.add_imm(rd, rn, draw(st.integers(0, 4095)), sf)
+    if pick == 1:
+        return A.subs_reg(rd, rn, rm, sf)
+    if pick == 2:
+        op = draw(st.sampled_from([A.and_reg, A.orr_reg, A.eor_reg, A.ands_reg]))
+        return op(rd, rn, rm, sf)
+    if pick == 3:
+        return A.movk(rd, draw(st.integers(0, 0xFFFF)), draw(st.integers(0, 3 if sf else 1)), sf)
+    if pick == 4:
+        shift = draw(st.integers(0, 63 if sf else 31))
+        return draw(st.sampled_from([A.lsr_imm, A.lsl_imm]))(rd, rn, shift, sf)
+    if pick == 5:
+        return A.csel(rd, rn, rm, draw(st.sampled_from(list(A.COND))), sf)
+    if pick == 6:
+        return A.csinc(rd, rn, rm, draw(st.sampled_from(list(A.COND))), sf)
+    if pick == 7:
+        return A.rbit(rd, rn, sf)
+    if pick == 8:
+        return A.madd(rd, rn, rm, ra, sf)
+    if pick == 9:
+        return draw(st.sampled_from([A.udiv, A.sdiv]))(rd, rn, rm, sf)
+    if pick == 10:
+        return A.ccmp_reg(rn, rm, draw(st.integers(0, 15)),
+                          draw(st.sampled_from(list(A.COND))), sf)
+    if pick == 11:
+        return A.adr(rd, draw(st.integers(-(1 << 18), (1 << 18) - 1)))
+    if pick == 12:
+        return A.cset(rd, draw(st.sampled_from(list(A.COND))), sf)
+    return A.movn(rd, draw(st.integers(0, 0xFFFF)), 0, sf)
+
+
+@st.composite
+def riscv_any_instruction(draw):
+    pick = draw(st.integers(0, 8))
+    rd = draw(st.integers(1, 31))
+    rs1, rs2 = draw(any5), draw(any5)
+    if pick == 0:
+        return RV.addi(rd, rs1, draw(st.integers(-2048, 2047)))
+    if pick == 1:
+        op = draw(st.sampled_from([RV.add, RV.sub, RV.and_, RV.or_, RV.xor,
+                                   RV.sll, RV.srl, RV.sra, RV.slt, RV.sltu]))
+        return op(rd, rs1, rs2)
+    if pick == 2:
+        return RV.lui(rd, draw(st.integers(0, 0xFFFFF)))
+    if pick == 3:
+        return RV.auipc(rd, draw(st.integers(0, 0xFFFFF)))
+    if pick == 4:
+        op = draw(st.sampled_from([RV.slli, RV.srli, RV.srai]))
+        return op(rd, rs1, draw(st.integers(0, 63)))
+    if pick == 5:
+        op = draw(st.sampled_from([RV.andi, RV.ori, RV.xori, RV.slti, RV.sltiu]))
+        return op(rd, rs1, draw(st.integers(-2048, 2047)))
+    if pick == 6:
+        return RV.addiw(rd, rs1, draw(st.integers(-2048, 2047)))
+    if pick == 7:
+        return RV.addw(rd, rs1, rs2)
+    return RV.jal(rd, draw(st.integers(-(1 << 10), (1 << 10) - 1)) * 2)
+
+
+ARM_VARY = [f"R{i}" for i in range(31)] + ["SP_EL2"]
+ARM_FLAGS = ["PSTATE.N", "PSTATE.Z", "PSTATE.C", "PSTATE.V"]
+
+
+class TestArmFuzz:
+    @given(arm_any_instruction(), st.integers(0, 2**31), st.integers(0, 15))
+    @settings(max_examples=120, deadline=None)
+    def test_refinement(self, opcode, seed, flags):
+        assumptions = Assumptions().pin("PSTATE.EL", 2, 2).pin("PSTATE.SP", 1, 1)
+        trace = trace_for_opcode(ARM, opcode, assumptions).trace
+        family = StateFamily(
+            fixed={
+                "PSTATE.EL": 2, "PSTATE.SP": 1,
+                "PSTATE.N": (flags >> 3) & 1, "PSTATE.Z": (flags >> 2) & 1,
+                "PSTATE.C": (flags >> 1) & 1, "PSTATE.V": flags & 1,
+            },
+            vary=ARM_VARY[seed % 7 :: 7],
+        )
+        simulate_instruction(ARM, opcode, trace, family, samples=4, seed=seed)
+
+
+class TestRiscvFuzz:
+    @given(riscv_any_instruction(), st.integers(0, 2**31))
+    @settings(max_examples=120, deadline=None)
+    def test_refinement(self, opcode, seed):
+        trace = trace_for_opcode(RISCV, opcode, Assumptions()).trace
+        family = StateFamily(vary=[f"x{i}" for i in range(1, 32, 4)])
+        simulate_instruction(RISCV, opcode, trace, family, samples=4, seed=seed)
+
+
+class TestDisassemblerTotality:
+    """Every opcode the fuzz generators produce must also disassemble."""
+
+    @given(arm_any_instruction())
+    @settings(max_examples=150, deadline=None)
+    def test_arm(self, opcode):
+        from repro.arch.arm.decode import try_disassemble
+
+        assert not try_disassemble(opcode).startswith(".word"), hex(opcode)
+
+    @given(riscv_any_instruction())
+    @settings(max_examples=150, deadline=None)
+    def test_riscv(self, opcode):
+        from repro.arch.riscv.decode import try_disassemble
+
+        assert not try_disassemble(opcode).startswith(".word"), hex(opcode)

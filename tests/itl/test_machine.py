@@ -1,0 +1,82 @@
+"""Tests for machine configurations Σ = (R, I, M)."""
+
+import pytest
+
+from repro.itl import MachineState, Reg, Trace
+
+
+class TestRegisters:
+    def test_unmapped_reads_none(self):
+        assert MachineState().read_reg(Reg("R0")) is None
+
+    def test_write_read(self):
+        state = MachineState()
+        state.write_reg(Reg("R0"), 42)
+        assert state.read_reg(Reg("R0")) == 42
+
+    def test_field_registers_independent(self):
+        state = MachineState()
+        state.write_reg(Reg("PSTATE", "EL"), 2)
+        state.write_reg(Reg("PSTATE", "SP"), 1)
+        assert state.read_reg(Reg("PSTATE", "EL")) == 2
+        assert state.read_reg(Reg("PSTATE")) is None
+
+
+class TestMemory:
+    def test_little_endian_roundtrip(self):
+        state = MachineState()
+        state.write_mem(0x100, 0x11223344, 4)
+        assert state.mem[0x100] == 0x44
+        assert state.mem[0x103] == 0x11
+        assert state.read_mem(0x100, 4) == 0x11223344
+
+    def test_mapped_predicates(self):
+        state = MachineState()
+        state.write_mem(0x100, 0, 2)
+        assert state.mem_mapped(0x100, 2)
+        assert not state.mem_mapped(0x100, 3)
+        assert state.mem_unmapped(0x200, 4)
+        assert not state.mem_unmapped(0x101, 2)  # partial overlap
+
+    def test_load_bytes(self):
+        state = MachineState()
+        state.load_bytes(0x300, b"\x01\x02\x03")
+        assert state.read_mem(0x300, 3) == 0x030201
+
+    def test_address_wraparound_masked(self):
+        state = MachineState()
+        top = (1 << 64) - 1
+        state.write_mem(top, 0xABCD, 2)  # wraps: bytes at 2^64-1 and 0
+        assert state.mem[top] == 0xCD
+        assert state.mem[0] == 0xAB
+
+    def test_overlapping_writes(self):
+        state = MachineState()
+        state.write_mem(0x100, 0xFFFFFFFF, 4)
+        state.write_mem(0x102, 0x00, 1)
+        assert state.read_mem(0x100, 4) == 0xFF00FFFF
+
+
+class TestInstructionMap:
+    def test_set_and_fetch(self):
+        state = MachineState()
+        trace = Trace.lin()
+        state.set_instr(0x1000, trace)
+        assert state.instr_at(0x1000) is trace
+        assert state.instr_at(0x1004) is None
+
+
+class TestCopy:
+    def test_copy_is_deep_for_maps(self):
+        state = MachineState()
+        state.write_reg(Reg("R0"), 1)
+        state.write_mem(0x100, 0xAA, 1)
+        clone = state.copy()
+        clone.write_reg(Reg("R0"), 2)
+        clone.write_mem(0x100, 0xBB, 1)
+        assert state.read_reg(Reg("R0")) == 1
+        assert state.mem[0x100] == 0xAA
+
+    def test_copy_preserves_pc_reg(self):
+        state = MachineState(pc_reg=Reg("PC"))
+        assert state.copy().pc_reg == Reg("PC")

@@ -1,0 +1,238 @@
+"""Tests for the ITL operational semantics (Fig. 10)."""
+
+import pytest
+
+from repro.itl import (
+    Assert,
+    Assume,
+    AssumeReg,
+    DeclareConst,
+    DefineConst,
+    Failure,
+    LabelEnd,
+    LabelRead,
+    LabelWrite,
+    MachineState,
+    ReadMem,
+    ReadReg,
+    Reg,
+    Runner,
+    Trace,
+    WriteMem,
+    WriteReg,
+)
+from repro.smt import builder as B
+from repro.smt.sorts import bv_sort
+
+R0 = Reg("R0")
+R1 = Reg("R1")
+PC = Reg("_PC")
+
+
+def v(name, w=64):
+    return B.bv_var(name, w)
+
+
+def fresh_state(**regs) -> MachineState:
+    state = MachineState(pc_reg=PC)
+    state.write_reg(PC, 0x1000)
+    for name, value in regs.items():
+        state.write_reg(Reg(name), value)
+    return state
+
+
+def run_trace(trace, state, device=None):
+    runner = Runner(state, device=device or (lambda a, n: 0))
+    runner.run_trace(trace)
+    return runner
+
+
+class TestRegisterEvents:
+    def test_read_reg_binds_declared_var(self):
+        # step-declare-const + step-read-reg-eq: the surviving pick.
+        x = v("x")
+        t = Trace.lin(
+            DeclareConst(x, bv_sort(64)),
+            ReadReg(R0, x),
+            WriteReg(R1, B.bvadd(x, B.bv(1, 64))),
+        )
+        state = fresh_state(R0=41, R1=0)
+        runner = run_trace(t, state)
+        assert runner.state.read_reg(R1) == 42
+
+    def test_read_reg_concrete_match(self):
+        t = Trace.lin(ReadReg(R0, B.bv(7, 64)))
+        run_trace(t, fresh_state(R0=7))  # no exception
+
+    def test_read_reg_concrete_mismatch_is_top(self):
+        # step-read-reg-neq -> ⊤, surfaced as Discarded by the runner.
+        from repro.itl.opsem import Discarded
+
+        t = Trace.lin(ReadReg(R0, B.bv(7, 64)))
+        with pytest.raises(Discarded):
+            run_trace(t, fresh_state(R0=8))
+
+    def test_read_unmapped_register_is_bottom(self):
+        t = Trace.lin(ReadReg(Reg("NOPE"), B.bv(0, 64)))
+        with pytest.raises(Failure):
+            run_trace(t, fresh_state())
+
+    def test_write_reg(self):
+        t = Trace.lin(WriteReg(R0, B.bv(5, 64)))
+        runner = run_trace(t, fresh_state(R0=0))
+        assert runner.state.read_reg(R0) == 5
+
+    def test_assume_reg_holds(self):
+        t = Trace.lin(AssumeReg(R0, B.bv(3, 64)))
+        run_trace(t, fresh_state(R0=3))
+
+    def test_assume_reg_violated_is_bottom(self):
+        # AssumeReg is an *obligation*: wrong value -> ⊥ (step-fail).
+        t = Trace.lin(AssumeReg(R0, B.bv(3, 64)))
+        with pytest.raises(Failure):
+            run_trace(t, fresh_state(R0=4))
+
+
+class TestAssertAssume:
+    def test_assert_true_continues(self):
+        t = Trace.lin(Assert(B.true()), WriteReg(R0, B.bv(1, 64)))
+        runner = run_trace(t, fresh_state(R0=0))
+        assert runner.state.read_reg(R0) == 1
+
+    def test_assert_false_is_top(self):
+        from repro.itl.opsem import Discarded
+
+        t = Trace.lin(Assert(B.false()))
+        with pytest.raises(Discarded):
+            run_trace(t, fresh_state())
+
+    def test_assume_false_is_bottom(self):
+        t = Trace.lin(Assume(B.false()))
+        with pytest.raises(Failure):
+            run_trace(t, fresh_state())
+
+    def test_assert_on_bound_variable(self):
+        x = v("x")
+        t = Trace.lin(
+            DeclareConst(x, bv_sort(64)),
+            ReadReg(R0, x),
+            Assert(B.bvult(x, B.bv(10, 64))),
+        )
+        run_trace(t, fresh_state(R0=5))
+        from repro.itl.opsem import Discarded
+
+        with pytest.raises(Discarded):
+            run_trace(t, fresh_state(R0=50))
+
+
+class TestCases:
+    def branch_trace(self):
+        x = v("x")
+        return Trace.lin(DeclareConst(x, bv_sort(64)), ReadReg(R0, x)).then_cases(
+            Trace.lin(
+                Assert(B.eq(x, B.bv(0, 64))), WriteReg(R1, B.bv(100, 64))
+            ),
+            Trace.lin(
+                Assert(B.not_(B.eq(x, B.bv(0, 64)))), WriteReg(R1, B.bv(200, 64))
+            ),
+        )
+
+    def test_first_branch(self):
+        runner = run_trace(self.branch_trace(), fresh_state(R0=0, R1=0))
+        assert runner.state.read_reg(R1) == 100
+
+    def test_second_branch(self):
+        runner = run_trace(self.branch_trace(), fresh_state(R0=7, R1=0))
+        assert runner.state.read_reg(R1) == 200
+
+    def test_branch_rollback_discards_writes(self):
+        # The first branch writes R1 then asserts false; the write must not
+        # leak into the second branch's execution.
+        x = v("x")
+        t = Trace.branch(
+            Trace.lin(WriteReg(R1, B.bv(99, 64)), Assert(B.false())),
+            Trace.lin(WriteReg(R0, B.bv(1, 64))),
+        )
+        runner = run_trace(t, fresh_state(R0=0, R1=0))
+        assert runner.state.read_reg(R1) == 0
+        assert runner.state.read_reg(R0) == 1
+
+    def test_all_branches_top_is_top(self):
+        from repro.itl.opsem import Discarded
+
+        t = Trace.branch(Trace.lin(Assert(B.false())), Trace.lin(Assert(B.false())))
+        with pytest.raises(Discarded):
+            run_trace(t, fresh_state())
+
+
+class TestMemoryEvents:
+    def test_mapped_read_binds(self):
+        x = v("x", 16)
+        t = Trace.lin(
+            DeclareConst(x, bv_sort(16)),
+            ReadMem(x, B.bv(0x100, 64), 2),
+            WriteReg(R0, B.zero_extend(48, x)),
+        )
+        state = fresh_state(R0=0)
+        state.write_mem(0x100, 0xBEEF, 2)
+        runner = run_trace(t, state)
+        assert runner.state.read_reg(R0) == 0xBEEF
+
+    def test_mapped_write_little_endian(self):
+        t = Trace.lin(WriteMem(B.bv(0x200, 64), B.bv(0x1234, 16), 2))
+        state = fresh_state()
+        state.write_mem(0x200, 0, 2)
+        runner = run_trace(t, state)
+        assert runner.state.mem[0x200] == 0x34
+        assert runner.state.mem[0x201] == 0x12
+
+    def test_unmapped_read_is_visible_event(self):
+        # step-read-mem-event: devices answer, a label is emitted.
+        x = v("x", 32)
+        t = Trace.lin(DeclareConst(x, bv_sort(32)), ReadMem(x, B.bv(0x9000, 64), 4))
+        runner = run_trace(t, fresh_state(), device=lambda a, n: 0xCAFE)
+        assert runner.labels == [LabelRead(0x9000, 0xCAFE, 4)]
+
+    def test_unmapped_write_is_visible_event(self):
+        t = Trace.lin(WriteMem(B.bv(0x9000, 64), B.bv(0x55, 8), 1))
+        runner = run_trace(t, fresh_state())
+        assert runner.labels == [LabelWrite(0x9000, 0x55, 1)]
+
+    def test_partially_mapped_access_is_bottom(self):
+        state = fresh_state()
+        state.write_mem(0x300, 0xAA, 1)  # only the first byte mapped
+        t = Trace.lin(WriteMem(B.bv(0x300, 64), B.bv(0, 16), 2))
+        with pytest.raises(Failure):
+            run_trace(t, state)
+
+
+class TestFetchLoop:
+    def test_run_executes_instruction_map(self):
+        # Two "instructions": R0 += 1 then fall off the map -> E label.
+        def incr(pc_next):
+            x = v(f"x{pc_next}")
+            p = v(f"p{pc_next}")
+            return Trace.lin(
+                DeclareConst(x, bv_sort(64)),
+                ReadReg(R0, x),
+                WriteReg(R0, B.bvadd(x, B.bv(1, 64))),
+                WriteReg(PC, B.bv(pc_next, 64)),
+            )
+
+        state = fresh_state(R0=0)
+        state.set_instr(0x1000, incr(0x1004))
+        state.set_instr(0x1004, incr(0x1008))
+        runner = Runner(state)
+        result = runner.run()
+        assert result.status == "end"
+        assert result.labels == [LabelEnd(0x1008)]
+        assert runner.state.read_reg(R0) == 2
+        assert result.instructions == 2
+
+    def test_fuel_exhaustion_reported(self):
+        loop = Trace.lin(WriteReg(PC, B.bv(0x1000, 64)))
+        state = fresh_state()
+        state.set_instr(0x1000, loop)
+        result = Runner(state).run(max_instructions=17)
+        assert result.status == "fuel"
+        assert result.instructions == 17

@@ -1,0 +1,117 @@
+"""Tests for the trace parser: print→parse roundtrips over real traces."""
+
+import pytest
+
+from repro.arch.arm import ArmModel, encode as A
+from repro.arch.riscv import RiscvModel, encode as RV
+from repro.isla import Assumptions, trace_for_opcode
+from repro.itl import trace_to_sexpr
+from repro.itl.parser import ParseError, parse_trace, tokenize
+from repro.smt import builder as B
+
+
+class TestTokenizer:
+    def test_basic(self):
+        assert tokenize("(a b)") == ["(", "a", "b", ")"]
+
+    def test_pipes(self):
+        assert tokenize("(|SP_EL2| nil)") == ["(", "|SP_EL2|", "nil", ")"]
+
+    def test_comments_ignored(self):
+        assert tokenize("(a ; comment\n b)") == ["(", "a", "b", ")"]
+
+    def test_unterminated_pipe(self):
+        with pytest.raises(ParseError):
+            tokenize("(|oops)")
+
+
+class TestRoundtrip:
+    def roundtrip(self, model, opcode, assumptions):
+        trace = trace_for_opcode(model, opcode, assumptions).trace
+        text = trace_to_sexpr(trace)
+        reparsed = parse_trace(text)
+        assert trace_to_sexpr(reparsed) == text
+        assert reparsed.num_events() == trace.num_events()
+        assert reparsed.num_paths() == trace.num_paths()
+        return reparsed
+
+    def test_fig3_add_sp(self):
+        assm = Assumptions().pin("PSTATE.EL", 2, 2).pin("PSTATE.SP", 1, 1)
+        self.roundtrip(ArmModel(), 0x910103FF, assm)
+
+    def test_fig6_beq(self):
+        self.roundtrip(ArmModel(), A.b_cond("eq", -16), Assumptions())
+
+    def test_memory_events(self):
+        assm = Assumptions().pin("PSTATE.EL", 2, 2).pin("PSTATE.SP", 1, 1)
+        self.roundtrip(ArmModel(), A.ldrb_reg(4, 1, 3), assm)
+        self.roundtrip(ArmModel(), A.strb_reg(4, 0, 3), assm)
+
+    def test_exception_trace(self):
+        assm = (
+            Assumptions()
+            .pin("PSTATE.EL", 1, 2)
+            .pin("PSTATE.SP", 0, 1)
+        )
+        self.roundtrip(ArmModel(), A.hvc(0), assm)
+
+    def test_relaxed_eret(self):
+        assm = (
+            Assumptions()
+            .pin("PSTATE.EL", 2, 2)
+            .pin("PSTATE.SP", 1, 1)
+            .pin("HCR_EL2", 0x8000_0000, 64)
+            .constrain(
+                "SPSR_EL2",
+                lambda v: B.or_(
+                    B.eq(v, B.bv(0x3C4, 64)), B.eq(v, B.bv(0x3C9, 64))
+                ),
+            )
+        )
+        self.roundtrip(ArmModel(), A.eret(), assm)
+
+    def test_riscv_traces(self):
+        self.roundtrip(RiscvModel(), RV.beqz("a2", 28), Assumptions())
+        self.roundtrip(RiscvModel(), RV.lb("a3", "a1"), Assumptions())
+
+    def test_whole_memcpy_instruction_map(self):
+        from repro.casestudies import memcpy_arm
+
+        case = memcpy_arm.build(n=2)
+        for addr, trace in case.frontend.traces.items():
+            text = trace_to_sexpr(trace)
+            assert trace_to_sexpr(parse_trace(text)) == text
+
+
+class TestErrors:
+    def test_not_a_trace(self):
+        with pytest.raises(ParseError):
+            parse_trace("(not-a-trace)")
+
+    def test_unbound_variable(self):
+        with pytest.raises(ParseError, match="unbound"):
+            parse_trace("(trace (assert (= v0 #b1)))")
+
+    def test_unknown_event(self):
+        with pytest.raises(ParseError):
+            parse_trace("(trace (launch-missiles))")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(ParseError):
+            parse_trace("(trace) extra")
+
+    def test_reparsed_trace_runs(self):
+        """A reparsed trace behaves identically under the opsem."""
+        from repro.itl import MachineState, Runner
+        from repro.itl.events import Reg
+
+        assm = Assumptions().pin("PSTATE.EL", 2, 2).pin("PSTATE.SP", 1, 1)
+        trace = trace_for_opcode(ArmModel(), A.add_imm(0, 0, 5), assm).trace
+        reparsed = parse_trace(trace_to_sexpr(trace))
+        for t in (trace, reparsed):
+            state = MachineState(pc_reg=Reg("_PC"))
+            state.write_reg(Reg("_PC"), 0x1000)
+            state.write_reg(Reg("R0"), 10)
+            runner = Runner(state)
+            runner.run_trace(t)
+            assert runner.state.read_reg(Reg("R0")) == 15

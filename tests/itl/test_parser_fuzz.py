@@ -1,0 +1,106 @@
+"""Property test: print→parse roundtrips over randomly generated traces."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.itl import (
+    Assert,
+    Assume,
+    AssumeReg,
+    DeclareConst,
+    DefineConst,
+    ReadMem,
+    ReadReg,
+    Reg,
+    Trace,
+    WriteMem,
+    WriteReg,
+    trace_to_sexpr,
+)
+from repro.itl.parser import parse_trace
+from repro.smt import builder as B
+from repro.smt.sorts import bv_sort
+
+REGS = [Reg("R0"), Reg("R1"), Reg("SP_EL2"), Reg("PSTATE", "Z"), Reg("_PC")]
+
+
+@st.composite
+def traces(draw, depth=1):
+    """Random well-scoped traces: every variable use follows its binder."""
+    env: list = []
+    events = []
+    counter = [0]
+
+    def fresh(width):
+        counter[0] += 1
+        var = B.bv_var(f"fz{len(events)}_{counter[0]}", width)
+        return var
+
+    def some_term(width):
+        candidates = [v for v in env if v.width == width]
+        base = (
+            draw(st.sampled_from(candidates))
+            if candidates and draw(st.booleans())
+            else B.bv(draw(st.integers(0, (1 << width) - 1)), width)
+        )
+        if draw(st.booleans()):
+            return B.bvadd(base, B.bv(draw(st.integers(0, 255)), width))
+        return base
+
+    n_events = draw(st.integers(1, 8))
+    for _ in range(n_events):
+        kind = draw(st.integers(0, 7))
+        if kind == 0:
+            var = fresh(draw(st.sampled_from([1, 8, 64])))
+            events.append(DeclareConst(var, bv_sort(var.width)))
+            env.append(var)
+        elif kind == 1:
+            expr = some_term(64)
+            var = fresh(64)
+            events.append(DefineConst(var, expr))
+            env.append(var)
+        elif kind == 2:
+            reg = draw(st.sampled_from(REGS))
+            width = 1 if reg.field else 64
+            events.append(ReadReg(reg, some_term(width)))
+        elif kind == 3:
+            reg = draw(st.sampled_from(REGS))
+            width = 1 if reg.field else 64
+            events.append(WriteReg(reg, some_term(width)))
+        elif kind == 4:
+            reg = draw(st.sampled_from(REGS))
+            width = 1 if reg.field else 64
+            events.append(AssumeReg(reg, some_term(width)))
+        elif kind == 5:
+            events.append(
+                Assert(B.bvult(some_term(64), some_term(64)))
+            )
+        elif kind == 6:
+            events.append(Assume(B.eq(some_term(64), some_term(64))))
+        else:
+            n = draw(st.sampled_from([1, 2, 4, 8]))
+            if draw(st.booleans()):
+                # Isla declares the bound data variable before the read.
+                data = fresh(8 * n)
+                events.append(DeclareConst(data, bv_sort(8 * n)))
+                events.append(ReadMem(data, some_term(64), n))
+                env.append(data)
+            else:
+                events.append(WriteMem(some_term(64), some_term(8 * n), n))
+    cases = None
+    if depth > 0 and draw(st.booleans()):
+        cases = tuple(
+            draw(traces(depth=depth - 1)) for _ in range(draw(st.integers(1, 3)))
+        )
+    return Trace(tuple(events), cases)
+
+
+class TestParserFuzz:
+    @given(traces())
+    @settings(max_examples=120, deadline=None)
+    def test_roundtrip(self, trace):
+        text = trace_to_sexpr(trace)
+        reparsed = parse_trace(text)
+        assert trace_to_sexpr(reparsed) == text
+        assert reparsed.num_events() == trace.num_events()
+        assert reparsed.num_paths() == trace.num_paths()

@@ -1,0 +1,118 @@
+"""Tests for the adequacy harness (Theorem 1 checking)."""
+
+import random
+
+import pytest
+
+from repro.arch.arm.regs import PC
+from repro.casestudies import memcpy_arm
+from repro.logic.adequacy import (
+    AdequacyError,
+    AdequacyHarness,
+    build_initial_state,
+    sample_environment,
+)
+from repro.logic import PredBuilder
+from repro.smt import builder as B
+
+
+class TestSampling:
+    def test_respects_pure_constraints(self):
+        v = B.bv_var("sv", 64)
+        pred = (
+            PredBuilder()
+            .exists(v)
+            .reg("R0", v)
+            .pure(B.bvult(v, B.bv(10, 64)))
+            .build()
+        )
+        for seed in range(5):
+            env = sample_environment(pred, random.Random(seed))
+            assert env[v] < 10
+
+    def test_unsatisfiable_precondition_detected(self):
+        v = B.bv_var("sv2", 64)
+        pred = (
+            PredBuilder()
+            .exists(v)
+            .pure(B.bvult(v, B.bv(0, 64)))  # nothing is below zero
+            .build()
+        )
+        with pytest.raises(AdequacyError):
+            sample_environment(pred, random.Random(0))
+
+    def test_extra_vars_sampled(self):
+        v = B.bv_var("free_param", 64)
+        pred = PredBuilder().build()
+        env = sample_environment(pred, random.Random(1), extra_vars=[v])
+        assert v in env
+
+
+class TestInitialState:
+    def test_registers_and_memory_realised(self):
+        v = B.bv_var("iv", 64)
+        b0 = B.bv_var("ib", 8)
+        pred = (
+            PredBuilder()
+            .exists(v, b0)
+            .reg("R0", v)
+            .reg_any("R1")
+            .mem(0x100, b0, 1)
+            .mem_array(0x200, [B.bv(7, 8), b0])
+            .build()
+        )
+        env = {v: 42, b0: 9}
+        from repro.itl.events import Reg
+
+        state, spec = build_initial_state(pred, env, {}, PC, 0x1000)
+        assert state.read_reg(Reg("R0")) == 42
+        assert state.read_mem(0x100, 1) == 9
+        assert state.read_mem(0x200, 1) == 7
+        assert state.read_mem(0x201, 1) == 9
+        assert state.read_reg(PC) == 0x1000
+        assert spec is None
+
+
+class TestHarnessCatchesBugs:
+    def test_buggy_trace_fails_adequacy(self):
+        """Corrupt the verified memcpy's strb trace (write to the wrong
+        array) and check the functional oracle catches it at runtime."""
+        case = memcpy_arm.build(n=2)
+        specs, meta = memcpy_arm.build_specs(2)
+        d, s, r = meta["d"], meta["s"], meta["r"]
+        # Corrupt: replace the strb instruction's trace with a nop-like one.
+        from repro.arch.arm import encode as A
+        from repro.isla import trace_for_opcode
+        from repro.arch.arm import ArmModel
+
+        nop_trace = trace_for_opcode(
+            ArmModel(), A.nop(), memcpy_arm.default_assumptions()
+        ).trace
+        traces = dict(case.frontend.traces)
+        traces[case.entry + 12] = nop_trace  # the strb slot
+
+        def final_check(env, state):
+            for i in range(2):
+                assert state.read_mem((env[s] + i) % 2**64, 1) == state.read_mem(
+                    (env[d] + i) % 2**64, 1
+                )
+
+        harness = AdequacyHarness(
+            pred=specs[case.entry],
+            traces=traces,
+            pc_reg=PC,
+            entry=case.entry,
+            stop_at=lambda env: {env[r]},
+            final_check=final_check,
+            extra_constraints=[
+                B.bvult(d, B.bv(0x1000, 64)),
+                B.bvult(B.bv(0x2000, 64), s),
+                B.bvult(s, B.bv(0x3000, 64)),
+                B.bvult(B.bv(0x8000, 64), r),
+                B.eq(B.extract(1, 0, r), B.bv(0, 2)),
+                # rule out the vacuous case where source == dest bytes
+                B.not_(B.eq(meta["bs"][0], meta["bd"][0])),
+            ],
+        )
+        with pytest.raises(AssertionError):
+            harness.run(iterations=5)

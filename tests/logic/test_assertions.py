@@ -1,0 +1,226 @@
+"""Tests for the assertion language and predicate builder."""
+
+import pytest
+
+from repro.itl.events import Reg
+from repro.logic import (
+    InstrPre,
+    MemArray,
+    MemPointsTo,
+    MMIO,
+    Pred,
+    PredBuilder,
+    RegCol,
+    RegPointsTo,
+    SpecAssertion,
+    SStop,
+)
+from repro.logic.assertions import pred_vars, substitute_assertion, substitute_pred
+from repro.smt import builder as B
+
+
+def x(name, w=64):
+    return B.bv_var(name, w)
+
+
+class TestPredBuilder:
+    def test_reg_and_wildcards(self):
+        p = PredBuilder().reg("R0", B.bv(1, 64)).reg_any("R1", "R2").build()
+        assert len(p.assertions) == 3
+        assert p.assertions[0] == RegPointsTo(Reg("R0"), B.bv(1, 64))
+        assert p.assertions[1].value is None
+
+    def test_reg_col_int_values_get_width(self):
+        p = PredBuilder().reg_col("sys", {"PSTATE.EL": 2, "VBAR_EL2": 0}).build()
+        col = p.assertions[0]
+        values = dict(col.entries)
+        assert values[Reg("PSTATE", "EL")].width == 2
+        assert values[Reg("VBAR_EL2")].width == 64
+
+    def test_mem_infers_size(self):
+        p = PredBuilder().mem(0x100, B.bv(0xAB, 8)).build()
+        assert p.assertions[0].nbytes == 1
+
+    def test_mem_array(self):
+        vals = [x(f"b{i}", 8) for i in range(3)]
+        p = PredBuilder().mem_array(0x100, vals).build()
+        arr = p.assertions[0]
+        assert isinstance(arr, MemArray)
+        assert len(arr.values) == 3 and arr.elem_bytes == 1
+
+    def test_instr_pre_and_spec(self):
+        inner = PredBuilder().reg_any("R0").build()
+        p = PredBuilder().instr_pre(0x40, inner).spec(SStop()).build()
+        assert isinstance(p.assertions[0], InstrPre)
+        assert isinstance(p.assertions[1], SpecAssertion)
+
+    def test_exists_and_pure(self):
+        v = x("v")
+        p = PredBuilder().exists(v).reg("R0", v).pure(B.bvult(v, B.bv(8, 64))).build()
+        assert p.exists == (v,)
+        assert len(p.pure) == 1
+
+
+class TestSubstitution:
+    def test_reg_points_to(self):
+        v = x("v")
+        a = RegPointsTo(Reg("R0"), B.bvadd(v, B.bv(1, 64)))
+        out = substitute_assertion(a, {v: B.bv(5, 64)})
+        assert out.value == B.bv(6, 64)
+
+    def test_wildcard_unchanged(self):
+        a = RegPointsTo(Reg("R0"), None)
+        assert substitute_assertion(a, {x("v"): B.bv(0, 64)}) is a
+
+    def test_array_elements(self):
+        v = x("v", 8)
+        a = MemArray(x("base"), (v, B.bv(1, 8)), 1)
+        out = substitute_assertion(a, {v: B.bv(9, 8)})
+        assert out.values[0] == B.bv(9, 8)
+
+    def test_nested_instr_pre(self):
+        v = x("v")
+        inner = Pred(assertions=(RegPointsTo(Reg("R0"), v),))
+        a = InstrPre(x("addr"), inner)
+        out = substitute_assertion(a, {v: B.bv(3, 64)})
+        assert out.pred.assertions[0].value == B.bv(3, 64)
+
+    def test_binders_shadow(self):
+        v = x("v")
+        p = Pred(exists=(v,), assertions=(RegPointsTo(Reg("R0"), v),))
+        out = substitute_pred(p, {v: B.bv(1, 64)})
+        assert out.assertions[0].value is v  # bound occurrence untouched
+
+    def test_pred_vars_collects_nested(self):
+        v, w = x("v"), x("w")
+        inner = Pred(assertions=(RegPointsTo(Reg("R0"), w),))
+        p = Pred(
+            assertions=(RegPointsTo(Reg("R1"), v), InstrPre(x("a"), inner)),
+            pure=(B.bvult(v, B.bv(2, 64)),),
+        )
+        assert {v, w, x("a")} <= pred_vars(p)
+
+
+class TestContextAdmission:
+    def test_duplicate_register_rejected(self):
+        from repro.logic import Context, ProofError
+
+        ctx = Context()
+        ctx.admit(RegPointsTo(Reg("R0"), None))
+        with pytest.raises(ProofError):
+            ctx.admit(RegPointsTo(Reg("R0"), B.bv(1, 64)))
+
+    def test_duplicate_between_col_and_single(self):
+        from repro.logic import Context, ProofError
+
+        ctx = Context()
+        ctx.admit(RegCol("c", ((Reg("R0"), None),)))
+        with pytest.raises(ProofError):
+            ctx.admit(RegPointsTo(Reg("R0"), None))
+
+    def test_duplicate_spec_rejected(self):
+        from repro.logic import Context, ProofError
+
+        ctx = Context()
+        ctx.admit(SpecAssertion(SStop()))
+        with pytest.raises(ProofError):
+            ctx.admit(SpecAssertion(SStop()))
+
+    def test_find_reg_in_collection(self):
+        from repro.logic import Context
+
+        ctx = Context()
+        ctx.admit(RegCol("c", ((Reg("R7"), B.bv(9, 64)),)))
+        match = ctx.find_reg(Reg("R7"))
+        assert match.kind == "collection" and match.value == B.bv(9, 64)
+
+    def test_missing_register(self):
+        from repro.logic import Context, ProofError
+
+        with pytest.raises(ProofError):
+            Context().find_reg(Reg("R0"))
+
+    def test_wildcard_materialises_fresh(self):
+        from repro.logic import Context
+
+        ctx = Context()
+        ctx.admit(RegPointsTo(Reg("R0"), None))
+        v1 = ctx.read_reg_value(Reg("R0"))
+        v2 = ctx.read_reg_value(Reg("R0"))
+        assert v1 is v2  # materialised once
+        assert v1.is_var()
+
+
+class TestFindMem:
+    def make_ctx(self):
+        from repro.logic import Context
+
+        ctx = Context()
+        ctx.admit(MemPointsTo(B.bv(0x100, 64), B.bv(0xAB, 8), 1))
+        ctx.admit(MemArray(B.bv(0x200, 64), tuple(B.bv(i, 8) for i in range(4)), 1))
+        ctx.admit(MMIO(B.bv(0x9000, 64), 4))
+        return ctx
+
+    def test_exact_points_to(self):
+        match = self.make_ctx().find_mem(B.bv(0x100, 64), 1)
+        assert match.kind == "points_to"
+
+    def test_array_constant_offset(self):
+        match = self.make_ctx().find_mem(B.bv(0x202, 64), 1)
+        assert match.kind == "array_const" and match.index == 2
+
+    def test_array_out_of_bounds_not_matched(self):
+        from repro.logic import ProofError
+
+        with pytest.raises(ProofError):
+            self.make_ctx().find_mem(B.bv(0x204, 64), 1)
+
+    def test_mmio(self):
+        match = self.make_ctx().find_mem(B.bv(0x9000, 64), 4)
+        assert match.kind == "mmio"
+
+    def test_wrong_size_not_matched(self):
+        from repro.logic import ProofError
+
+        with pytest.raises(ProofError):
+            self.make_ctx().find_mem(B.bv(0x100, 64), 4)
+
+    def test_symbolic_index_with_bound(self):
+        from repro.logic import Context
+
+        ctx = Context()
+        i = B.bv_var("i", 64)
+        base = B.bv_var("base", 64)
+        ctx.admit(MemArray(base, tuple(B.bv(0, 8) for _ in range(4)), 1))
+        ctx.assume(B.bvult(i, B.bv(4, 64)))
+        match = ctx.find_mem(B.bvadd(base, i), 1)
+        assert match.kind == "array_sym"
+        assert match.index is i
+
+    def test_array_read_symbolic_builds_ite_chain(self):
+        from repro.logic import Context
+
+        ctx = Context()
+        i = B.bv_var("i", 64)
+        vals = tuple(B.bv_var(f"e{k}", 8) for k in range(3))
+        arr = MemArray(B.bv_var("base", 64), vals, 1)
+        ctx.admit(arr)
+        out = ctx.array_read(arr, i)
+        from repro.smt import evaluate
+
+        env = {i: 1, vals[0]: 7, vals[1]: 8, vals[2]: 9}
+        assert evaluate(out, env) == 8
+
+    def test_array_write_symbolic_updates_conditionally(self):
+        from repro.logic import Context
+        from repro.smt import evaluate
+
+        ctx = Context()
+        i = B.bv_var("i", 64)
+        vals = tuple(B.bv(10 + k, 8) for k in range(3))
+        arr = MemArray(B.bv_var("base", 64), vals, 1)
+        ctx.admit(arr)
+        ctx.array_write(arr, i, B.bv(0xFF, 8))
+        new = ctx.arrays[0]
+        env = {i: 2}
+        assert [evaluate(v, env) for v in new.values] == [10, 11, 0xFF]

@@ -1,0 +1,377 @@
+"""Tests for the proof engine: rule behaviour, soundness (bad programs and
+bad specs must fail), and entailment mechanics.
+
+Programs here are tiny hand-assembled Arm snippets run through the real
+frontend, so these are integration tests of the full verification stack.
+"""
+
+import pytest
+
+from repro.arch.arm import ArmModel, encode as A
+from repro.arch.arm.abi import cnvz_regs, sys_regs
+from repro.arch.arm.regs import PC
+from repro.frontend import ProgramImage, generate_instruction_map
+from repro.isla import Assumptions
+from repro.logic import Pred, PredBuilder, ProofEngine, ProofError
+from repro.smt import builder as B
+
+BASE = 0x1000
+
+
+def program(*opcodes, assumptions=None):
+    image = ProgramImage().place(BASE, list(opcodes))
+    fe = generate_instruction_map(
+        ArmModel(),
+        image,
+        assumptions or Assumptions().pin("PSTATE.EL", 2, 2).pin("PSTATE.SP", 1, 1),
+    )
+    return fe.traces
+
+
+def verify(traces, specs):
+    engine = ProofEngine(traces, specs, PC)
+    return engine.verify_all()
+
+
+def ret_post(**regs):
+    pb = PredBuilder()
+    for name, value in regs.items():
+        if value is None:
+            pb.reg_any(name)
+        else:
+            pb.reg(name, value)
+    return pb.build()
+
+
+class TestStraightLine:
+    def test_add_immediate(self):
+        x = B.bv_var("x", 64)
+        r = B.bv_var("r", 64)
+        traces = program(A.add_imm(0, 0, 5), A.ret())
+        post = ret_post(R0=B.bvadd(x, B.bv(5, 64)), R30=None)
+        spec = (
+            PredBuilder()
+            .exists(x, r)
+            .reg("R0", x)
+            .reg("R30", r)
+            .instr_pre(r, post)
+            .build()
+        )
+        proof = verify(traces, {BASE: spec})
+        assert proof.blocks_verified == [BASE]
+
+    def test_wrong_postcondition_fails(self):
+        x = B.bv_var("x", 64)
+        r = B.bv_var("r", 64)
+        traces = program(A.add_imm(0, 0, 5), A.ret())
+        post = ret_post(R0=B.bvadd(x, B.bv(6, 64)), R30=None)  # wrong!
+        spec = (
+            PredBuilder()
+            .exists(x, r)
+            .reg("R0", x)
+            .reg("R30", r)
+            .instr_pre(r, post)
+            .build()
+        )
+        with pytest.raises(ProofError):
+            verify(traces, {BASE: spec})
+
+    def test_missing_register_ownership_fails(self):
+        r = B.bv_var("r", 64)
+        traces = program(A.add_imm(0, 0, 5), A.ret())
+        spec = (
+            PredBuilder()
+            .exists(r)
+            .reg("R30", r)  # no R0 ownership!
+            .instr_pre(r, ret_post(R30=None))
+            .build()
+        )
+        with pytest.raises(ProofError, match="R0"):
+            verify(traces, {BASE: spec})
+
+    def test_mov_chain(self):
+        r = B.bv_var("r", 64)
+        traces = program(A.mov_imm(0, 7), A.mov_reg(1, 0), A.ret())
+        post = ret_post(R0=B.bv(7, 64), R1=B.bv(7, 64), R30=None)
+        spec = (
+            PredBuilder()
+            .exists(r)
+            .reg_any("R0", "R1")
+            .reg("R30", r)
+            .instr_pre(r, post)
+            .build()
+        )
+        verify(traces, {BASE: spec})
+
+
+class TestAssumeRegObligations:
+    def test_assume_discharged_by_ownership(self):
+        # add sp,sp,#0x40 traces carry PSTATE assume-regs; providing the
+        # pinned values discharges them.
+        r = B.bv_var("r", 64)
+        sp = B.bv_var("sp", 64)
+        traces = program(A.add_imm(31, 31, 0x40), A.ret())
+        post = ret_post(SP_EL2=B.bvadd(sp, B.bv(0x40, 64)), R30=None)
+        spec = (
+            PredBuilder()
+            .exists(r, sp)
+            .reg("SP_EL2", sp)
+            .reg("R30", r)
+            .reg_col("sys_regs", sys_regs(2, 1))
+            .instr_pre(r, post)
+            .build()
+        )
+        verify(traces, {BASE: spec})
+
+    def test_assume_with_wrong_value_fails(self):
+        r = B.bv_var("r", 64)
+        sp = B.bv_var("sp", 64)
+        traces = program(A.add_imm(31, 31, 0x40), A.ret())
+        spec = (
+            PredBuilder()
+            .exists(r, sp)
+            .reg("SP_EL2", sp)
+            .reg("R30", r)
+            .reg_col("sys_regs", sys_regs(1, 1))  # claims EL1, trace assumed EL2
+            .instr_pre(r, ret_post(SP_EL2=None, R30=None))
+            .build()
+        )
+        with pytest.raises(ProofError):
+            verify(traces, {BASE: spec})
+
+
+class TestBranching:
+    def make_cbz_program(self):
+        # cbz x0, +8 ; mov x1, #1 ; ret   /  target: mov x1, #2 ; ret
+        return program(
+            A.cbz(0, 12),
+            A.mov_imm(1, 1),
+            A.ret(),
+            A.mov_imm(1, 2),
+            A.ret(),
+        )
+
+    def test_both_branches_verified(self):
+        x = B.bv_var("x", 64)
+        r = B.bv_var("r", 64)
+        # The postcondition covers both outcomes with an ite.
+        result = B.ite(B.eq(x, B.bv(0, 64)), B.bv(2, 64), B.bv(1, 64))
+        post = ret_post(R0=None, R1=result, R30=None)
+        spec = (
+            PredBuilder()
+            .exists(x, r)
+            .reg("R0", x)
+            .reg_any("R1")
+            .reg("R30", r)
+            .reg_col("CNVZ_regs", cnvz_regs())
+            .instr_pre(r, post)
+            .build()
+        )
+        verify(self.make_cbz_program(), {BASE: spec})
+
+    def test_branch_specific_bug_caught(self):
+        x = B.bv_var("x", 64)
+        r = B.bv_var("r", 64)
+        # Wrong: claims R1 = 1 unconditionally.
+        post = ret_post(R0=None, R1=B.bv(1, 64), R30=None)
+        spec = (
+            PredBuilder()
+            .exists(x, r)
+            .reg("R0", x)
+            .reg_any("R1")
+            .reg("R30", r)
+            .reg_col("CNVZ_regs", cnvz_regs())
+            .instr_pre(r, post)
+            .build()
+        )
+        with pytest.raises(ProofError):
+            verify(self.make_cbz_program(), {BASE: spec})
+
+    def test_infeasible_branch_pruned_by_precondition(self):
+        x = B.bv_var("x", 64)
+        r = B.bv_var("r", 64)
+        post = ret_post(R0=None, R1=B.bv(1, 64), R30=None)
+        spec = (
+            PredBuilder()
+            .exists(x, r)
+            .reg("R0", x)
+            .reg_any("R1")
+            .reg("R30", r)
+            .reg_col("CNVZ_regs", cnvz_regs())
+            .instr_pre(r, post)
+            .pure(B.not_(B.eq(x, B.bv(0, 64))))  # x != 0: cbz never taken
+            .build()
+        )
+        verify(self.make_cbz_program(), {BASE: spec})
+
+
+class TestMemoryRules:
+    def test_load_store_via_points_to(self):
+        a = B.bv_var("a", 64)
+        v = B.bv_var("v", 8)
+        r = B.bv_var("r", 64)
+        # ldrb w0, [x1] ; strb w0, [x2] ; ret
+        traces = program(A.ldrb_imm(0, 1), A.strb_imm(0, 2), A.ret())
+        b_addr = B.bv_var("b", 64)
+        post = (
+            PredBuilder()
+            .reg_any("R0", "R1", "R2", "R30")
+            .mem(a, v, 1)
+            .mem(b_addr, v, 1)  # the copied byte
+            .build()
+        )
+        spec = (
+            PredBuilder()
+            .exists(a, b_addr, v, r)
+            .reg_any("R0")
+            .reg("R1", a)
+            .reg("R2", b_addr)
+            .reg("R30", r)
+            .mem(a, v, 1)
+            .mem(b_addr, B.bv_var("old", 8), 1)
+            .exists(B.bv_var("old", 8))
+            .instr_pre(r, post)
+            .build()
+        )
+        verify(traces, {BASE: spec})
+
+    def test_store_without_ownership_fails(self):
+        a = B.bv_var("a", 64)
+        r = B.bv_var("r", 64)
+        traces = program(A.strb_imm(0, 1), A.ret())
+        spec = (
+            PredBuilder()
+            .exists(a, r)
+            .reg_any("R0")
+            .reg("R1", a)
+            .reg("R30", r)
+            .instr_pre(r, ret_post(R30=None))
+            .build()
+        )
+        with pytest.raises(ProofError, match="memory"):
+            verify(traces, {BASE: spec})
+
+
+class TestContinuations:
+    def test_fell_off_program_fails(self):
+        r = B.bv_var("r", 64)
+        traces = program(A.nop())  # no ret, nothing at BASE+4
+        spec = PredBuilder().exists(r).reg("R30", r).build()
+        with pytest.raises(ProofError):
+            verify(traces, {BASE: spec})
+
+    def test_loop_without_invariant_exhausts_fuel(self):
+        from repro.logic import EngineConfig
+
+        # The loop head (BASE+4) has no spec, so hoare-instr inlines forever.
+        traces = program(A.b(4), A.b(0))
+        spec = Pred()
+        engine = ProofEngine(traces, {BASE: spec}, PC, EngineConfig(max_inline_instructions=32))
+        with pytest.raises(ProofError, match="budget|invariant"):
+            engine.verify_all()
+
+    def test_self_loop_with_block_spec_verifies(self):
+        # b . with its own spec: the Löb rule at work.
+        traces = program(A.b(0))
+        spec = PredBuilder().reg("R0", B.bv(42, 64)).build()
+        verify(traces, {BASE: spec})
+
+    def test_block_spec_address_without_code_fails(self):
+        traces = program(A.nop())
+        with pytest.raises(ProofError):
+            verify(traces, {0x9999: Pred()})
+
+
+class TestProofObjects:
+    def test_rules_recorded(self):
+        r = B.bv_var("r", 64)
+        traces = program(A.mov_imm(0, 1), A.ret())
+        spec = (
+            PredBuilder()
+            .exists(r)
+            .reg_any("R0")
+            .reg("R30", r)
+            .instr_pre(r, ret_post(R0=B.bv(1, 64), R30=None))
+            .build()
+        )
+        proof = verify(traces, {BASE: spec})
+        rules = proof.rules_used()
+        assert rules["hoare-instr"] >= 1
+        assert rules["hoare-write-reg"] >= 1
+        assert rules["entail"] >= 1
+        assert proof.summary()
+
+    def test_checker_accepts_valid_proof(self):
+        from repro.logic.checker import check_proof
+
+        r = B.bv_var("r", 64)
+        traces = program(A.mov_imm(0, 1), A.ret())
+        spec = (
+            PredBuilder()
+            .exists(r)
+            .reg_any("R0")
+            .reg("R30", r)
+            .instr_pre(r, ret_post(R0=B.bv(1, 64), R30=None))
+            .build()
+        )
+        proof = verify(traces, {BASE: spec})
+        report = check_proof(proof, expected_blocks={BASE})
+        assert report.steps_checked == len(proof.steps)
+
+    def test_checker_rejects_tampered_side_condition(self):
+        from repro.logic.checker import CheckFailure, check_proof
+        from repro.logic.proof import ProofStep, SideCondition
+
+        r = B.bv_var("r", 64)
+        traces = program(A.mov_imm(0, 1), A.ret())
+        spec = (
+            PredBuilder()
+            .exists(r)
+            .reg_any("R0")
+            .reg("R30", r)
+            .instr_pre(r, ret_post(R0=B.bv(1, 64), R30=None))
+            .build()
+        )
+        proof = verify(traces, {BASE: spec})
+        x = B.bv_var("tamper", 64)
+        proof.steps.append(
+            ProofStep(
+                "hoare-assume",
+                "forged",
+                BASE,
+                (),
+                (SideCondition((), B.eq(x, B.bv(1, 64)), "forged claim"),),
+            )
+        )
+        with pytest.raises(CheckFailure):
+            check_proof(proof)
+
+    def test_failure_includes_countermodel(self):
+        x = B.bv_var("x", 64)
+        r = B.bv_var("r", 64)
+        traces = program(A.add_imm(0, 0, 5), A.ret())
+        post = (
+            PredBuilder()
+            .reg_any("R0", "R30")
+            .pure(B.bvult(B.bvadd(x, B.bv(5, 64)), B.bv(100, 64)))
+            .build()
+        )
+        spec = (
+            PredBuilder()
+            .exists(x, r)
+            .reg("R0", x)
+            .reg("R30", r)
+            .instr_pre(r, post)
+            .build()
+        )
+        with pytest.raises(ProofError, match="countermodel"):
+            verify(traces, {BASE: spec})
+
+    def test_checker_rejects_unknown_rule(self):
+        from repro.logic.checker import CheckFailure, check_proof
+        from repro.logic.proof import Proof, ProofStep
+
+        proof = Proof()
+        proof.add(ProofStep("hoare-made-up", "", 0, ()))
+        with pytest.raises(CheckFailure):
+            check_proof(proof)

@@ -1,0 +1,112 @@
+"""Property tests for the separation logic.
+
+The key structural property of a separation logic is the *frame rule*:
+adding unrelated resources to the precondition never breaks a verification
+(they are simply carried along / dropped at the end, since the logic is
+affine).  We check it by re-verifying case studies under randomly framed
+specifications.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.arch.arm import ArmModel, encode as A
+from repro.arch.arm.regs import PC
+from repro.frontend import ProgramImage, generate_instruction_map
+from repro.isla import Assumptions
+from repro.logic import Pred, PredBuilder, ProofEngine, RegPointsTo
+from repro.itl.events import Reg
+from repro.smt import builder as B
+
+BASE = 0x1000
+
+# Registers and memory locations never touched by the test program.
+FRAME_REGS = ["R7", "R11", "R13", "R17", "R21", "R28", "VBAR_EL1", "TPIDR_EL0"]
+
+
+@pytest.fixture(scope="module")
+def add_program():
+    image = ProgramImage().place(BASE, [A.add_imm(0, 0, 5), A.ret()])
+    return generate_instruction_map(
+        ArmModel(), image, Assumptions().pin("PSTATE.EL", 2, 2).pin("PSTATE.SP", 1, 1)
+    ).traces
+
+
+def base_spec(frame_assertions=()):
+    x = B.bv_var("fx", 64)
+    r = B.bv_var("fr", 64)
+    post = (
+        PredBuilder().reg("R0", B.bvadd(x, B.bv(5, 64))).reg_any("R30").build()
+    )
+    pb = (
+        PredBuilder()
+        .exists(x, r)
+        .reg("R0", x)
+        .reg("R30", r)
+        .instr_pre(r, post)
+    )
+    pred = pb.build()
+    return Pred(pred.exists, pred.assertions + tuple(frame_assertions), pred.pure)
+
+
+class TestFrameRule:
+    @given(st.sets(st.sampled_from(FRAME_REGS), max_size=len(FRAME_REGS)))
+    @settings(max_examples=25, deadline=None)
+    def test_register_frames_do_not_break_verification(self, add_program, frame):
+        frames = tuple(RegPointsTo(Reg.parse(name), None) for name in sorted(frame))
+        spec = base_spec(frames)
+        proof = ProofEngine(add_program, {BASE: spec}, PC).verify_all()
+        assert proof.blocks_verified == [BASE]
+
+    @given(st.integers(0, 5), st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_memory_frames_do_not_break_verification(self, add_program, n, seed):
+        from repro.logic import MemPointsTo
+
+        frames = tuple(
+            MemPointsTo(B.bv(0x8000 + 16 * i + seed % 7, 64), B.bv(i, 8), 1)
+            for i in range(n)
+        )
+        spec = base_spec(frames)
+        proof = ProofEngine(add_program, {BASE: spec}, PC).verify_all()
+        assert proof.blocks_verified == [BASE]
+
+    def test_framed_memcpy_still_verifies(self):
+        from repro.casestudies import memcpy_arm
+
+        case = memcpy_arm.build(n=2)
+        extra = tuple(
+            RegPointsTo(Reg.parse(name), None) for name in FRAME_REGS
+        )
+        specs = {
+            addr: Pred(p.exists, p.assertions + extra, p.pure)
+            for addr, p in case.specs.items()
+        }
+        proof = ProofEngine(case.frontend.traces, specs, PC).verify_all()
+        assert sorted(proof.blocks_verified) == sorted(specs)
+
+
+class TestPurePropagation:
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_concrete_instances_verify(self, add_program, value):
+        """The universally-quantified spec specialises to any concrete x."""
+        x = B.bv_var("fx", 64)
+        r = B.bv_var("fr", 64)
+        post = (
+            PredBuilder()
+            .reg("R0", B.bv((value + 5) & ((1 << 64) - 1), 64))
+            .reg_any("R30")
+            .build()
+        )
+        spec = (
+            PredBuilder()
+            .exists(r)
+            .reg("R0", B.bv(value, 64))
+            .reg("R30", r)
+            .instr_pre(r, post)
+            .build()
+        )
+        proof = ProofEngine(add_program, {BASE: spec}, PC).verify_all()
+        assert proof.blocks_verified == [BASE]

@@ -1,0 +1,189 @@
+"""Modular interprocedural verification.
+
+The paper's ``a @@ Q`` machinery composes: a callee verified against its own
+specification can be *called* by a caller whose proof only uses that
+specification (never the callee's code).  This test verifies a two-function
+program — ``double_inc`` calls ``inc`` twice via ``bl``, with a stack frame
+for the saved link register — exercising:
+
+- bl / ret linkage through @@,
+- stp/ldp stack frames with SP writeback,
+- per-function block specifications with a continuation spec between the
+  two calls (the "intermediate specifications for chunks of code" of §2.8).
+"""
+
+import pytest
+
+from repro.arch.arm import ArmModel, encode as A
+from repro.arch.arm.regs import PC
+from repro.frontend import ProgramImage, generate_instruction_map
+from repro.isla import Assumptions
+from repro.logic import Pred, PredBuilder, ProofEngine, ProofError
+from repro.smt import builder as B
+
+INC = 0x2000  # long inc(long x) { return x + 1; }
+DOUBLE_INC = 0x1000  # long double_inc(long x) { return inc(inc(x)); }
+MID = DOUBLE_INC + 8  # return site of the first call
+END = DOUBLE_INC + 12  # return site of the second call
+
+SYS = {"PSTATE.EL": 2, "PSTATE.SP": 1, "SCTLR_EL2": 0}
+
+
+def build_program():
+    image = ProgramImage()
+    image.place(
+        DOUBLE_INC,
+        [
+            A.str64_pre(30, 31, -16),              # str x30, [sp, #-16]!
+            A.bl(INC - (DOUBLE_INC + 4)),          # bl inc
+            A.bl(INC - (DOUBLE_INC + 8)),          # bl inc
+            A.ldr64_post(30, 31, 16),              # ldr x30, [sp], #16
+            A.ret(),
+        ],
+        label="double_inc",
+    )
+    image.place(INC, [A.add_imm(0, 0, 1), A.ret()], label="inc")
+    assumptions = Assumptions()
+    for reg, val in SYS.items():
+        assumptions.pin(reg, val, 2 if reg == "PSTATE.EL" else (1 if reg == "PSTATE.SP" else 64))
+    return generate_instruction_map(ArmModel(), image, assumptions)
+
+
+def build_specs():
+    sp = B.bv_var("sp", 64)
+    lr = B.bv_var("lr", 64)
+    pad = B.bv_var("pad", 64)
+    one = B.bv(1, 64)
+    two = B.bv(2, 64)
+
+    def caller_post(x: B.Term) -> Pred:
+        """The caller's contract: x0 := x + 2, SP and stack restored."""
+        return (
+            PredBuilder()
+            .exists(pad)
+            .reg("R0", B.bvadd(x, two))
+            .reg_any("R30")
+            .reg("SP_EL2", sp)
+            .reg_col("sys_regs", dict(SYS))
+            .mem(B.bvsub(sp, B.bv(16, 64)), lr, 8)
+            .mem(B.bvsub(sp, B.bv(8, 64)), pad, 8)
+            .build()
+        )
+
+    x = B.bv_var("x", 64)
+    slot = B.bv_var("slot", 64)
+    entry = (
+        PredBuilder()
+        .exists(x, sp, lr, slot, pad)
+        .reg("R0", x)
+        .reg("R30", lr)
+        .reg("SP_EL2", sp)
+        .reg_col("sys_regs", dict(SYS))
+        .mem(B.bvsub(sp, B.bv(16, 64)), slot, 8)
+        .mem(B.bvsub(sp, B.bv(8, 64)), pad, 8)
+        .instr_pre(lr, caller_post(x))
+        .build()
+    )
+
+    def frame(pb: PredBuilder) -> PredBuilder:
+        """The stacked frame every intermediate spec carries.
+
+        Resources whose patterns *bind* evars (registers, SP, memory) come
+        before the code-pointer assertion that uses them — the Lithium
+        evar discipline.
+        """
+        return (
+            pb.reg("SP_EL2", B.bvsub(sp, B.bv(16, 64)))
+            .reg_col("sys_regs", dict(SYS))
+            .mem(B.bvsub(sp, B.bv(16, 64)), lr, 8)
+            .mem(B.bvsub(sp, B.bv(8, 64)), pad, 8)
+        )
+
+    # Continuation specs at the two return sites, phrased over the *current*
+    # x0 value r0 (which binds directly), deriving the original argument.
+    r0 = B.bv_var("r0", 64)
+    mid = (
+        frame(PredBuilder().exists(r0, sp, lr, pad).reg("R0", r0).reg_any("R30"))
+        .instr_pre(lr, caller_post(B.bvsub(r0, one)))
+        .build()
+    )
+    end = (
+        frame(PredBuilder().exists(r0, sp, lr, pad).reg("R0", r0).reg_any("R30"))
+        .instr_pre(lr, caller_post(B.bvsub(r0, two)))
+        .build()
+    )
+
+    # inc's contract: callable from either site with the frame intact; the
+    # original argument is derived from the return address (at MID the
+    # argument is x itself, at END it is x + 1).
+    a = B.bv_var("a", 64)
+    ra = B.bv_var("ra", 64)
+    x_expr = B.ite(B.eq(ra, B.bv(MID, 64)), a, B.bvsub(a, one))
+    inc_spec = (
+        frame(
+            PredBuilder()
+            .exists(a, ra, sp, lr, pad)
+            .reg("R0", a)
+            .reg("R30", ra)
+        )
+        .instr_pre(lr, caller_post(x_expr))
+        .pure(B.or_(B.eq(ra, B.bv(MID, 64)), B.eq(ra, B.bv(END, 64))))
+        .build()
+    )
+
+    return {DOUBLE_INC: entry, MID: mid, END: end, INC: inc_spec}
+
+
+class TestInterprocedural:
+    def test_verifies(self):
+        fe = build_program()
+        proof = ProofEngine(fe.traces, build_specs(), PC).verify_all()
+        assert sorted(proof.blocks_verified) == [DOUBLE_INC, MID, END, INC]
+
+    def test_proof_rechecks(self):
+        from repro.logic.checker import check_proof
+
+        fe = build_program()
+        proof = ProofEngine(fe.traces, build_specs(), PC).verify_all()
+        check_proof(proof, expected_blocks=set(build_specs()))
+
+    def test_wrong_callee_breaks_caller(self):
+        """Replace inc's body with x0 += 2: the continuation specs fail."""
+        image = ProgramImage()
+        image.place(
+            DOUBLE_INC,
+            [
+                A.str64_pre(30, 31, -16),
+                A.bl(INC - (DOUBLE_INC + 4)),
+                A.bl(INC - (DOUBLE_INC + 8)),
+                A.ldr64_post(30, 31, 16),
+                A.ret(),
+            ],
+        )
+        image.place(INC, [A.add_imm(0, 0, 2), A.ret()])  # BUG
+        assumptions = Assumptions().pin("PSTATE.EL", 2, 2).pin("PSTATE.SP", 1, 1).pin("SCTLR_EL2", 0, 64)
+        fe = generate_instruction_map(ArmModel(), image, assumptions)
+        with pytest.raises(ProofError):
+            ProofEngine(fe.traces, build_specs(), PC).verify_all()
+
+    def test_runs_concretely(self):
+        from repro.frontend import install_traces
+        from repro.itl import MachineState, Runner
+        from repro.itl.events import Reg
+
+        fe = build_program()
+        state = MachineState(pc_reg=PC)
+        install_traces(fe.traces, state)
+        state.write_reg(PC, DOUBLE_INC)
+        state.write_reg(Reg("R0"), 40)
+        state.write_reg(Reg("R30"), 0x9000)
+        state.write_reg(Reg("SP_EL2"), 0x8010)
+        for name, value in SYS.items():
+            state.write_reg(Reg.parse(name), value)
+        state.write_mem(0x8000, 0, 8)
+        state.write_mem(0x8008, 0, 8)
+        runner = Runner(state)
+        result = runner.run()
+        assert result.status == "end"
+        assert runner.state.read_reg(Reg("R0")) == 42
+        assert runner.state.read_reg(Reg("SP_EL2")) == 0x8010

@@ -1,0 +1,90 @@
+"""Tests for proof-certificate serialisation and out-of-process checking."""
+
+import pytest
+
+from repro.casestudies import memcpy_arm, rbit, uart
+from repro.logic.checker import CheckFailure, check_proof
+from repro.logic.proof import Proof
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("module,kwargs", [
+        (rbit, {}),
+        (memcpy_arm, {"n": 2}),
+        (uart, {}),
+    ])
+    def test_serialise_and_recheck(self, module, kwargs):
+        case = module.build(**kwargs)
+        proof = module.verify(case)
+        text = proof.to_json()
+        reloaded = Proof.from_json(text)
+        assert len(reloaded.steps) == len(proof.steps)
+        assert reloaded.blocks_verified == proof.blocks_verified
+        report = check_proof(reloaded, expected_blocks=set(case.specs))
+        assert report.side_conditions_checked == proof.num_side_conditions
+
+    def test_side_conditions_survive(self):
+        case = memcpy_arm.build(n=2)
+        proof = memcpy_arm.verify(case)
+        reloaded = Proof.from_json(proof.to_json())
+        for orig, new in zip(proof.steps, reloaded.steps):
+            assert orig.rule == new.rule
+            assert len(orig.side_conditions) == len(new.side_conditions)
+            for a, b in zip(orig.side_conditions, new.side_conditions):
+                # Terms are interned: reparsing must reproduce them exactly.
+                assert a.goal == b.goal
+
+    def test_tampered_json_rejected(self):
+        case = rbit.build()
+        proof = rbit.verify(case)
+        import json
+
+        data = json.loads(proof.to_json())
+        # Flip a side-condition goal to something false.
+        for step in data["steps"]:
+            for sc in step["side_conditions"]:
+                sc["goal"] = {"sexpr": "(= #b1 #b0)", "vars": {}}
+                break
+            else:
+                continue
+            break
+        tampered = Proof.from_json(json.dumps(data))
+        with pytest.raises(CheckFailure):
+            check_proof(tampered)
+
+    def test_version_checked(self):
+        with pytest.raises(ValueError):
+            Proof.from_json('{"version": 99}')
+
+
+class TestCheckCli:
+    def test_roundtrip_through_file(self, tmp_path, capsys):
+        from repro.tools.check import main
+
+        case = rbit.build()
+        proof = rbit.verify(case)
+        path = tmp_path / "proof.json"
+        path.write_text(proof.to_json())
+        assert main([str(path)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_rejects_forged_certificate(self, tmp_path, capsys):
+        from repro.logic.proof import ProofStep, SideCondition
+        from repro.smt import builder as B
+        from repro.tools.check import main
+
+        proof = Proof()
+        x = B.bv_var("forge", 64)
+        proof.add(
+            ProofStep(
+                "hoare-assume",
+                "forged",
+                0,
+                (),
+                (SideCondition((), B.eq(x, B.bv(1, 64)), "unjustified"),),
+            )
+        )
+        proof.blocks_verified = [0]
+        path = tmp_path / "bad.json"
+        path.write_text(proof.to_json())
+        assert main([str(path)]) == 1

@@ -1,0 +1,114 @@
+"""Tests for the label-specification language (``spec(s)``, §4.2/§6)."""
+
+import pytest
+
+from repro.itl.events import LabelEnd, LabelRead, LabelWrite
+from repro.logic.spec import (
+    SAnything,
+    SChoice,
+    SRead,
+    SRec,
+    SStop,
+    SWrite,
+    SpecStuck,
+    head_normal,
+    spec_allows,
+)
+from repro.smt import builder as B
+
+
+def lsr_spec(c_val=0x41):
+    """The UART putc spec with a concrete character."""
+    lsr = B.bv(0x9054, 64)
+    io = B.bv(0x9040, 64)
+
+    def body(loop):
+        return SRead(
+            lsr,
+            4,
+            lambda b: SChoice(
+                B.eq(B.extract(5, 5, b), B.bv(1, 1)),
+                SWrite(io, 4, B.bv(c_val, 32), SStop()),
+                loop,
+            ),
+        )
+
+    return SRec(body)
+
+
+class TestSpecAllows:
+    def test_immediate_ready_write(self):
+        labels = [LabelRead(0x9054, 0x20, 4), LabelWrite(0x9040, 0x41, 4)]
+        assert spec_allows(lsr_spec(), labels)
+
+    def test_polling_then_write(self):
+        labels = [
+            LabelRead(0x9054, 0, 4),
+            LabelRead(0x9054, 0, 4),
+            LabelRead(0x9054, 0x20, 4),
+            LabelWrite(0x9040, 0x41, 4),
+        ]
+        assert spec_allows(lsr_spec(), labels)
+
+    def test_wrong_write_value_rejected(self):
+        labels = [LabelRead(0x9054, 0x20, 4), LabelWrite(0x9040, 0x42, 4)]
+        assert not spec_allows(lsr_spec(), labels)
+
+    def test_write_before_ready_rejected(self):
+        labels = [LabelRead(0x9054, 0, 4), LabelWrite(0x9040, 0x41, 4)]
+        assert not spec_allows(lsr_spec(), labels)
+
+    def test_wrong_address_rejected(self):
+        labels = [LabelRead(0x9000, 0x20, 4)]
+        assert not spec_allows(lsr_spec(), labels)
+
+    def test_extra_io_after_stop_rejected(self):
+        labels = [
+            LabelRead(0x9054, 0x20, 4),
+            LabelWrite(0x9040, 0x41, 4),
+            LabelWrite(0x9040, 0x41, 4),
+        ]
+        assert not spec_allows(lsr_spec(), labels)
+
+    def test_termination_always_allowed(self):
+        assert spec_allows(lsr_spec(), [LabelEnd(0x1234)])
+        assert spec_allows(SStop(), [LabelEnd(0)])
+
+    def test_stop_rejects_io(self):
+        assert not spec_allows(SStop(), [LabelRead(0, 0, 1)])
+
+    def test_anything_allows_everything(self):
+        labels = [LabelRead(1, 2, 4), LabelWrite(3, 4, 4)]
+        assert spec_allows(SAnything(), labels)
+
+    def test_empty_prefix_always_ok(self):
+        assert spec_allows(lsr_spec(), [])
+
+
+class TestHeadNormal:
+    def test_unfold_srec(self):
+        spec = lsr_spec()
+        head = head_normal(spec, lambda cond: None)
+        assert isinstance(head, SRead)
+
+    def test_srec_recursion_is_shared(self):
+        spec = lsr_spec()
+        head = head_normal(spec, lambda cond: None)
+        after = head.cont(B.bv(0, 32))  # not ready
+        resolved = head_normal(after, lambda cond: False)
+        assert resolved is head_normal(spec, lambda c: None)
+
+    def test_choice_resolution(self):
+        spec = SChoice(B.bool_var("p"), SStop(), SAnything())
+        assert isinstance(head_normal(spec, lambda c: True), SStop)
+        assert isinstance(head_normal(spec, lambda c: False), SAnything)
+
+    def test_undecided_choice_is_stuck(self):
+        spec = SChoice(B.bool_var("p"), SStop(), SAnything())
+        with pytest.raises(SpecStuck):
+            head_normal(spec, lambda c: None)
+
+    def test_unguarded_recursion_detected(self):
+        spec = SRec(lambda loop: loop)
+        with pytest.raises(SpecStuck):
+            head_normal(spec, lambda c: None)

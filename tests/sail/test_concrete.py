@@ -1,0 +1,115 @@
+"""Tests for the concrete model interpreter and register files."""
+
+import pytest
+
+from repro.itl.events import LabelRead, LabelWrite, Reg
+from repro.itl.machine import MachineState
+from repro.sail import ConcreteMachine, ModelError, RegisterFile
+from repro.smt import builder as B
+
+
+def make_regfile():
+    rf = RegisterFile()
+    rf.declare("R0", 64)
+    rf.declare("R1", 64, reset=7)
+    rf.declare_struct("PSTATE", {"EL": 2, "SP": 1})
+    return rf
+
+
+class TestRegisterFile:
+    def test_declare_and_width(self):
+        rf = make_regfile()
+        assert rf.width_of(Reg("R0")) == 64
+        assert rf.width_of(Reg("PSTATE", "EL")) == 2
+
+    def test_duplicate_rejected(self):
+        rf = make_regfile()
+        with pytest.raises(ValueError):
+            rf.declare("R0", 64)
+
+    def test_unknown_width_raises(self):
+        with pytest.raises(KeyError):
+            make_regfile().width_of(Reg("R99"))
+
+    def test_contains(self):
+        rf = make_regfile()
+        assert Reg("R0") in rf
+        assert Reg("R9") not in rf
+
+    def test_reset_values(self):
+        resets = make_regfile().reset_values()
+        assert resets[Reg("R1")] == 7
+        assert resets[Reg("R0")] == 0
+
+
+def make_machine():
+    rf = make_regfile()
+    state = MachineState()
+    for reg, val in rf.reset_values().items():
+        state.write_reg(reg, val)
+    return ConcreteMachine(rf, state), state
+
+
+class TestConcreteMachine:
+    def test_read_returns_constant_term(self):
+        m, _ = make_machine()
+        value = m.read_reg(Reg("R1"))
+        assert value.is_value() and value.value == 7 and value.width == 64
+
+    def test_write_updates_state(self):
+        m, state = make_machine()
+        m.write_reg(Reg("R0"), B.bv(42, 64))
+        assert state.read_reg(Reg("R0")) == 42
+
+    def test_width_mismatch_rejected(self):
+        m, _ = make_machine()
+        with pytest.raises(ModelError):
+            m.write_reg(Reg("R0"), B.bv(1, 32))
+
+    def test_symbolic_write_rejected(self):
+        m, _ = make_machine()
+        with pytest.raises(ModelError):
+            m.write_reg(Reg("R0"), B.bv_var("x", 64))
+
+    def test_unmapped_register_read_rejected(self):
+        rf = make_regfile()
+        rf.declare("GHOST", 64)
+        m = ConcreteMachine(rf, MachineState())
+        with pytest.raises(ModelError):
+            m.read_reg(Reg("GHOST"))
+
+    def test_field_registers(self):
+        m, state = make_machine()
+        state.write_reg(Reg("PSTATE", "EL"), 2)
+        assert m.read_reg(Reg("PSTATE", "EL")).value == 2
+
+    def test_mapped_memory_roundtrip(self):
+        m, state = make_machine()
+        state.write_mem(0x100, 0, 4)
+        m.write_mem(B.bv(0x100, 64), B.bv(0xDEADBEEF, 32), 4)
+        assert m.read_mem(B.bv(0x100, 64), 4).value == 0xDEADBEEF
+
+    def test_unmapped_memory_is_device(self):
+        m, _ = make_machine()
+        m.device = lambda a, n: 0x77
+        data = m.read_mem(B.bv(0x9000, 64), 1)
+        assert data.value == 0x77
+        assert m.labels == [LabelRead(0x9000, 0x77, 1)]
+        m.write_mem(B.bv(0x9000, 64), B.bv(0x11, 8), 1)
+        assert m.labels[-1] == LabelWrite(0x9000, 0x11, 1)
+
+    def test_branch_concrete_only(self):
+        m, _ = make_machine()
+        assert m.branch(B.true()) is True
+        assert m.branch(B.false()) is False
+        with pytest.raises(ModelError):
+            m.branch(B.eq(B.bv_var("x", 8), B.bv(0, 8)))
+
+    def test_step_counting(self):
+        m, _ = make_machine()
+        m.read_reg(Reg("R0"))
+        m.write_reg(Reg("R0"), B.bv(1, 64))
+        m.note_call("foo")
+        assert m.counter.steps == 2
+        assert m.counter.calls == 1
+        assert m.counter.functions == ["foo"]

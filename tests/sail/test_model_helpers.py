@@ -1,0 +1,91 @@
+"""Tests for IsaModel conveniences (initial states, concrete runs) and the
+ABI tables."""
+
+import pytest
+
+from repro.arch.arm import ArmModel, encode as A
+from repro.arch.arm.regs import PC
+from repro.arch.riscv import RiscvModel
+from repro.itl.events import Reg
+
+
+class TestInitialState:
+    def test_reset_values_applied(self):
+        model = RiscvModel()
+        state = model.initial_state()
+        assert state.read_reg(Reg("x5")) == 0
+        assert state.read_reg(Reg("mstatus")) == 0
+
+    def test_overrides(self):
+        model = ArmModel()
+        state = model.initial_state({"PSTATE.EL": 2, "R0": 7})
+        assert state.read_reg(Reg("PSTATE", "EL")) == 2
+        assert state.read_reg(Reg("R0")) == 7
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(KeyError):
+            ArmModel().initial_state({"NOT_A_REG": 1})
+
+
+class TestStepAndRun:
+    def test_step_concrete_requires_pc(self):
+        model = ArmModel()
+        state = model.initial_state()
+        state.regs.pop(PC)
+        with pytest.raises(Exception):
+            model.step_concrete(state)
+
+    def test_run_stops_on_unmapped_pc(self):
+        model = ArmModel()
+        state = model.initial_state({"PSTATE.EL": 2, "PSTATE.SP": 1})
+        state.write_reg(PC, 0x1000)
+        state.load_bytes(0x1000, A.nop().to_bytes(4, "little"))
+        labels, executed = model.run_concrete(state)
+        assert executed == 1  # nop, then 0x1004 is unmapped
+
+    def test_run_respects_fuel(self):
+        model = ArmModel()
+        state = model.initial_state({"PSTATE.EL": 2, "PSTATE.SP": 1})
+        state.write_reg(PC, 0x1000)
+        state.load_bytes(0x1000, A.b(0).to_bytes(4, "little"))
+        labels, executed = model.run_concrete(state, max_instructions=9)
+        assert executed == 9
+
+
+class TestAbiTables:
+    def test_arm_abi(self):
+        from repro.arch.arm.abi import ARG_REGS, LINK_REG, cnvz_regs, sys_regs
+
+        assert ARG_REGS[0] == "R0" and LINK_REG == "R30"
+        assert sys_regs(2, 1)["PSTATE.EL"] == 2
+        assert set(cnvz_regs()) == {
+            "PSTATE.N", "PSTATE.Z", "PSTATE.C", "PSTATE.V",
+        }
+
+    def test_riscv_abi(self):
+        from repro.arch.riscv.abi import (
+            ARG_REGS,
+            CALLEE_SAVED,
+            LINK_REG,
+            TEMP_REGS,
+            abi_name,
+        )
+
+        assert ARG_REGS[0] == "x10" and LINK_REG == "x1"
+        assert abi_name("x10") == "a0"
+        assert abi_name("x1") == "ra"
+        # the three classes partition the allocatable registers (with sp/gp/tp)
+        assert not (set(ARG_REGS) & set(CALLEE_SAVED))
+        assert not (set(ARG_REGS) & set(TEMP_REGS))
+
+
+class TestMemcpyEnumerationBoundary:
+    """The loop-invariant proof leans on small-domain enumeration; the
+    documented limit is 16 values for the loop counter (m in [0, n))."""
+
+    def test_n16_verifies(self):
+        from repro.casestudies import memcpy_arm
+
+        case = memcpy_arm.build(n=16)
+        proof = memcpy_arm.verify(case)
+        assert proof.blocks_verified

@@ -1,0 +1,144 @@
+"""Tests for the mini-Sail primitive library, including property tests
+against reference implementations."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.sail import primitives as P
+from repro.smt import builder as B
+from repro.smt import evaluate
+
+
+class TestExtensions:
+    def test_zero_extend(self):
+        assert P.zero_extend(B.bv(0xFF, 8), 16) == B.bv(0xFF, 16)
+
+    def test_zero_extend_same_width(self):
+        x = B.bv_var("x", 8)
+        assert P.zero_extend(x, 8) is x
+
+    def test_zero_extend_shrink_rejected(self):
+        with pytest.raises(ValueError):
+            P.zero_extend(B.bv(0, 16), 8)
+
+    def test_sign_extend(self):
+        assert P.sign_extend(B.bv(0x80, 8), 16) == B.bv(0xFF80, 16)
+        with pytest.raises(ValueError):
+            P.sign_extend(B.bv(0, 16), 8)
+
+    def test_zeros_ones(self):
+        assert P.zeros(4) == B.bv(0, 4)
+        assert P.ones(4) == B.bv(0xF, 4)
+
+
+class TestSlicing:
+    def test_slice_bits(self):
+        assert P.slice_bits(B.bv(0xABCD, 16), 4, 8) == B.bv(0xBC, 8)
+
+    def test_set_slice_middle(self):
+        out = P.set_slice(B.bv(0x0000, 16), 4, B.bv(0xFF, 8))
+        assert out == B.bv(0x0FF0, 16)
+
+    def test_set_slice_bottom(self):
+        out = P.set_slice(B.bv(0xFFFF, 16), 0, B.bv(0x0, 4))
+        assert out == B.bv(0xFFF0, 16)
+
+    def test_set_slice_top(self):
+        out = P.set_slice(B.bv(0x0000, 16), 8, B.bv(0xAB, 8))
+        assert out == B.bv(0xAB00, 16)
+
+    def test_bit_and_bit_set(self):
+        x = B.bv(0b100, 3)
+        assert P.bit(x, 2) == B.bv(1, 1)
+        assert P.bit_set(x, 2) is B.true()
+        assert P.bit_set(x, 0) is B.false()
+
+    def test_replicate(self):
+        assert P.replicate(B.bv(1, 1), 4) == B.bv(0xF, 4)
+        with pytest.raises(ValueError):
+            P.replicate(B.bv(1, 2), 2)
+
+
+class TestAddWithCarry:
+    """The shared Arm add/sub/flags datapath — checked against arithmetic."""
+
+    @staticmethod
+    def reference(x: int, y: int, carry: int, w: int):
+        mask = (1 << w) - 1
+        unsigned = x + y + carry
+        result = unsigned & mask
+        n = result >> (w - 1)
+        z = 1 if result == 0 else 0
+        c = 1 if unsigned > mask else 0
+        sx = x - (1 << w) if x >> (w - 1) else x
+        sy = y - (1 << w) if y >> (w - 1) else y
+        signed = sx + sy + carry
+        sres = result - (1 << w) if result >> (w - 1) else result
+        v = 1 if signed != sres else 0
+        return result, (n << 3) | (z << 2) | (c << 1) | v
+
+    @given(
+        st.integers(0, 255), st.integers(0, 255), st.integers(0, 1)
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_matches_reference_8bit(self, x, y, carry):
+        result, nzcv = P.add_with_carry(B.bv(x, 8), B.bv(y, 8), B.bv(carry, 1))
+        ref_result, ref_nzcv = self.reference(x, y, carry, 8)
+        assert result.value == ref_result
+        assert nzcv.value == ref_nzcv, f"{x}+{y}+{carry}: nzcv {nzcv.value:04b} != {ref_nzcv:04b}"
+
+    def test_subtraction_idiom(self):
+        # cmp x, y == AddWithCarry(x, ~y, 1): equal values set Z and C.
+        x = B.bv(100, 64)
+        result, nzcv = P.add_with_carry(x, B.bvnot(x), B.bv(1, 1))
+        assert result.value == 0
+        assert (nzcv.value >> 2) & 1 == 1  # Z
+        assert (nzcv.value >> 1) & 1 == 1  # C (no borrow)
+
+    def test_symbolic_stays_symbolic(self):
+        x = B.bv_var("x", 64)
+        result, nzcv = P.add_with_carry(x, B.bv(1, 64), B.bv(0, 1))
+        assert not result.is_value()
+        assert result.width == 64 and nzcv.width == 4
+
+
+class TestBitManipulation:
+    @given(st.integers(0, 255))
+    @settings(max_examples=100, deadline=None)
+    def test_reverse_bits_involution(self, x):
+        t = B.bv(x, 8)
+        assert P.reverse_bits(P.reverse_bits(t)) == t
+
+    def test_reverse_bits_known(self):
+        assert P.reverse_bits(B.bv(0b10000000, 8)) == B.bv(0b00000001, 8)
+        assert P.reverse_bits(B.bv(0b11001010, 8)) == B.bv(0b01010011, 8)
+
+    @given(st.integers(0, 2**16 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_count_leading_zeros(self, x):
+        expected = 16 - x.bit_length()
+        assert P.count_leading_zeros(B.bv(x, 16)).value == expected
+
+
+class TestAlignment:
+    def test_aligned(self):
+        assert P.is_aligned(B.bv(0x1000, 64), 4) is B.true()
+        assert P.is_aligned(B.bv(0x1002, 64), 4) is B.false()
+        assert P.is_aligned(B.bv(0x1002, 64), 2) is B.true()
+
+    def test_byte_always_aligned(self):
+        x = B.bv_var("x", 64)
+        assert P.is_aligned(x, 1) is B.true()
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            P.is_aligned(B.bv(0, 64), 3)
+
+    def test_symbolic_alignment_is_extract(self):
+        x = B.bv_var("x", 64)
+        cond = P.is_aligned(x, 8)
+        env = {x: 0x1008}
+        assert evaluate(cond, env) is True
+        env = {x: 0x100C}
+        assert evaluate(cond, env) is False

@@ -1,0 +1,271 @@
+"""Tests for smart-constructor simplification (constant folding and local
+rewrites), the mechanism behind Isla-style trace simplification."""
+
+from repro.smt import builder as B
+from repro.smt import terms as T
+from repro.smt.terms import FALSE, TRUE
+
+
+def x64():
+    return B.bv_var("x", 64)
+
+
+class TestBoolSimplification:
+    def test_not_folds(self):
+        assert B.not_(TRUE) is FALSE
+        assert B.not_(FALSE) is TRUE
+
+    def test_double_negation(self):
+        p = B.bool_var("p")
+        assert B.not_(B.not_(p)) is p
+
+    def test_and_unit_zero(self):
+        p = B.bool_var("p")
+        assert B.and_(p, TRUE) is p
+        assert B.and_(p, FALSE) is FALSE
+        assert B.and_() is TRUE
+
+    def test_or_unit_zero(self):
+        p = B.bool_var("p")
+        assert B.or_(p, FALSE) is p
+        assert B.or_(p, TRUE) is TRUE
+        assert B.or_() is FALSE
+
+    def test_and_flattens_and_dedups(self):
+        p, q = B.bool_var("p"), B.bool_var("q")
+        t = B.and_(B.and_(p, q), p)
+        assert t.op == T.AND and set(t.args) == {p, q}
+
+    def test_and_contradiction(self):
+        p = B.bool_var("p")
+        assert B.and_(p, B.not_(p)) is FALSE
+
+    def test_or_excluded_middle(self):
+        p = B.bool_var("p")
+        assert B.or_(p, B.not_(p)) is TRUE
+
+    def test_xor(self):
+        p = B.bool_var("p")
+        assert B.xor(p, FALSE) is p
+        assert B.xor(p, TRUE) == B.not_(p)
+        assert B.xor(p, p) is FALSE
+
+    def test_implies(self):
+        p = B.bool_var("p")
+        assert B.implies(FALSE, p) is TRUE
+        assert B.implies(TRUE, p) is p
+
+
+class TestEqSimplification:
+    def test_reflexive(self):
+        assert B.eq(x64(), x64()) is TRUE
+
+    def test_constants(self):
+        assert B.eq(B.bv(3, 8), B.bv(3, 8)) is TRUE
+        assert B.eq(B.bv(3, 8), B.bv(4, 8)) is FALSE
+
+    def test_bool_eq_unfolds(self):
+        p = B.bool_var("p")
+        assert B.eq(p, TRUE) is p
+        assert B.eq(p, FALSE) == B.not_(p)
+
+    def test_linear_cancellation(self):
+        # x + 1 = y + 1  -->  x = y
+        x, y = B.bv_var("x", 64), B.bv_var("y", 64)
+        assert B.eq(B.bvadd(x, B.bv(1, 64)), B.bvadd(y, B.bv(1, 64))) == B.eq(x, y)
+
+    def test_offset_normalisation(self):
+        # x + 4 = 10  -->  x = 6
+        x = x64()
+        e = B.eq(B.bvadd(x, B.bv(4, 64)), B.bv(10, 64))
+        assert e == B.eq(x, B.bv(6, 64))
+
+    def test_same_offsets_decided(self):
+        x = x64()
+        assert B.eq(B.bvadd(x, B.bv(4, 64)), B.bvadd(x, B.bv(4, 64))) is TRUE
+        assert B.eq(B.bvadd(x, B.bv(4, 64)), B.bvadd(x, B.bv(5, 64))) is FALSE
+
+
+class TestLinearNormalisation:
+    def test_add_zero(self):
+        x = x64()
+        assert B.bvadd(x, B.bv(0, 64)) is x
+
+    def test_add_sub_cancel(self):
+        x, y = B.bv_var("x", 64), B.bv_var("y", 64)
+        assert B.bvsub(B.bvadd(x, y), y) is x
+
+    def test_constant_chain(self):
+        pc = B.bv_var("pc", 64)
+        t = B.bvadd(B.bvadd(pc, B.bv(4, 64)), B.bv(4, 64))
+        assert t == B.bvadd(pc, B.bv(8, 64))
+
+    def test_sub_self(self):
+        x = x64()
+        assert B.bvsub(x, x) == B.bv(0, 64)
+
+    def test_neg_neg(self):
+        x = x64()
+        assert B.bvneg(B.bvneg(x)) is x
+
+    def test_x_plus_x_is_2x(self):
+        x = x64()
+        t = B.bvadd(x, x)
+        assert t.op == T.BVMUL and t.args[1] == B.bv(2, 64)
+
+    def test_wraparound_constant_fold(self):
+        assert B.bvadd(B.bv(0xFF, 8), B.bv(1, 8)) == B.bv(0, 8)
+
+    def test_sub_as_negative_offset(self):
+        # x - 16 encoded as x + 0xff...f0, like beq -16 in Fig. 6
+        x = x64()
+        a = B.bvadd(x, B.bv(0xFFFFFFFFFFFFFFF0, 64))
+        b = B.bvsub(x, B.bv(16, 64))
+        assert a == b
+
+
+class TestBitwiseSimplification:
+    def test_and_identities(self):
+        x = B.bv_var("x", 8)
+        assert B.bvand(x, B.bv(0xFF, 8)) is x
+        assert B.bvand(x, B.bv(0, 8)) == B.bv(0, 8)
+        assert B.bvand(x, x) is x
+
+    def test_or_identities(self):
+        x = B.bv_var("x", 8)
+        assert B.bvor(x, B.bv(0, 8)) is x
+        assert B.bvor(x, B.bv(0xFF, 8)) == B.bv(0xFF, 8)
+
+    def test_xor_identities(self):
+        x = B.bv_var("x", 8)
+        assert B.bvxor(x, B.bv(0, 8)) is x
+        assert B.bvxor(x, x) == B.bv(0, 8)
+
+    def test_not_not(self):
+        x = B.bv_var("x", 8)
+        assert B.bvnot(B.bvnot(x)) is x
+
+    def test_shift_constants(self):
+        x = B.bv_var("x", 8)
+        assert B.bvshl(x, B.bv(0, 8)) is x
+        assert B.bvshl(x, B.bv(8, 8)) == B.bv(0, 8)
+        assert B.bvshl(B.bv(1, 8), B.bv(3, 8)) == B.bv(8, 8)
+        assert B.bvlshr(B.bv(0x80, 8), B.bv(7, 8)) == B.bv(1, 8)
+        assert B.bvashr(B.bv(0x80, 8), B.bv(7, 8)) == B.bv(0xFF, 8)
+
+
+class TestStructural:
+    def test_extract_full_range_is_identity(self):
+        x = x64()
+        assert B.extract(63, 0, x) is x
+
+    def test_extract_of_constant(self):
+        assert B.extract(7, 4, B.bv(0xAB, 8)) == B.bv(0xA, 4)
+
+    def test_extract_of_extract(self):
+        x = x64()
+        t = B.extract(3, 0, B.extract(31, 8, x))
+        assert t == B.extract(11, 8, x)
+
+    def test_extract_of_zero_extend_low(self):
+        # The Fig. 3 vestige: ((_ extract 63 0) ((_ zero_extend 64) v38)) = v38
+        x = x64()
+        assert B.extract(63, 0, B.zero_extend(64, x)) is x
+
+    def test_extract_of_zero_extend_high(self):
+        x = B.bv_var("x", 8)
+        assert B.extract(15, 8, B.zero_extend(8, x)) == B.bv(0, 8)
+
+    def test_extract_of_concat(self):
+        hi, lo = B.bv_var("h", 8), B.bv_var("l", 8)
+        t = B.concat(hi, lo)
+        assert B.extract(7, 0, t) is lo
+        assert B.extract(15, 8, t) is hi
+
+    def test_concat_refuses_nothing(self):
+        assert B.concat(B.bv(0xA, 4), B.bv(0xB, 4)) == B.bv(0xAB, 8)
+
+    def test_concat_of_adjacent_extracts_fuses(self):
+        x = x64()
+        t = B.concat(B.extract(15, 8, x), B.extract(7, 0, x))
+        assert t == B.extract(15, 0, x)
+
+    def test_zero_extend_zero_is_identity(self):
+        x = B.bv_var("x", 8)
+        assert B.zero_extend(0, x) is x
+
+    def test_zero_extend_collapses(self):
+        x = B.bv_var("x", 8)
+        assert B.zero_extend(8, B.zero_extend(8, x)) == B.zero_extend(16, x)
+
+    def test_sign_extend_constant(self):
+        assert B.sign_extend(8, B.bv(0x80, 8)) == B.bv(0xFF80, 16)
+        assert B.sign_extend(8, B.bv(0x7F, 8)) == B.bv(0x7F, 16)
+
+
+class TestComparisons:
+    def test_constants(self):
+        assert B.bvult(B.bv(1, 8), B.bv(2, 8)) is TRUE
+        assert B.bvult(B.bv(2, 8), B.bv(2, 8)) is FALSE
+        assert B.bvule(B.bv(2, 8), B.bv(2, 8)) is TRUE
+
+    def test_nothing_below_zero(self):
+        x = B.bv_var("x", 8)
+        assert B.bvult(x, B.bv(0, 8)) is FALSE
+        assert B.bvule(B.bv(0, 8), x) is TRUE
+
+    def test_signed_constants(self):
+        assert B.bvslt(B.bv(0xFF, 8), B.bv(0, 8)) is TRUE  # -1 < 0
+        assert B.bvslt(B.bv(0, 8), B.bv(0x80, 8)) is FALSE  # 0 < -128 is false
+
+    def test_irreflexive(self):
+        x = x64()
+        assert B.bvult(x, x) is FALSE
+        assert B.bvule(x, x) is TRUE
+        assert B.bvslt(x, x) is FALSE
+        assert B.bvsle(x, x) is TRUE
+
+    def test_derived_comparisons(self):
+        a, b = B.bv(1, 8), B.bv(2, 8)
+        assert B.bvugt(b, a) is TRUE
+        assert B.bvuge(b, a) is TRUE
+        assert B.bvsgt(b, a) is TRUE
+        assert B.bvsge(a, a) is TRUE
+
+
+class TestIte:
+    def test_constant_condition(self):
+        a, b = B.bv(1, 8), B.bv(2, 8)
+        assert B.ite(TRUE, a, b) is a
+        assert B.ite(FALSE, a, b) is b
+
+    def test_same_branches(self):
+        a = B.bv_var("a", 8)
+        assert B.ite(B.bool_var("c"), a, a) is a
+
+    def test_negated_condition_swaps(self):
+        c = B.bool_var("c")
+        a, b = B.bv_var("a", 8), B.bv_var("b", 8)
+        assert B.ite(B.not_(c), a, b) == B.ite(c, b, a)
+
+
+class TestSubstitute:
+    def test_simple(self):
+        x = x64()
+        t = B.bvadd(x, B.bv(1, 64))
+        assert B.substitute(t, {x: B.bv(5, 64)}) == B.bv(6, 64)
+
+    def test_substitution_triggers_folding(self):
+        x, y = B.bv_var("x", 64), B.bv_var("y", 64)
+        t = B.bvsub(B.bvadd(x, y), y)
+        # already folded by linear normalisation
+        assert t is x
+
+    def test_ite_resolves_after_substitution(self):
+        c = B.bool_var("c")
+        t = B.ite(c, B.bv(1, 8), B.bv(2, 8))
+        assert B.substitute(t, {c: B.true()}) == B.bv(1, 8)
+
+    def test_empty_mapping_identity(self):
+        x = x64()
+        assert B.substitute(x, {}) is x

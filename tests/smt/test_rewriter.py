@@ -1,0 +1,93 @@
+"""Tests for contextual simplification (the Isla-side trace simplifier)."""
+
+import pytest
+
+from repro.smt import builder as B
+from repro.smt.rewriter import ContextualSimplifier, equalities_from, simplify
+from repro.smt.terms import FALSE, TRUE
+
+
+def x64(name="x"):
+    return B.bv_var(name, 64)
+
+
+class TestSimplify:
+    def test_idempotent_on_simplified(self):
+        t = B.bvadd(x64(), B.bv(1, 64))
+        assert simplify(t) is t
+
+    def test_rebuild_fires_folding(self):
+        # Build an unfolded term via raw constructors, then simplify.
+        from repro.smt import terms as T
+        from repro.smt.sorts import bv_sort
+
+        raw = T.mk_term(
+            T.BVADD, (B.bv(1, 64), B.bv(2, 64)), (), bv_sort(64)
+        )
+        assert simplify(raw) == B.bv(3, 64)
+
+
+class TestEqualitiesFrom:
+    def test_direct_equalities(self):
+        x = x64()
+        eqs = equalities_from([B.eq(x, B.bv(5, 64))])
+        assert eqs[x] == B.bv(5, 64)
+
+    def test_nested_in_conjunction(self):
+        x, y = x64("x"), x64("y")
+        fact = B.and_(B.eq(x, B.bv(1, 64)), B.eq(y, B.bv(2, 64)))
+        eqs = equalities_from([fact])
+        assert eqs[x] == B.bv(1, 64) and eqs[y] == B.bv(2, 64)
+
+    def test_boolean_pins(self):
+        p, q = B.bool_var("p"), B.bool_var("q")
+        eqs = equalities_from([p, B.not_(q)])
+        assert eqs[p] is TRUE and eqs[q] is FALSE
+
+    def test_non_equalities_ignored(self):
+        x = x64()
+        assert equalities_from([B.bvult(x, B.bv(5, 64))]) == {}
+
+
+class TestContextualSimplifier:
+    def test_decide_forced_conditions(self):
+        x = x64()
+        ctx = ContextualSimplifier([B.eq(x, B.bv(3, 64))])
+        assert ctx.decide(B.bvult(x, B.bv(10, 64))) is True
+        assert ctx.decide(B.bvult(B.bv(10, 64), x)) is False
+        assert ctx.decide(B.eq(x64("other"), B.bv(0, 64))) is None
+
+    def test_feasible(self):
+        x = x64()
+        ctx = ContextualSimplifier([B.bvult(x, B.bv(4, 64))])
+        assert ctx.feasible(B.eq(x, B.bv(3, 64)))
+        assert not ctx.feasible(B.eq(x, B.bv(9, 64)))
+
+    def test_simplify_inlines_pinned(self):
+        x = x64()
+        ctx = ContextualSimplifier([B.eq(x, B.bv(3, 64))])
+        assert ctx.simplify(B.bvadd(x, B.bv(1, 64))) == B.bv(4, 64)
+
+    def test_simplify_resolves_ite(self):
+        x = x64()
+        ctx = ContextualSimplifier([B.bvult(x, B.bv(4, 64))])
+        t = B.ite(B.bvult(x, B.bv(10, 64)), B.bv(1, 8), B.bv(2, 8))
+        assert ctx.simplify(t) == B.bv(1, 8)
+
+    def test_simplify_resolves_comparisons(self):
+        x = x64()
+        ctx = ContextualSimplifier([B.bvult(x, B.bv(4, 64))])
+        assert ctx.simplify(B.bvult(x, B.bv(100, 64))) is TRUE
+
+    def test_undecided_left_alone(self):
+        x = x64()
+        ctx = ContextualSimplifier([])
+        t = B.bvult(x, B.bv(4, 64))
+        assert ctx.simplify(t) == t
+
+    def test_assume_accumulates(self):
+        x = x64()
+        ctx = ContextualSimplifier([])
+        assert ctx.decide(B.bvult(x, B.bv(4, 64))) is None
+        ctx.assume(B.bvult(x, B.bv(4, 64)))
+        assert ctx.decide(B.bvult(x, B.bv(10, 64))) is True

@@ -1,0 +1,65 @@
+"""Tests for the SMT-LIB printer (the trace concrete syntax's term layer)."""
+
+from repro.smt import builder as B
+from repro.smt.smtlib import bv_literal_to_sexpr, term_to_sexpr
+
+
+class TestLiterals:
+    def test_hex_for_multiples_of_four(self):
+        assert bv_literal_to_sexpr(0x40, 64) == "#x0000000000000040"
+        assert bv_literal_to_sexpr(0xAB, 8) == "#xab"
+
+    def test_binary_otherwise(self):
+        assert bv_literal_to_sexpr(0b10, 2) == "#b10"
+        assert bv_literal_to_sexpr(1, 1) == "#b1"
+
+    def test_padding(self):
+        assert bv_literal_to_sexpr(1, 16) == "#x0001"
+        assert bv_literal_to_sexpr(0, 3) == "#b000"
+
+
+class TestTerms:
+    def test_variables(self):
+        assert term_to_sexpr(B.bv_var("v38", 64)) == "v38"
+
+    def test_booleans(self):
+        assert term_to_sexpr(B.true()) == "true"
+        assert term_to_sexpr(B.false()) == "false"
+
+    def test_binary_op(self):
+        x = B.bv_var("x", 64)
+        assert (
+            term_to_sexpr(B.bvadd(x, B.bv(0x40, 64)))
+            == "(bvadd x #x0000000000000040)"
+        )
+
+    def test_indexed_extract(self):
+        x = B.bv_var("x", 64)
+        assert term_to_sexpr(B.extract(7, 0, x)) == "((_ extract 7 0) x)"
+
+    def test_indexed_zero_extend(self):
+        x = B.bv_var("x", 8)
+        assert term_to_sexpr(B.zero_extend(8, x)) == "((_ zero_extend 8) x)"
+
+    def test_nested(self):
+        x, y = B.bv_var("x", 8), B.bv_var("y", 8)
+        text = term_to_sexpr(B.eq(B.bvand(x, y), B.bv(0, 8)))
+        assert text == "(= (bvand x y) #x00)"
+
+    def test_not_and_ite(self):
+        p = B.bool_var("p")
+        x, y = B.bv_var("x", 8), B.bv_var("y", 8)
+        assert term_to_sexpr(B.not_(p)) == "(not p)"
+        assert term_to_sexpr(B.ite(p, x, y)) == "(ite p x y)"
+
+    def test_balanced_parens_on_deep_terms(self):
+        x = B.bv_var("x", 8)
+        t = x
+        for i in range(20):
+            t = B.bvadd(B.bvmul(t, B.bv_var(f"m{i}", 8)), B.bv(1, 8))
+        text = term_to_sexpr(t)
+        assert text.count("(") == text.count(")")
+
+    def test_repr_uses_sexpr(self):
+        x = B.bv_var("x", 8)
+        assert repr(B.bvnot(x)) == "(bvnot x)"

@@ -1,0 +1,106 @@
+"""Tests for term construction, interning, and basic structure."""
+
+import pytest
+
+from repro.smt import builder as B
+from repro.smt import terms as T
+from repro.smt.sorts import BOOL, BitVecSort, bv_sort
+
+
+class TestSorts:
+    def test_bv_sort_cached(self):
+        assert bv_sort(64) is bv_sort(64)
+
+    def test_bv_sort_width(self):
+        assert bv_sort(8).width == 8
+
+    def test_bv_sort_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            BitVecSort(0)
+
+    def test_kind_predicates(self):
+        assert bv_sort(1).is_bv() and not bv_sort(1).is_bool()
+        assert BOOL.is_bool() and not BOOL.is_bv()
+
+
+class TestInterning:
+    def test_same_value_same_object(self):
+        assert B.bv(5, 64) is B.bv(5, 64)
+
+    def test_value_truncated_to_width(self):
+        assert B.bv(0x1FF, 8).value == 0xFF
+
+    def test_negative_value_wraps(self):
+        assert B.bv(-1, 8).value == 0xFF
+
+    def test_vars_interned_by_name_and_sort(self):
+        assert B.bv_var("x", 64) is B.bv_var("x", 64)
+        assert B.bv_var("x", 64) is not B.bv_var("x", 32)
+
+    def test_compound_interning(self):
+        x = B.bv_var("x", 64)
+        a = B.bvand(x, B.bv_var("y", 64))
+        b = B.bvand(x, B.bv_var("y", 64))
+        assert a is b
+
+    def test_uid_total_order(self):
+        a, b = B.bv_var("uid_a", 16), B.bv_var("uid_b", 16)
+        assert a.uid != b.uid
+
+
+class TestTermStructure:
+    def test_free_vars(self):
+        x, y = B.bv_var("x", 64), B.bv_var("y", 64)
+        t = B.bvadd(B.bvmul(x, B.bv(3, 64)), y)
+        assert t.free_vars() == {x, y}
+
+    def test_free_vars_of_value_empty(self):
+        assert B.bv(1, 8).free_vars() == frozenset()
+
+    def test_width_accessor(self):
+        assert B.bv(1, 32).width == 32
+        with pytest.raises(TypeError):
+            B.true().width
+
+    def test_value_accessor_raises_on_compound(self):
+        x = B.bv_var("x", 8)
+        with pytest.raises(TypeError):
+            B.bvnot(x).value
+
+    def test_size_counts_dag_nodes(self):
+        x = B.bv_var("x", 8)
+        t = B.bvand(B.bvnot(x), B.bvadd(B.bvnot(x), B.bv(1, 8)))  # shared not-node
+        assert t.size() == 5  # and, not, add, x, 1
+
+    def test_immutable(self):
+        x = B.bv_var("x", 8)
+        with pytest.raises(AttributeError):
+            x.op = "hacked"
+
+
+class TestSortChecking:
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(TypeError):
+            B.bvadd(B.bv(1, 8), B.bv(1, 16))
+
+    def test_bool_in_bv_position_rejected(self):
+        with pytest.raises(TypeError):
+            B.bvadd(B.true(), B.true())
+
+    def test_bv_in_bool_position_rejected(self):
+        with pytest.raises(TypeError):
+            B.and_(B.bv(1, 1), B.true())
+
+    def test_eq_needs_same_sort(self):
+        with pytest.raises(TypeError):
+            B.eq(B.bv(1, 8), B.true())
+
+    def test_ite_branches_same_sort(self):
+        with pytest.raises(TypeError):
+            B.ite(B.true(), B.bv(1, 8), B.bv(1, 16))
+
+    def test_extract_bounds_checked(self):
+        with pytest.raises(ValueError):
+            B.extract(8, 0, B.bv(0, 8))
+        with pytest.raises(ValueError):
+            B.extract(3, 5, B.bv(0, 8))

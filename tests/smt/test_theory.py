@@ -1,0 +1,162 @@
+"""Direct tests for the word-level theory layer (intervals, ordering
+closure, congruence) plus property tests validating its soundness against
+the concrete interpreter."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.smt import builder as B
+from repro.smt import evaluate
+from repro.smt.theory import FactBase, Interval, refutes
+
+
+def v(name, w=64):
+    return B.bv_var(name, w)
+
+
+class TestInterval:
+    def test_point(self):
+        i = Interval.point(5, 8)
+        assert i.is_point and not i.is_empty
+
+    def test_meet(self):
+        a, b = Interval(0, 10, 8), Interval(5, 20, 8)
+        m = a.meet(b)
+        assert (m.lo, m.hi) == (5, 10)
+
+    def test_empty_meet(self):
+        assert Interval(0, 1, 8).meet(Interval(5, 6, 8)).is_empty
+
+    def test_point_wraps(self):
+        assert Interval.point(-1, 8).lo == 255
+
+
+class TestStructuralIntervals:
+    def bounds(self, t, facts=None):
+        fb = FactBase()
+        for f in facts or []:
+            fb.assume(f)
+        fb.saturate()
+        i = fb.interval_of(t)
+        return i.lo, i.hi
+
+    def test_constant(self):
+        assert self.bounds(B.bv(7, 8)) == (7, 7)
+
+    def test_unconstrained_var(self):
+        assert self.bounds(v("a", 8)) == (0, 255)
+
+    def test_comparison_pins(self):
+        a = v("a")
+        lo, hi = self.bounds(a, [B.bvult(a, B.bv(10, 64))])
+        assert (lo, hi) == (0, 9)
+
+    def test_add_no_overflow(self):
+        a = v("a")
+        lo, hi = self.bounds(B.bvadd(a, B.bv(5, 64)), [B.bvult(a, B.bv(10, 64))])
+        assert (lo, hi) == (5, 14)
+
+    def test_sub_via_neg_wraps_correctly(self):
+        # n - k with 1 <= k <= 4 (the linear normaliser emits neg+add).
+        k = v("k")
+        t = B.bvsub(B.bv(4, 64), k)
+        lo, hi = self.bounds(
+            t, [B.bvult(B.bv(0, 64), k), B.bvule(k, B.bv(4, 64))]
+        )
+        assert (lo, hi) == (0, 3)
+
+    def test_and_bounded_by_operands(self):
+        a, b = v("a", 8), v("b", 8)
+        lo, hi = self.bounds(B.bvand(a, b), [B.bvult(a, B.bv(16, 8))])
+        assert hi <= 15
+
+    def test_urem_bounded_by_divisor(self):
+        a = v("a")
+        lo, hi = self.bounds(B.bvurem(a, B.bv(8, 64)))
+        assert (lo, hi) == (0, 7)
+
+    def test_ite_unions(self):
+        c = B.bool_var("c")
+        lo, hi = self.bounds(B.ite(c, B.bv(3, 8), B.bv(9, 8)))
+        assert (lo, hi) == (3, 9)
+
+    def test_zero_extend_preserves(self):
+        a = v("a", 8)
+        lo, hi = self.bounds(B.zero_extend(8, a))
+        assert (lo, hi) == (0, 255)
+
+
+class TestRefutation:
+    def test_strict_cycle(self):
+        a, b = v("a"), v("b")
+        assert refutes([B.bvult(a, b), B.bvult(b, a)])
+
+    def test_long_mixed_cycle(self):
+        xs = [v(f"c{i}") for i in range(6)]
+        facts = [B.bvule(x, y) for x, y in zip(xs, xs[1:])]
+        facts.append(B.bvult(xs[-1], xs[0]))
+        assert refutes(facts)
+
+    def test_nonstrict_cycle_consistent(self):
+        a, b = v("a"), v("b")
+        assert not refutes([B.bvule(a, b), B.bvule(b, a)])
+
+    def test_equality_diseq_clash(self):
+        a, b = v("a"), v("b")
+        assert refutes([B.eq(a, b), B.not_(B.eq(a, b))])
+
+    def test_equality_propagates_through_order(self):
+        a, b, c = v("a"), v("b"), v("c")
+        assert refutes([B.eq(a, b), B.bvult(b, c), B.bvult(c, a)])
+
+    def test_interval_clash(self):
+        a = v("a")
+        assert refutes([B.bvult(a, B.bv(5, 64)), B.bvult(B.bv(10, 64), a)])
+
+    def test_false_fact(self):
+        assert refutes([B.false()])
+
+    def test_unknown_is_not_refuted(self):
+        a = v("a")
+        assert not refutes([B.eq(B.bvmul(a, a), B.bv(4, 64))])
+
+    def test_signed_cycle(self):
+        a, b = v("a"), v("b")
+        assert refutes([B.bvslt(a, b), B.bvslt(b, a)])
+
+    def test_negated_or_de_morgan(self):
+        a = v("a")
+        # not(a < 5 or a == 7) means a >= 5 and a != 7 — consistent.
+        fact = B.not_(B.or_(B.bvult(a, B.bv(5, 64)), B.eq(a, B.bv(7, 64))))
+        assert not refutes([fact])
+        # ... but adding a < 3 clashes with a >= 5.
+        assert refutes([fact, B.bvult(a, B.bv(3, 64))])
+
+
+class TestSoundness:
+    """refutes() must never reject a satisfiable conjunction."""
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["ult", "ule", "eq", "ne"]),
+                st.integers(0, 3),
+                st.integers(0, 3),
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        st.lists(st.integers(0, 7), min_size=4, max_size=4),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_never_refutes_satisfied_facts(self, atoms, values):
+        vars_ = [v(f"s{i}", 8) for i in range(4)]
+        env = dict(zip(vars_, values))
+        ops = {
+            "ult": B.bvult, "ule": B.bvule, "eq": B.eq,
+            "ne": lambda a, b: B.not_(B.eq(a, b)),
+        }
+        facts = [ops[op](vars_[i], vars_[j]) for op, i, j in atoms]
+        if all(evaluate(f, env) for f in facts):
+            assert not refutes(facts), (facts, env)

@@ -1,0 +1,44 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the user-facing face of the library; a broken example is a
+broken deliverable, so each is executed as a real subprocess.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3
+
+
+def test_verify_memcpy_accepts_length_argument():
+    script = pathlib.Path(__file__).parent.parent / "examples" / "verify_memcpy.py"
+    result = subprocess.run(
+        [sys.executable, str(script), "2"],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0
+    assert "n = 2" in result.stdout

@@ -1,10 +1,16 @@
 """``repro.isla`` — SMT-guided symbolic execution of ISA models to ITL traces."""
 
 from .assumptions import Assumptions
-from .executor import IslaError, IslaResult, SymbolicMachine, trace_for_opcode
+from .executor import (
+    IslaError,
+    IslaResult,
+    PathBudgetExceeded,
+    SymbolicMachine,
+    trace_for_opcode,
+)
 from .footprint import simplify_trace
 
 __all__ = [
-    "Assumptions", "IslaError", "IslaResult", "SymbolicMachine",
-    "simplify_trace", "trace_for_opcode",
+    "Assumptions", "IslaError", "IslaResult", "PathBudgetExceeded",
+    "SymbolicMachine", "simplify_trace", "trace_for_opcode",
 ]

@@ -26,6 +26,8 @@ from dataclasses import dataclass
 from ..itl import events as E
 from ..itl.events import Reg
 from ..itl.trace import Trace
+from ..resilience.budget import Budget, BudgetExhausted
+from ..resilience.faults import TransientFault, fault_at
 from ..sail.iface import MachineInterface, ModelError
 from ..sail.model import IsaModel
 from ..smt import builder as B
@@ -38,6 +40,21 @@ from .assumptions import Assumptions
 class IslaError(Exception):
     """Symbolic execution failed (model error on a feasible path, or path
     explosion beyond the configured limit)."""
+
+
+class PathBudgetExceeded(IslaError):
+    """Path enumeration ran out of its allowance.
+
+    Carries the partial result built from the paths explored so far (or
+    ``None`` when nothing completed), so callers can degrade — verify what
+    was covered and report the rest as unexplored — instead of aborting.
+    The partial trace is marked via :attr:`IslaResult.exhausted`; it must
+    never be treated as a complete enumeration.
+    """
+
+    def __init__(self, message: str, partial: "IslaResult | None" = None) -> None:
+        super().__init__(message)
+        self.partial = partial
 
 
 @dataclass
@@ -58,6 +75,7 @@ class SymbolicMachine(MachineInterface):
         assumptions: Assumptions,
         forced: tuple[bool, ...],
         name_prefix: str = "v",
+        budget: Budget | None = None,
     ) -> None:
         self.model = model
         self.assumptions = assumptions
@@ -66,7 +84,7 @@ class SymbolicMachine(MachineInterface):
         self.decisions: list[bool] = []
         self.feasible_flip: list[bool] = []
         self.reg_cache: dict[Reg, Term] = {}
-        self.solver = Solver()
+        self.solver = Solver(budget=budget)
         self._counter = 0
         self._prefix = name_prefix
         self.calls = 0
@@ -147,15 +165,23 @@ class SymbolicMachine(MachineInterface):
             return True
         if cond is FALSE:
             return False
-        true_feasible = self.solver.check(cond) == SAT
-        false_feasible = self.solver.check(B.not_(cond)) == SAT
-        if true_feasible and not false_feasible:
-            return True
-        if false_feasible and not true_feasible:
-            return False
-        if not true_feasible and not false_feasible:
-            # Path condition itself unsatisfiable; should have been pruned.
-            raise IslaError(f"dead path reached at branch {hint!r}")
+        fault = fault_at("executor.fork")
+        if fault == "transient":
+            raise TransientFault(f"injected transient fault at branch {hint!r}")
+        if fault != "unknown":
+            # An injected "unknown" skips pruning entirely: both directions
+            # are treated as feasible, which is sound (the infeasible
+            # subtrace starts with an Assert the logic refutes) but forks
+            # more — exactly the degradation a flaky solver would cause.
+            true_feasible = self.solver.check(cond) == SAT
+            false_feasible = self.solver.check(B.not_(cond)) == SAT
+            if true_feasible and not false_feasible:
+                return True
+            if false_feasible and not true_feasible:
+                return False
+            if not true_feasible and not false_feasible:
+                # Path condition itself unsatisfiable; should have been pruned.
+                raise IslaError(f"dead path reached at branch {hint!r}")
         # A genuine fork.
         idx = len(self.decisions)
         taken = self.forced[idx] if idx < len(self.forced) else True
@@ -177,13 +203,25 @@ class SymbolicMachine(MachineInterface):
 
 @dataclass
 class IslaResult:
-    """A generated trace plus execution metrics."""
+    """A generated trace plus execution metrics.
+
+    ``exhausted`` is ``None`` for a complete enumeration; otherwise it names
+    the budget that ran out (``"paths"``, ``"deadline"``, ``"conflicts"``)
+    and the trace covers only the paths explored before exhaustion —
+    callers must degrade, never report such a trace as fully verified.
+    """
 
     trace: Trace
     paths: int
     model_calls: int
     model_steps: int
     solver_checks: int
+    exhausted: str | None = None
+
+
+#: How many times one forced path prefix is re-executed after a transient
+#: fault before the executor gives up on it.
+_TRANSIENT_RETRIES = 3
 
 
 def trace_for_opcode(
@@ -192,36 +230,71 @@ def trace_for_opcode(
     assumptions: Assumptions | None = None,
     max_paths: int = 64,
     name_prefix: str = "v",
+    budget: Budget | None = None,
+    partial_on_exhaustion: bool = False,
 ) -> IslaResult:
     """Run Isla on one opcode: returns the (pruned, simplified) ITL trace.
 
     ``opcode`` may be a concrete int or a term with symbolic bits (symbolic
     immediates).  ``assumptions`` are the constraints under which the model
     is specialised.
+
+    Resource governance: ``budget`` bounds the wall clock, the SAT-conflict
+    allowance of the pruning solver, and (via ``path_allowance``) the number
+    of symbolic paths.  On exhaustion the default is to raise
+    :class:`PathBudgetExceeded` carrying the partial result; with
+    ``partial_on_exhaustion=True`` the partial result itself is returned,
+    marked via :attr:`IslaResult.exhausted`.
     """
     assumptions = assumptions or Assumptions()
     if isinstance(opcode, int):
         opcode = B.bv(opcode, model.instr_bytes * 8)
 
+    path_limit = max_paths if budget is None else budget.path_limit(max_paths)
     runs: list[_Run] = []
     worklist: list[tuple[bool, ...]] = [()]
     explored: set[tuple[bool, ...]] = set()
+    retries: dict[tuple[bool, ...], int] = {}
     total_calls = 0
     total_steps = 0
     total_checks = 0
+    exhausted: str | None = None
 
     while worklist:
         forced = worklist.pop()
         if forced in explored:
             continue
-        explored.add(forced)
-        if len(runs) >= max_paths:
-            raise IslaError(f"more than {max_paths} symbolic paths")
-        machine = SymbolicMachine(model, assumptions, forced, name_prefix)
+        if len(runs) >= path_limit:
+            if budget is not None and budget.exhausted is None:
+                budget.exhausted = "paths"
+            exhausted = "paths"
+            break
+        if budget is not None:
+            try:
+                budget.check_deadline()
+            except BudgetExhausted as exc:
+                exhausted = exc.resource
+                break
+        machine = SymbolicMachine(model, assumptions, forced, name_prefix, budget)
         try:
             model.execute(machine, opcode)
         except ModelError as exc:
             raise IslaError(f"model error on feasible path: {exc}") from exc
+        except TransientFault as exc:
+            attempts = retries.get(forced, 0) + 1
+            if attempts > _TRANSIENT_RETRIES:
+                raise IslaError(
+                    f"persistent transient fault on path {forced!r}: {exc}"
+                ) from exc
+            retries[forced] = attempts
+            worklist.append(forced)  # replay the same prefix
+            continue
+        except BudgetExhausted as exc:
+            exhausted = exc.resource
+            break
+        explored.add(forced)
+        if budget is not None:
+            budget.charge_paths()
         runs.append(
             _Run(machine.segments, machine.decisions, machine.feasible_flip)
         )
@@ -234,11 +307,25 @@ def trace_for_opcode(
             if sibling not in explored:
                 worklist.append(sibling)
 
-    trace = _build_tree(runs, 0)
-    from .footprint import simplify_trace
+    partial: IslaResult | None = None
+    if runs:
+        trace = _build_tree(runs, 0)
+        from .footprint import simplify_trace
 
-    trace = simplify_trace(trace)
-    return IslaResult(trace, len(runs), total_calls, total_steps, total_checks)
+        trace = simplify_trace(trace)
+        result = IslaResult(
+            trace, len(runs), total_calls, total_steps, total_checks, exhausted
+        )
+        if exhausted is None:
+            return result
+        partial = result
+    if partial_on_exhaustion and partial is not None:
+        return partial
+    if exhausted == "paths":
+        raise PathBudgetExceeded(
+            f"more than {path_limit} symbolic paths", partial
+        )
+    raise PathBudgetExceeded(f"budget exhausted: {exhausted}", partial)
 
 
 def _build_tree(runs: list[_Run], depth: int) -> Trace:

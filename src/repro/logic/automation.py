@@ -31,8 +31,26 @@ from dataclasses import dataclass
 from ..itl import events as E
 from ..itl.events import Reg
 from ..itl.trace import Trace, substitute_event
+from ..resilience.budget import Budget, BudgetExhausted
+from ..resilience.faults import TransientFault, active_injector
+from ..resilience.outcome import (
+    DEGRADED,
+    FAILED,
+    UNKNOWN as UNKNOWN_OUTCOME,
+    VERIFIED,
+    BlockOutcome,
+    ResidualObligation,
+    RunReport,
+)
 from ..smt import builder as B
-from ..smt.solver import SAT as SAT_RESULT
+from ..smt.solver import (
+    SAT as SAT_RESULT,
+    UNKNOWN as UNKNOWN_RESULT,
+    UNSAT as UNSAT_RESULT,
+    Solver,
+    SolverStats,
+    check_cache_stats,
+)
 from ..smt.terms import FALSE, Term
 from .assertions import (
     InstrPre,
@@ -55,6 +73,12 @@ from .spec import SChoice, SRead, SWrite, SpecStuck, head_normal
 class EngineConfig:
     max_inline_instructions: int = 4096
     trace_steps: bool = False  # print rule applications as they happen
+    #: Governed mode: undecidable side conditions become residual
+    #: obligations (degraded outcome) instead of hard ProofErrors, and
+    #: verification reports a per-block outcome rather than raising.
+    governed: bool = False
+    #: Resource budget threaded into every context solver (governed mode).
+    budget: Budget | None = None
 
 
 class ProofEngine:
@@ -71,9 +95,11 @@ class ProofEngine:
         self.block_specs = block_specs
         self.pc_reg = pc_reg
         self.config = config or EngineConfig()
+        self.budget = self.config.budget
         self.proof = Proof()
         self._current_block = 0
         self._uniq = 0
+        self._solvers: list[Solver] = []  # every context solver, for stats
 
     # -- top level ----------------------------------------------------------
 
@@ -84,18 +110,90 @@ class ProofEngine:
             self.verify_block(addr)
         return self.proof
 
+    def verify_all_governed(self) -> RunReport:
+        """Verify every block, degrading instead of crashing.
+
+        Per-block outcome lattice (see :mod:`repro.resilience.outcome`):
+
+        - ``verified`` — complete proof, no residuals;
+        - ``degraded`` — proof skeleton complete, but some side conditions
+          were left as residual obligations (solver ``unknown``, exhausted
+          budget, injected fault);
+        - ``unknown`` — the block's proof could not be completed within
+          budget (no refutation found either);
+        - ``failed`` — a genuine refutation (countermodel) or structural
+          proof error.
+
+        Every mechanism only moves outcomes *down* the lattice, so a
+        ``verified`` verdict is exactly as strong as the ungoverned path.
+        """
+        self.config.governed = True
+        report = RunReport(proof=self.proof, budget=self.budget)
+        for addr in sorted(self.block_specs):
+            before = len(self.proof.residual_obligations)
+            try:
+                self.verify_block(addr)
+            except BudgetExhausted as exc:
+                outcome = BlockOutcome(
+                    addr, UNKNOWN_OUTCOME, reason=f"budget exhausted: {exc.resource}"
+                )
+            except TransientFault as exc:
+                outcome = BlockOutcome(
+                    addr, UNKNOWN_OUTCOME, reason=f"transient fault: {exc}"
+                )
+            except ProofError as exc:
+                if self.budget is not None and self.budget.exhausted is not None:
+                    # A proof search crippled by an exhausted budget proves
+                    # nothing either way: report unknown, not failed.
+                    outcome = BlockOutcome(
+                        addr,
+                        UNKNOWN_OUTCOME,
+                        reason=f"budget exhausted: {self.budget.exhausted}",
+                    )
+                else:
+                    outcome = BlockOutcome(
+                        addr, FAILED, reason=_first_line(str(exc))
+                    )
+            else:
+                fresh = self.proof.residual_obligations[before:]
+                if fresh:
+                    reasons = sorted({r.reason for r in fresh})
+                    outcome = BlockOutcome(
+                        addr,
+                        DEGRADED,
+                        reason="undischarged: " + ", ".join(reasons),
+                        residuals=len(fresh),
+                    )
+                else:
+                    outcome = BlockOutcome(addr, VERIFIED)
+            report.blocks[addr] = outcome
+            self.proof.outcomes[addr] = outcome.outcome
+        totals = SolverStats()
+        for solver in self._solvers:
+            totals.merge(solver.stats)
+        report.solver_stats = totals.snapshot()
+        report.cache_stats = check_cache_stats()
+        injector = active_injector()
+        if injector is not None:
+            report.faults = tuple(injector.log)
+        return report
+
     def verify_block(self, addr: int) -> None:
         if addr not in self.program:
             raise ProofError(f"block spec at 0x{addr:x} but no instruction there")
         self._current_block = addr
+        residuals_before = len(self.proof.residual_obligations)
         ctx = self._context_from_pred(self.block_specs[addr], addr)
         self._record(ctx, "block-start", f"0x{addr:x}", ())
         self._run(ctx, self.program[addr], {}, set(), path=(), fuel=self.config.max_inline_instructions)
-        self.proof.blocks_verified.append(addr)
+        if len(self.proof.residual_obligations) == residuals_before:
+            self.proof.blocks_verified.append(addr)
 
     def _context_from_pred(self, pred: Pred, addr: int) -> Context:
         """Universally instantiate a block spec into a fresh context."""
-        ctx = Context()
+        solver = Solver(budget=self.budget)
+        self._solvers.append(solver)
+        ctx = Context(solver)
         mapping: dict[Term, Term] = {}
         for v in pred.exists:
             self._uniq += 1
@@ -223,6 +321,7 @@ class ProofEngine:
         failures: list[str] = []
         for i, (addr, pred, what) in enumerate(candidates):
             ctx.solver.push()
+            res_before = len(self.proof.residual_obligations)
             try:
                 branch = ctx.snapshot()
                 branch.assume(B.eq(pc, addr))
@@ -232,8 +331,19 @@ class ProofEngine:
                     branch, "hoare-instr-pre", f"{what} (case {i})", path + (i,)
                 )
                 self._entail(branch, pred, path + (i,), what)
-                succeeded.append(B.eq(pc, addr))
+                if len(self.proof.residual_obligations) > res_before:
+                    # Governed mode: a case that only "succeeded" modulo
+                    # residual obligations must not enter the coverage
+                    # disjunction — a *wrong* (merely aliasing-feasible)
+                    # candidate could otherwise park a refutable goal as a
+                    # residual and be counted as covered.  Roll the residuals
+                    # back and treat the case as unproven.
+                    del self.proof.residual_obligations[res_before:]
+                    failures.append(f"{what}: undecided side conditions")
+                else:
+                    succeeded.append(B.eq(pc, addr))
             except ProofError as exc:
+                del self.proof.residual_obligations[res_before:]
                 failures.append(f"{what}: {exc}")
             finally:
                 ctx.solver.pop()
@@ -553,16 +663,38 @@ class ProofEngine:
         sub[fresh_var] = value
 
     def _obligation(self, ctx, goal: Term, description: str, path, rule: str) -> None:
-        if not ctx.entails(goal):
-            if not ctx.consistent():
-                self._record(ctx, rule, f"{description} (vacuous)", path)
-                return
-            raise ProofError(
-                f"side condition not provable: {description}: {goal!r}\n"
-                f"{_countermodel(ctx, goal)}"
-                + ctx.describe()
+        status = ctx.solver.check(B.not_(goal))
+        if status == UNSAT_RESULT:
+            self._record(ctx, rule, description, path, [(goal, description)])
+            return
+        if not ctx.consistent():
+            self._record(ctx, rule, f"{description} (vacuous)", path)
+            return
+        if self.config.governed and status == UNKNOWN_RESULT:
+            # The last rung of the degradation ladder: the solver could not
+            # decide the side condition, so it becomes a structured residual
+            # obligation on the proof rather than a guess or a crash.  The
+            # block's outcome is capped at ``degraded``.
+            reason = ctx.solver.last_unknown_reason or "solver-unknown"
+            budget = ctx.solver.budget
+            if budget is not None and budget.exhausted is not None:
+                reason = f"budget:{budget.exhausted}"
+            self.proof.residual_obligations.append(
+                ResidualObligation(
+                    block=self._current_block,
+                    description=description,
+                    goal=goal,
+                    assumptions=tuple(ctx.solver.assertions),
+                    reason=reason,
+                )
             )
-        self._record(ctx, rule, description, path, [(goal, description)])
+            self._record(ctx, "residual", f"{description} [{reason}]", path)
+            return
+        raise ProofError(
+            f"side condition not provable: {description}: {goal!r}\n"
+            f"{_countermodel(ctx, goal)}"
+            + ctx.describe()
+        )
 
     def _record(
         self,
@@ -720,13 +852,29 @@ def preds_match(ctx: Context, required: Pred, known: Pred) -> bool:
     return True
 
 
+def _first_line(text: str) -> str:
+    line = text.splitlines()[0] if text else ""
+    return line if len(line) <= 160 else line[:157] + "..."
+
+
 def verify_program(
     program: dict[int, Trace],
     block_specs: dict[int, Pred],
     pc_reg: Reg,
     config: EngineConfig | None = None,
-) -> Proof:
-    """Convenience wrapper: build an engine, verify everything, return the
-    proof object."""
+    budget: Budget | None = None,
+) -> RunReport:
+    """Verify a program under resource governance.
+
+    Returns a :class:`~repro.resilience.outcome.RunReport` with a per-block
+    outcome of ``verified | degraded | unknown | failed`` — it never raises
+    on verification failure, budget exhaustion, or injected faults.  Use
+    :meth:`ProofEngine.verify_all` directly for the historical raise-on-
+    failure behaviour.
+    """
+    config = config or EngineConfig()
+    config.governed = True
+    if budget is not None:
+        config.budget = budget
     engine = ProofEngine(program, block_specs, pc_reg, config)
-    return engine.verify_all()
+    return engine.verify_all_governed()

@@ -14,6 +14,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
+from ..resilience.outcome import ResidualObligation
 from ..smt.smtlib import term_to_sexpr
 from ..smt.sorts import BitVecSort
 from ..smt.terms import Term
@@ -41,13 +42,26 @@ class ProofStep:
 
 @dataclass
 class Proof:
-    """A complete verification certificate for a program."""
+    """A (possibly partial) verification certificate for a program.
+
+    A fully verified run has every spec'd block in ``blocks_verified`` and
+    no residual obligations.  Under resource governance a block may instead
+    complete *degraded*: its rule skeleton is recorded, but side conditions
+    the solver could not decide are parked in ``residual_obligations`` and
+    the block's verdict lives in ``outcomes`` — the certificate then proves
+    the program **modulo** those residuals, never more.
+    """
 
     steps: list[ProofStep] = field(default_factory=list)
     blocks_verified: list[int] = field(default_factory=list)
+    residual_obligations: list[ResidualObligation] = field(default_factory=list)
+    outcomes: dict[int, str] = field(default_factory=dict)
 
     def add(self, step: ProofStep) -> None:
         self.steps.append(step)
+
+    def residuals_for(self, block: int) -> list[ResidualObligation]:
+        return [r for r in self.residual_obligations if r.block == block]
 
     @property
     def num_side_conditions(self) -> int:
@@ -74,13 +88,20 @@ class Proof:
     # together with the sorts of their free variables.
 
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "version": 1,
-                "blocks_verified": self.blocks_verified,
-                "steps": [_step_to_dict(s) for s in self.steps],
-            }
-        )
+        payload = {
+            "version": 1,
+            "blocks_verified": self.blocks_verified,
+            "steps": [_step_to_dict(s) for s in self.steps],
+        }
+        # Governance extensions are optional keys so version-1 consumers
+        # (and older certificates) keep round-tripping.
+        if self.residual_obligations:
+            payload["residual_obligations"] = [
+                _residual_to_dict(r) for r in self.residual_obligations
+            ]
+        if self.outcomes:
+            payload["outcomes"] = {str(a): o for a, o in self.outcomes.items()}
+        return json.dumps(payload)
 
     @staticmethod
     def from_json(text: str) -> "Proof":
@@ -91,6 +112,11 @@ class Proof:
         proof.blocks_verified = list(data["blocks_verified"])
         for item in data["steps"]:
             proof.add(_step_from_dict(item))
+        for item in data.get("residual_obligations", []):
+            proof.residual_obligations.append(_residual_from_dict(item))
+        proof.outcomes = {
+            int(addr): outcome for addr, outcome in data.get("outcomes", {}).items()
+        }
         return proof
 
 
@@ -133,6 +159,26 @@ def _step_to_dict(step: ProofStep) -> dict:
             for sc in step.side_conditions
         ],
     }
+
+
+def _residual_to_dict(residual: ResidualObligation) -> dict:
+    return {
+        "block": residual.block,
+        "description": residual.description,
+        "goal": _term_record(residual.goal),
+        "assumptions": [_term_record(a) for a in residual.assumptions],
+        "reason": residual.reason,
+    }
+
+
+def _residual_from_dict(item: dict) -> ResidualObligation:
+    return ResidualObligation(
+        block=item["block"],
+        description=item["description"],
+        goal=_term_from_record(item["goal"]),
+        assumptions=tuple(_term_from_record(a) for a in item["assumptions"]),
+        reason=item["reason"],
+    )
 
 
 def _step_from_dict(item: dict) -> ProofStep:

@@ -1,0 +1,50 @@
+"""``repro.resilience`` — resource governance and fail-safe degradation.
+
+The verification pipeline must never report a spurious proof: when a
+resource runs out (wall clock, SAT conflicts, symbolic paths, cache
+memory) or the solver answers ``unknown``, the outcome *degrades* — it
+never silently upgrades.  This package provides the pieces that make that
+discipline uniform across the SMT façade, the Isla executor and the proof
+engine:
+
+- :mod:`~repro.resilience.budget` — a cooperative :class:`Budget` threaded
+  through every layer, replacing scattered magic constants and hard raises;
+- :mod:`~repro.resilience.outcome` — the outcome lattice
+  ``verified > degraded > unknown > failed``, residual obligations, and the
+  per-block :class:`RunReport`;
+- :mod:`~repro.resilience.ladder` — the degradation ladder that retries
+  undecided queries with escalating conflict budgets before giving up;
+- :mod:`~repro.resilience.faults` — a deterministic, seeded fault injector
+  used by the test harness to prove the fail-safe invariant: injected
+  faults may downgrade outcomes but can never flip a result to a spurious
+  ``verified``.
+"""
+
+from .budget import Budget, BudgetExhausted, BudgetSpec
+from .faults import (
+    FaultEvent,
+    FaultInjector,
+    TransientFault,
+    active_injector,
+    fault_at,
+    inject,
+)
+from .ladder import DegradationLadder
+from .outcome import (
+    DEGRADED,
+    FAILED,
+    OUTCOMES,
+    UNKNOWN,
+    VERIFIED,
+    BlockOutcome,
+    ResidualObligation,
+    RunReport,
+    worst,
+)
+
+__all__ = [
+    "Budget", "BudgetExhausted", "BudgetSpec", "BlockOutcome", "DEGRADED",
+    "DegradationLadder", "FAILED", "FaultEvent", "FaultInjector", "OUTCOMES",
+    "ResidualObligation", "RunReport", "TransientFault", "UNKNOWN",
+    "VERIFIED", "active_injector", "fault_at", "inject", "worst",
+]

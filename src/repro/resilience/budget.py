@@ -1,0 +1,154 @@
+"""Cooperative resource budgets.
+
+A :class:`Budget` is threaded through the solver façade, the Isla executor
+and the proof engine.  Each layer *charges* the resources it consumes and
+*asks* before starting expensive work; exhaustion surfaces as the typed
+:class:`BudgetExhausted` exception (or, for layers that can degrade in
+place, as an ``exhausted`` marker on their result), never as a bare
+``RuntimeError`` from deep inside a search loop.
+
+The budget is deliberately cooperative rather than preemptive: the SAT
+core checks its conflict allowance at conflict granularity and the
+executor checks the deadline between paths, so a single pathological query
+can overshoot slightly — the invariant is *bounded* overshoot, the same
+contract Z3's resource limits give the paper's pipeline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+class BudgetExhausted(Exception):
+    """A resource allowance ran out.
+
+    ``resource`` names the lattice coordinate that was exhausted:
+    ``"deadline"``, ``"conflicts"``, ``"paths"`` or ``"cache"``.  Reports
+    surface it verbatim so a degraded run always names its bottleneck.
+    """
+
+    def __init__(self, resource: str, detail: str = "") -> None:
+        self.resource = resource
+        self.detail = detail
+        message = f"budget exhausted: {resource}"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+
+
+@dataclass(frozen=True)
+class BudgetSpec:
+    """Immutable allowance configuration.
+
+    ``None`` means unlimited for every field.  The conflict ladder starts
+    at ``base_conflicts`` and escalates by ``escalation_factor`` per rung,
+    capped at ``query_conflicts`` — bounded exponential escalation, so a
+    query that the first rung decides stays cheap while a hard one still
+    gets the full allowance before degrading.
+    """
+
+    deadline_s: float | None = None  # wall clock for the whole run
+    conflict_allowance: int | None = None  # total SAT conflicts across the run
+    query_conflicts: int = 60_000  # hard cap for any single query
+    base_conflicts: int = 4_000  # first ladder rung
+    escalation_factor: int = 4
+    escalation_rungs: int = 3
+    path_allowance: int | None = 64  # symbolic paths per opcode
+    cache_entries: int | None = 16_384  # solver result-cache cap
+    transient_retries: int = 2  # retries of injected/transient errors
+
+    def conflict_schedule(self) -> list[int]:
+        """The per-query conflict budgets the ladder will try, in order."""
+        schedule: list[int] = []
+        rung = self.base_conflicts
+        for _ in range(max(1, self.escalation_rungs)):
+            schedule.append(min(rung, self.query_conflicts))
+            if rung >= self.query_conflicts:
+                break
+            rung *= max(2, self.escalation_factor)
+        if schedule[-1] < self.query_conflicts:
+            schedule.append(self.query_conflicts)
+        return schedule
+
+
+@dataclass
+class Budget:
+    """Live, mutable consumption state against a :class:`BudgetSpec`.
+
+    The ``clock`` hook exists so tests can drive deadlines
+    deterministically; production code uses ``time.monotonic``.
+    """
+
+    spec: BudgetSpec = field(default_factory=BudgetSpec)
+    clock: object = time.monotonic
+
+    def __post_init__(self) -> None:
+        self._t0 = self.clock()
+        self.conflicts_used = 0
+        self.paths_used = 0
+        #: First resource that ran out (sticky) — reports name it.
+        self.exhausted: str | None = None
+
+    # -- wall clock ---------------------------------------------------------
+
+    def elapsed(self) -> float:
+        return self.clock() - self._t0
+
+    def check_deadline(self) -> None:
+        limit = self.spec.deadline_s
+        if limit is not None and self.elapsed() > limit:
+            self.exhaust("deadline", f"{self.elapsed():.2f}s > {limit:.2f}s")
+
+    # -- SAT conflicts ------------------------------------------------------
+
+    def remaining_conflicts(self) -> int | None:
+        allowance = self.spec.conflict_allowance
+        if allowance is None:
+            return None
+        return max(0, allowance - self.conflicts_used)
+
+    def clip_conflicts(self, requested: int | None) -> int | None:
+        """Clip a per-query conflict budget to the remaining allowance;
+        raises when the allowance is already gone."""
+        remaining = self.remaining_conflicts()
+        if remaining is None:
+            return requested
+        if remaining <= 0:
+            self.exhaust(
+                "conflicts", f"allowance {self.spec.conflict_allowance} spent"
+            )
+        if requested is None:
+            return remaining
+        return min(requested, remaining)
+
+    def charge_conflicts(self, n: int) -> None:
+        self.conflicts_used += n
+
+    # -- symbolic paths -----------------------------------------------------
+
+    def path_limit(self, default: int) -> int:
+        allowance = self.spec.path_allowance
+        return default if allowance is None else min(default, allowance)
+
+    def charge_paths(self, n: int = 1) -> None:
+        self.paths_used += n
+
+    # -- shared -------------------------------------------------------------
+
+    def conflict_schedule(self) -> list[int]:
+        return self.spec.conflict_schedule()
+
+    def exhaust(self, resource: str, detail: str = "") -> None:
+        """Record exhaustion (sticky, first one wins) and raise."""
+        if self.exhausted is None:
+            self.exhausted = resource
+        raise BudgetExhausted(resource, detail)
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "elapsed_s": round(self.elapsed(), 3),
+            "conflicts_used": self.conflicts_used,
+            "paths_used": self.paths_used,
+            "exhausted": self.exhausted,
+        }

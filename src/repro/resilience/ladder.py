@@ -1,0 +1,64 @@
+"""The degradation ladder.
+
+When a query comes back ``unknown`` the governed solver does not give up
+immediately: it climbs a ladder of escalating per-query conflict budgets
+(bounded exponential escalation, see :meth:`BudgetSpec.conflict_schedule`),
+and bounded retries absorb transient faults between rungs.  Only when the
+top rung is still undecided does the caller convert the query into a
+residual obligation — the structural analogue of the paper's automation
+falling back to manual hints instead of guessing.
+
+The ladder is generic over the attempt function so it carries no
+dependency on the SMT layer: ``attempt(max_conflicts)`` returns a
+``(status, payload)`` pair where ``status`` is one of the solver's
+``"sat" | "unsat" | "unknown"`` strings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .faults import TransientFault
+
+_UNKNOWN = "unknown"
+
+
+class DegradationLadder:
+    """Run an attempt function over an escalating budget schedule.
+
+    Exposes counters (``escalations``, ``transients``) so callers can fold
+    them into their statistics, and ``gave_up_reason`` naming why the final
+    result was ``unknown`` (``"conflict-limit"`` after the last rung,
+    ``"fault:transient"`` when retries ran out).
+    """
+
+    def __init__(self, schedule: list[int | None], transient_retries: int = 2) -> None:
+        if not schedule:
+            raise ValueError("ladder needs at least one rung")
+        self.schedule = list(schedule)
+        self.transient_retries = transient_retries
+        self.escalations = 0
+        self.transients = 0
+        self.gave_up_reason: str | None = None
+
+    def run(self, attempt: Callable[[int | None], tuple[str, object]]) -> tuple[str, object]:
+        result: tuple[str, object] = (_UNKNOWN, None)
+        for rung, conflicts in enumerate(self.schedule):
+            retries = self.transient_retries
+            while True:
+                try:
+                    result = attempt(conflicts)
+                except TransientFault:
+                    self.transients += 1
+                    if retries <= 0:
+                        self.gave_up_reason = "fault:transient"
+                        return _UNKNOWN, None
+                    retries -= 1
+                    continue
+                break
+            if result[0] != _UNKNOWN:
+                return result
+            if rung + 1 < len(self.schedule):
+                self.escalations += 1
+        self.gave_up_reason = "conflict-limit"
+        return result

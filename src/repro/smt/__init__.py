@@ -57,7 +57,15 @@ from .builder import (
 from .interp import EvalError, evaluate
 from .rewriter import ContextualSimplifier, simplify
 from .smtlib import term_to_sexpr
-from .solver import SAT, UNKNOWN, UNSAT, Solver, clear_check_cache
+from .solver import (
+    SAT,
+    UNKNOWN,
+    UNSAT,
+    Solver,
+    check_cache_stats,
+    clear_check_cache,
+    set_check_cache_capacity,
+)
 from .sorts import BOOL, BitVecSort, BoolSort, Sort, bv_sort
 from .terms import FALSE, TRUE, Term
 
@@ -68,8 +76,9 @@ __all__ = [
     "and_", "bool_val", "bool_var", "builder", "bv", "bv_sort", "bv_var",
     "bvadd", "bvand", "bvashr", "bvlshr", "bvmul", "bvneg", "bvnot", "bvor",
     "bvshl", "bvsle", "bvslt", "bvsub", "bvule", "bvult", "bvxor",
-    "clear_check_cache", "concat", "concat_many", "eq", "evaluate", "extract",
-    "false", "ite", "not_", "or_", "sign_extend", "simplify", "substitute",
+    "check_cache_stats", "clear_check_cache", "concat", "concat_many", "eq",
+    "evaluate", "extract", "false", "ite", "not_", "or_",
+    "set_check_cache_capacity", "sign_extend", "simplify", "substitute",
     "term_to_sexpr", "terms", "true", "truncate", "var", "xor",
     "zero_extend", "zext_to",
 ]

@@ -7,6 +7,7 @@ structure of interned terms translates directly into shared circuitry.
 
 from __future__ import annotations
 
+from ..resilience.faults import TransientFault, fault_at
 from . import terms as T
 from .cnf import CnfBuilder
 from .terms import Term
@@ -29,6 +30,8 @@ class BitBlaster:
 
     def assert_term(self, term: Term) -> None:
         """Assert a boolean term into the underlying solver."""
+        if fault_at("bitblast") == "transient":
+            raise TransientFault("injected transient fault in bit-blaster")
         lit = self.blast_bool(term)
         self.cnf.add_clause([lit])
 

@@ -6,10 +6,25 @@ queries by bit-blasting into the CDCL core.  Results are cached keyed on the
 asserted set, which matters a lot in practice: the Isla executor asks about
 many branch conditions under the same path prefix, and the separation-logic
 automation re-discharges structurally identical side conditions.
+
+Resource governance (``repro.resilience``): a solver may carry a
+:class:`~repro.resilience.budget.Budget`.  Governed queries climb the
+degradation ladder — the word-level theory layer first (free), then
+bit-blasting under escalating conflict budgets — and charge every SAT
+conflict against the run-wide allowance.  ``unknown`` results record *why*
+in :attr:`Solver.last_unknown_reason` so degraded verification runs can
+name their bottleneck.  Fault-injection sites (``solver.check``,
+``solver.cache``, ``sat.solve``, ``bitblast``) are no-ops unless a
+deterministic injector is active; see :mod:`repro.resilience.faults`.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
+from ..resilience.budget import Budget
+from ..resilience.faults import fault_at
+from ..resilience.ladder import DegradationLadder
 from . import builder as B
 from .bitblast import BitBlaster, UnsupportedOperation
 from .cnf import CnfBuilder
@@ -29,20 +44,92 @@ UNKNOWN = "unknown"
 #: to manual hints.
 DEFAULT_MAX_CONFLICTS = 60_000
 
-_GLOBAL_CHECK_CACHE: dict[frozenset[Term], str] = {}
+#: Default cap on the global check cache.  Entries are tiny (a frozenset key
+#: and a 3-7 byte result), but the *keys* pin term DAGs alive; an unbounded
+#: cache is a leak under sustained load.
+DEFAULT_CACHE_CAPACITY = 16_384
+
+
+class LruCheckCache:
+    """A bounded LRU map from asserted-set keys to check results.
+
+    Eviction statistics are exposed for run reports; the ``solver.cache``
+    fault site can deterministically drop the entry being looked up,
+    forcing a recomputation (which must reproduce the same answer — the
+    cache is an optimisation, never an oracle).
+    """
+
+    def __init__(self, capacity: int | None = DEFAULT_CACHE_CAPACITY) -> None:
+        self.capacity = capacity
+        self._data: OrderedDict[frozenset[Term], str] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.injected_drops = 0
+
+    def get(self, key: frozenset[Term]) -> str | None:
+        if fault_at("solver.cache") == "drop":
+            if self._data.pop(key, None) is not None:
+                self.injected_drops += 1
+            self.misses += 1
+            return None
+        value = self._data.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: frozenset[Term], value: str) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        if self.capacity is not None:
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "entries": len(self._data),
+            "capacity": self.capacity if self.capacity is not None else -1,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "injected_drops": self.injected_drops,
+        }
+
+
+_GLOBAL_CHECK_CACHE = LruCheckCache()
 
 
 class SolverStats:
-    """Aggregate query counters (read by the benchmark harness)."""
+    """Aggregate query counters (read by the benchmark harness and folded
+    into governed run reports)."""
 
     def __init__(self) -> None:
         self.checks = 0
         self.cache_hits = 0
         self.sat_results = 0
         self.unsat_results = 0
+        self.unknown_results = 0
+        self.unsupported = 0  # UnsupportedOperation from the bit-blaster
+        self.escalations = 0  # degradation-ladder rung climbs
+        self.transient_retries = 0  # transient faults absorbed by retry
+        self.injected_unknowns = 0  # faults forcing a query to unknown
 
     def snapshot(self) -> dict[str, int]:
         return dict(self.__dict__)
+
+    def merge(self, other: "SolverStats") -> None:
+        for key, value in other.__dict__.items():
+            setattr(self, key, getattr(self, key, 0) + value)
 
 
 class Solver:
@@ -61,13 +148,23 @@ class Solver:
         self,
         use_global_cache: bool = True,
         max_conflicts: int | None = DEFAULT_MAX_CONFLICTS,
+        budget: Budget | None = None,
     ) -> None:
         self._assertions: list[Term] = []
         self._scopes: list[int] = []
         self._use_cache = use_global_cache
         self._max_conflicts = max_conflicts
+        self._budget = budget
         self._model: dict[Term, object] | None = None
         self.stats = SolverStats()
+        #: Why the most recent check came back ``unknown`` (reset per query):
+        #: "conflict-limit", "unsupported-operation", "fault:solver.check",
+        #: "fault:sat.solve", "fault:transient".
+        self.last_unknown_reason: str | None = None
+
+    @property
+    def budget(self) -> Budget | None:
+        return self._budget
 
     # -- assertion stack ------------------------------------------------------
 
@@ -95,6 +192,9 @@ class Solver:
     def check(self, *extra: Term) -> str:
         """Satisfiability of the asserted set plus ``extra``."""
         self.stats.checks += 1
+        self.last_unknown_reason = None
+        if self._budget is not None:
+            self._budget.check_deadline()
         goal = list(self._assertions) + [t for t in extra if t is not TRUE]
         if any(t is FALSE for t in goal):
             self._model = None
@@ -114,15 +214,26 @@ class Solver:
                 else:
                     self.stats.unsat_results += 1
                 return hit
-        result, model = self._solve(goal, self._max_conflicts)
+        if fault_at("solver.check") == "unknown":
+            self.stats.injected_unknowns += 1
+            self.stats.unknown_results += 1
+            self.last_unknown_reason = "fault:solver.check"
+            self._model = None
+            self._model_goal = None
+            return UNKNOWN
+        result, model = self._solve_governed(goal)
         self._model = model
         self._model_goal = goal if result == SAT else None
         if self._use_cache and result != UNKNOWN:
-            _GLOBAL_CHECK_CACHE[key] = result
+            _GLOBAL_CHECK_CACHE.put(key, result)
         if result == SAT:
             self.stats.sat_results += 1
         elif result == UNSAT:
             self.stats.unsat_results += 1
+        else:
+            self.stats.unknown_results += 1
+            if self.last_unknown_reason is None:
+                self.last_unknown_reason = "conflict-limit"
         return result
 
     def is_valid(self, term: Term, *extra: Term) -> bool:
@@ -160,9 +271,48 @@ class Solver:
 
     # -- engine ------------------------------------------------------------------
 
-    @staticmethod
+    def _solve_governed(
+        self, goal: list[Term]
+    ) -> tuple[str, dict[Term, object] | None]:
+        """One query through the degradation ladder.
+
+        Ungoverned solvers keep the historical single-attempt behaviour (one
+        rung at ``max_conflicts``); a budgeted solver escalates through the
+        spec's conflict schedule before conceding ``unknown``.  Transient
+        faults (from the ``bitblast`` site, or genuine) are retried a bounded
+        number of times at the current rung.
+        """
+        if self._budget is None:
+            schedule: list[int | None] = [self._max_conflicts]
+            retries = 2
+        else:
+            schedule = list(self._budget.conflict_schedule())
+            retries = self._budget.spec.transient_retries
+        ladder = DegradationLadder(schedule, transient_retries=retries)
+
+        def attempt(conflicts: int | None) -> tuple[str, dict[Term, object] | None]:
+            result = self._solve(goal, conflicts)
+            if (
+                result[0] == UNKNOWN
+                and self.last_unknown_reason == "unsupported-operation"
+            ):
+                # Escalating conflicts cannot help an encoding failure;
+                # short-circuit the remaining rungs.
+                return "unknown-final", None
+            return result
+
+        result, model = ladder.run(attempt)
+        if result == "unknown-final":
+            result = UNKNOWN
+        self.stats.escalations += ladder.escalations
+        self.stats.transient_retries += ladder.transients
+        if result == UNKNOWN and ladder.gave_up_reason is not None:
+            if self.last_unknown_reason is None:
+                self.last_unknown_reason = ladder.gave_up_reason
+        return result, model  # type: ignore[return-value]
+
     def _solve(
-        goal: list[Term], max_conflicts: int | None = None, depth: int = 0
+        self, goal: list[Term], max_conflicts: int | None = None, depth: int = 0
     ) -> tuple[str, dict[Term, object] | None]:
         # Word-level theory layer first: decides relational 64-bit goals
         # (ordering chains, interval bounds) without touching the SAT core.
@@ -185,7 +335,7 @@ class Solver:
                     ]
                     if any(t is FALSE for t in sub_goal):
                         continue
-                    result, model = Solver._solve(sub_goal, max_conflicts, depth + 1)
+                    result, model = self._solve(sub_goal, max_conflicts, depth + 1)
                     if result == SAT:
                         model = dict(model or {})
                         model[var] = val
@@ -200,9 +350,36 @@ class Solver:
             for t in goal:
                 blaster.assert_term(t)
         except UnsupportedOperation:
+            # Not silently swallowed: the counter distinguishes "the encoding
+            # gave up" from "the search gave up" in run reports.
+            self.stats.unsupported += 1
+            self.last_unknown_reason = "unsupported-operation"
             return UNKNOWN, None
-        outcome = sat_solver.solve(max_conflicts=max_conflicts)
+        budget = self._budget
+        clip = max_conflicts
+        if budget is not None:
+            clip = budget.clip_conflicts(max_conflicts)
+        if fault_at("sat.solve") == "unknown":
+            self.stats.injected_unknowns += 1
+            self.last_unknown_reason = "fault:sat.solve"
+            return UNKNOWN, None
+        try:
+            outcome = sat_solver.solve(max_conflicts=clip)
+        finally:
+            if budget is not None:
+                budget.charge_conflicts(sat_solver.stats.conflicts)
         if outcome is None:
+            if (
+                budget is not None
+                and clip is not None
+                and (max_conflicts is None or clip < max_conflicts)
+            ):
+                # The truncation came from the run-wide allowance, not the
+                # per-query rung: escalate to the budget layer.
+                budget.exhaust(
+                    "conflicts",
+                    f"allowance {budget.spec.conflict_allowance} spent mid-query",
+                )
             return UNKNOWN, None
         if not outcome:
             return UNSAT, None
@@ -277,6 +454,21 @@ def _enumerable_var(goal: list[Term]) -> tuple[Term, int, int] | None:
 def clear_check_cache() -> None:
     """Drop the global result cache (used by benchmarks for cold timings)."""
     _GLOBAL_CHECK_CACHE.clear()
+
+
+def check_cache_stats() -> dict[str, int]:
+    """Hit/miss/eviction counters of the global result cache."""
+    return _GLOBAL_CHECK_CACHE.stats()
+
+
+def set_check_cache_capacity(capacity: int | None) -> None:
+    """Re-bound the global result cache (``None`` = unbounded; evicts down
+    to the new cap immediately)."""
+    _GLOBAL_CHECK_CACHE.capacity = capacity
+    if capacity is not None:
+        while len(_GLOBAL_CHECK_CACHE) > capacity:
+            _GLOBAL_CHECK_CACHE._data.popitem(last=False)
+            _GLOBAL_CHECK_CACHE.evictions += 1
 
 
 def check_model(goal: list[Term], model: dict[Term, object]) -> bool:

@@ -1,10 +1,18 @@
 """CLI: run a case study's full pipeline and print a summary.
 
+Verification runs *governed* (see :mod:`repro.resilience`): each block gets
+an outcome of ``verified | degraded | unknown | failed`` and the process
+exits non-zero unless every block verified cleanly and the independent
+checker re-validated the proof.  Budgets and deterministic fault injection
+are exposed for resilience experiments.
+
 Examples::
 
     python -m repro.tools.verify memcpy_arm --n 4
     python -m repro.tools.verify pkvm
     python -m repro.tools.verify --all
+    python -m repro.tools.verify memcpy_riscv --deadline 0.5 --conflicts 20000
+    python -m repro.tools.verify binsearch_riscv --fault-seed 7 --fault-rate 0.1
 """
 
 from __future__ import annotations
@@ -14,10 +22,35 @@ import sys
 import time
 
 
-def run_one(name: str, n: int | None) -> bool:
+def _pc_for(module):
+    """The architecture PC register of a case-study module."""
+    pc = getattr(module, "PC", None)
+    if pc is not None:
+        return pc
+    from ..arch.arm.regs import PC
+
+    return PC
+
+
+def _build_budget(args):
+    from ..resilience import Budget, BudgetSpec
+
+    if args.deadline is None and args.conflicts is None:
+        return None
+    spec = BudgetSpec(
+        deadline_s=args.deadline,
+        conflict_allowance=args.conflicts,
+    )
+    return Budget(spec)
+
+
+def run_one(name: str, n: int | None, args) -> bool:
+    from contextlib import nullcontext
+
     from .. import casestudies
-    from ..logic.checker import check_proof
-    from ..logic.context import ProofError
+    from ..logic.automation import verify_program
+    from ..logic.checker import CheckFailure, check_proof
+    from ..resilience import FaultInjector, inject
 
     module = getattr(casestudies, name, None)
     if module is None:
@@ -28,24 +61,43 @@ def run_one(name: str, n: int | None) -> bool:
 
     if n is not None and "n" in inspect.signature(module.build).parameters:
         kwargs["n"] = n
+
+    injection = (
+        inject(FaultInjector(args.fault_seed, rate=args.fault_rate))
+        if args.fault_seed is not None
+        else nullcontext()
+    )
     t0 = time.perf_counter()
     case = module.build(**kwargs)
     t1 = time.perf_counter()
-    try:
-        proof = module.verify(case)
-    except ProofError as exc:
-        print(f"{name}: VERIFICATION FAILED: {exc}", file=sys.stderr)
-        return False
+    with injection:
+        report = verify_program(
+            case.frontend.traces, case.specs, _pc_for(module),
+            budget=_build_budget(args),
+        )
     t2 = time.perf_counter()
-    report = check_proof(proof, expected_blocks=set(case.specs))
+    # The checker runs outside injection: the certificate must stand on its
+    # own regardless of how flaky the run that produced it was.
+    try:
+        check = check_proof(report.proof, expected_blocks=set(case.specs))
+    except CheckFailure as exc:
+        print(f"{name}: CHECK FAILED: {exc}", file=sys.stderr)
+        return False
     t3 = time.perf_counter()
+
+    proof = report.proof
+    status = "OK" if report.ok else report.outcome.upper()
     print(
-        f"{name}: OK — {case.asm_line_count} instrs, "
+        f"{name}: {status} — {case.asm_line_count} instrs, "
         f"{case.frontend.total_events} ITL events, {len(proof.steps)} proof "
         f"steps, {proof.num_side_conditions} side conditions "
         f"(isla {t1 - t0:.2f}s, verify {t2 - t1:.2f}s, re-check {t3 - t2:.2f}s)"
     )
-    return True
+    if not report.ok or args.verbose:
+        for line in report.render().splitlines():
+            print(f"  {line}")
+        print(f"  checker: {check}")
+    return report.ok
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -56,11 +108,31 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("case", nargs="?", choices=all_names)
     parser.add_argument("--all", action="store_true", help="run every case study")
     parser.add_argument("--n", type=int, default=None, help="array length where applicable")
+    parser.add_argument(
+        "--deadline", type=float, default=None,
+        help="wall-clock budget in seconds for the whole run",
+    )
+    parser.add_argument(
+        "--conflicts", type=int, default=None,
+        help="total SAT-conflict allowance across all solver queries",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="enable deterministic fault injection with this seed",
+    )
+    parser.add_argument(
+        "--fault-rate", type=float, default=0.05,
+        help="per-site fault probability when --fault-seed is given",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="print the per-block outcome report even on success",
+    )
     args = parser.parse_args(argv)
     if not args.all and not args.case:
         parser.error("give a case study name or --all")
     names = all_names if args.all else [args.case]
-    ok = all([run_one(name, args.n) for name in names])
+    ok = all([run_one(name, args.n, args) for name in names])
     return 0 if ok else 1
 
 

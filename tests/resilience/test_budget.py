@@ -1,0 +1,175 @@
+"""Budget accounting, the conflict ladder schedule, and the degradation
+ladder driver."""
+
+import pytest
+
+from repro.resilience import (
+    Budget,
+    BudgetExhausted,
+    BudgetSpec,
+    DegradationLadder,
+    TransientFault,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestBudgetSpec:
+    def test_default_schedule_escalates_to_cap(self):
+        spec = BudgetSpec()
+        assert spec.conflict_schedule() == [4_000, 16_000, 60_000]
+
+    def test_schedule_rungs_capped_at_query_conflicts(self):
+        spec = BudgetSpec(base_conflicts=50_000, query_conflicts=60_000)
+        schedule = spec.conflict_schedule()
+        assert schedule[0] == 50_000
+        assert schedule[-1] == 60_000
+        assert all(c <= 60_000 for c in schedule)
+
+    def test_schedule_always_ends_at_full_allowance(self):
+        spec = BudgetSpec(base_conflicts=100, escalation_rungs=1)
+        assert spec.conflict_schedule()[-1] == spec.query_conflicts
+
+    def test_schedule_monotone(self):
+        spec = BudgetSpec(base_conflicts=1_000, escalation_factor=8)
+        schedule = spec.conflict_schedule()
+        assert schedule == sorted(schedule)
+
+
+class TestDeadline:
+    def test_within_deadline_is_noop(self):
+        clock = FakeClock()
+        budget = Budget(BudgetSpec(deadline_s=10.0), clock=clock)
+        clock.now += 9.0
+        budget.check_deadline()  # no raise
+        assert budget.exhausted is None
+
+    def test_past_deadline_raises_and_sticks(self):
+        clock = FakeClock()
+        budget = Budget(BudgetSpec(deadline_s=1.0), clock=clock)
+        clock.now += 2.0
+        with pytest.raises(BudgetExhausted) as exc:
+            budget.check_deadline()
+        assert exc.value.resource == "deadline"
+        assert budget.exhausted == "deadline"
+
+    def test_no_deadline_means_unlimited(self):
+        clock = FakeClock()
+        budget = Budget(BudgetSpec(), clock=clock)
+        clock.now += 1e6
+        budget.check_deadline()
+
+
+class TestConflicts:
+    def test_unlimited_allowance_passes_request_through(self):
+        budget = Budget(BudgetSpec())
+        assert budget.remaining_conflicts() is None
+        assert budget.clip_conflicts(1234) == 1234
+        assert budget.clip_conflicts(None) is None
+
+    def test_clip_to_remaining(self):
+        budget = Budget(BudgetSpec(conflict_allowance=100))
+        budget.charge_conflicts(60)
+        assert budget.remaining_conflicts() == 40
+        assert budget.clip_conflicts(1000) == 40
+        assert budget.clip_conflicts(10) == 10
+        assert budget.clip_conflicts(None) == 40
+
+    def test_exhausted_allowance_raises(self):
+        budget = Budget(BudgetSpec(conflict_allowance=10))
+        budget.charge_conflicts(10)
+        with pytest.raises(BudgetExhausted) as exc:
+            budget.clip_conflicts(5)
+        assert exc.value.resource == "conflicts"
+        assert budget.exhausted == "conflicts"
+
+    def test_overcharge_never_goes_negative(self):
+        budget = Budget(BudgetSpec(conflict_allowance=10))
+        budget.charge_conflicts(25)
+        assert budget.remaining_conflicts() == 0
+
+
+class TestPathsAndState:
+    def test_path_limit_is_min_of_default_and_allowance(self):
+        assert Budget(BudgetSpec(path_allowance=8)).path_limit(64) == 8
+        assert Budget(BudgetSpec(path_allowance=None)).path_limit(64) == 64
+        assert Budget(BudgetSpec(path_allowance=100)).path_limit(64) == 64
+
+    def test_exhaust_is_sticky_first_wins(self):
+        budget = Budget(BudgetSpec())
+        with pytest.raises(BudgetExhausted):
+            budget.exhaust("paths")
+        with pytest.raises(BudgetExhausted):
+            budget.exhaust("conflicts")
+        assert budget.exhausted == "paths"
+
+    def test_snapshot_keys(self):
+        budget = Budget(BudgetSpec())
+        budget.charge_conflicts(3)
+        budget.charge_paths()
+        snap = budget.snapshot()
+        assert snap["conflicts_used"] == 3
+        assert snap["paths_used"] == 1
+        assert snap["exhausted"] is None
+        assert "elapsed_s" in snap
+
+
+class TestDegradationLadder:
+    def test_first_rung_success_no_escalation(self):
+        ladder = DegradationLadder([10, 100])
+        result = ladder.run(lambda c: ("sat", c))
+        assert result == ("sat", 10)
+        assert ladder.escalations == 0
+
+    def test_escalates_through_rungs(self):
+        attempts = []
+
+        def attempt(conflicts):
+            attempts.append(conflicts)
+            return ("unknown", None) if conflicts < 100 else ("unsat", None)
+
+        ladder = DegradationLadder([10, 50, 100])
+        assert ladder.run(attempt) == ("unsat", None)
+        assert attempts == [10, 50, 100]
+        assert ladder.escalations == 2
+        assert ladder.gave_up_reason is None
+
+    def test_gives_up_with_conflict_limit_reason(self):
+        ladder = DegradationLadder([10, 20])
+        result = ladder.run(lambda c: ("unknown", None))
+        assert result[0] == "unknown"
+        assert ladder.escalations == 1
+        assert ladder.gave_up_reason == "conflict-limit"
+
+    def test_transients_are_retried_at_same_rung(self):
+        calls = []
+
+        def attempt(conflicts):
+            calls.append(conflicts)
+            if len(calls) < 3:
+                raise TransientFault("flaky")
+            return ("sat", None)
+
+        ladder = DegradationLadder([10, 20], transient_retries=2)
+        assert ladder.run(attempt) == ("sat", None)
+        assert calls == [10, 10, 10]
+        assert ladder.transients == 2
+
+    def test_persistent_transients_exhaust_retries(self):
+        def attempt(conflicts):
+            raise TransientFault("always")
+
+        ladder = DegradationLadder([10], transient_retries=2)
+        assert ladder.run(attempt) == ("unknown", None)
+        assert ladder.gave_up_reason == "fault:transient"
+        assert ladder.transients == 3  # initial + 2 retries
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            DegradationLadder([])

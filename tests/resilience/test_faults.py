@@ -1,0 +1,117 @@
+"""The deterministic fault injector: schedules are pure functions of the
+seed, independent of site interleaving, and properly scoped."""
+
+import pytest
+
+from repro.resilience import FaultInjector, active_injector, fault_at, inject
+from repro.resilience.faults import SITE_KINDS, SITES, FaultEvent
+
+
+def drive(injector: FaultInjector, schedule: list[str]) -> list[str | None]:
+    return [injector.decide(site) for site in schedule]
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        sequence = [SITES[i % len(SITES)] for i in range(200)]
+        a = FaultInjector(42, rate=0.2)
+        b = FaultInjector(42, rate=0.2)
+        assert drive(a, sequence) == drive(b, sequence)
+        assert a.log == b.log
+
+    def test_different_seeds_differ(self):
+        sequence = ["solver.check"] * 200
+        a = FaultInjector(0, rate=0.5)
+        b = FaultInjector(1, rate=0.5)
+        assert drive(a, sequence) != drive(b, sequence)
+
+    def test_sites_independent_of_interleaving(self):
+        # Decisions at one site must not depend on how many decisions other
+        # sites made in between (no shared PRNG stream).
+        a = FaultInjector(7, rate=0.3)
+        b = FaultInjector(7, rate=0.3)
+        a_decisions = [a.decide("solver.check") for _ in range(50)]
+        interleaved = []
+        for _ in range(50):
+            b.decide("sat.solve")
+            interleaved.append(b.decide("solver.check"))
+            b.decide("bitblast")
+        assert a_decisions == interleaved
+
+
+class TestRates:
+    def test_rate_zero_never_fires(self):
+        injector = FaultInjector(3, rate=0.0)
+        assert all(injector.decide("solver.check") is None for _ in range(100))
+        assert injector.log == []
+        assert injector.summary() == "no faults injected"
+
+    def test_rate_one_always_fires(self):
+        injector = FaultInjector(3, rate=1.0)
+        kinds = [injector.decide("solver.check") for _ in range(20)]
+        assert kinds == ["unknown"] * 20
+        assert len(injector.log) == 20
+
+    def test_kinds_come_from_site_table(self):
+        injector = FaultInjector(11, rate=1.0)
+        for site, kinds in SITE_KINDS.items():
+            assert injector.decide(site) in kinds
+
+    def test_log_records_site_kind_index(self):
+        injector = FaultInjector(5, rate=1.0)
+        injector.decide("bitblast")
+        injector.decide("bitblast")
+        assert injector.log[:2] == [
+            FaultEvent("bitblast", "transient", 0),
+            FaultEvent("bitblast", "transient", 1),
+        ]
+
+
+class TestScoping:
+    def test_site_restriction_masks_but_still_counts(self):
+        restricted = FaultInjector(9, rate=1.0, sites=("bitblast",))
+        assert restricted.decide("solver.check") is None
+        assert restricted.decide("bitblast") == "transient"
+        # The masked site still advanced its counter, so the unrestricted
+        # twin sees the identical per-site schedule.
+        assert restricted.counters["solver.check"] == 1
+
+    def test_max_faults_bounds_the_log(self):
+        injector = FaultInjector(1, rate=1.0, max_faults=3)
+        for _ in range(10):
+            injector.decide("solver.check")
+        assert len(injector.log) == 3
+
+    def test_unknown_site_rejected(self):
+        injector = FaultInjector(0)
+        with pytest.raises(ValueError):
+            injector.decide("no.such.site")
+        with pytest.raises(ValueError):
+            FaultInjector(0, sites=("no.such.site",))
+
+
+class TestActivation:
+    def test_no_injector_means_no_faults(self):
+        assert active_injector() is None
+        assert fault_at("solver.check") is None
+
+    def test_inject_scopes_and_restores(self):
+        outer = FaultInjector(1, rate=0.0)
+        inner = FaultInjector(2, rate=0.0)
+        with inject(outer):
+            assert active_injector() is outer
+            with inject(inner):
+                assert active_injector() is inner
+            assert active_injector() is outer
+        assert active_injector() is None
+
+    def test_inject_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with inject(FaultInjector(1)):
+                raise RuntimeError("boom")
+        assert active_injector() is None
+
+    def test_fault_at_consults_active_injector(self):
+        with inject(FaultInjector(4, rate=1.0, sites=("solver.cache",))):
+            assert fault_at("solver.cache") == "drop"
+            assert fault_at("solver.check") is None

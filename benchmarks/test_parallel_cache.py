@@ -1,0 +1,166 @@
+"""Serial vs parallel vs warm-cache timings for the verification driver.
+
+Run with::
+
+    pytest benchmarks/test_parallel_cache.py --benchmark-only -s
+
+Three configurations per case study, Fig. 12-style:
+
+- **serial**: ``jobs=1``, no cache (the seed pipeline's behaviour);
+- **parallel**: ``jobs=4`` block fan-out filling a cold on-disk cache;
+- **warm**: serial rerun against the cache the parallel run filled.
+
+Hard assertions cover only the deterministic facts — warm-run hit counts
+and byte-identical certificates across all three configurations.
+Wall-clock speedup is asserted only when the machine actually has spare
+cores (``os.cpu_count()``); on a saturated box the interesting numbers
+live in the printed table, not the gate.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro import casestudies
+from repro.cache import DiskCache
+from repro.logic.automation import verify_program
+from repro.parallel.config import configured
+from repro.parallel.scheduler import pc_for, verify_case_parallel
+from repro.smt.solver import clear_check_cache, install_persistent_check_store
+
+CASES = {
+    "memcpy/arm": ("memcpy_arm", {"n": 4}),
+    "memcpy/rv": ("memcpy_riscv", {"n": 4}),
+    "binsearch/arm": ("binsearch_arm", {"n": 4}),
+    "uart": ("uart", {}),
+}
+JOBS = 4
+
+
+@dataclass
+class Row:
+    name: str
+    serial_s: float
+    parallel_s: float
+    warm_s: float
+    trace_hits: int
+    trace_misses: int
+    smt_hits: int
+    smt_misses: int
+
+    def format(self) -> str:
+        return (
+            f"{self.name:<16} {self.serial_s:>8.3f} {self.parallel_s:>8.3f} "
+            f"{self.warm_s:>8.3f}  {self.trace_hits:>4}/{self.trace_misses:<4} "
+            f"{self.smt_hits:>5}/{self.smt_misses:<4}"
+        )
+
+
+HEADER = (
+    f"{'Test':<16} {'ser(s)':>8} {'par(s)':>8} {'warm(s)':>8}  "
+    f"{'tr h/m':>9} {'smt h/m':>10}"
+)
+
+
+def _serial_governed_run(name, kwargs, cache):
+    """One serial run through the governed pipeline (the driver's path)."""
+    module = getattr(casestudies, name)
+    clear_check_cache()
+    previous = install_persistent_check_store(cache)
+    t0 = time.perf_counter()
+    try:
+        with configured(jobs=1, cache=cache):
+            case = module.build(**kwargs)
+        report = verify_program(case.frontend.traces, case.specs, pc_for(module))
+    finally:
+        install_persistent_check_store(previous)
+        if cache is not None:
+            cache.flush()
+    return case, report, time.perf_counter() - t0
+
+
+@pytest.fixture(scope="module")
+def all_rows(tmp_path_factory):
+    rows = {}
+    proofs = {}
+    for label, (name, kwargs) in CASES.items():
+        cache_dir = tmp_path_factory.mktemp(f"cache-{name}")
+        _, serial_report, serial_s = _serial_governed_run(name, kwargs, cache=None)
+
+        cold_cache = DiskCache(cache_dir)
+        t0 = time.perf_counter()
+        case, cold_report = verify_case_parallel(
+            name, kwargs, jobs=JOBS, cache=cold_cache
+        )
+        parallel_s = time.perf_counter() - t0
+        cold_cache.flush()
+
+        warm_cache = DiskCache(cache_dir)
+        _, warm_report, warm_s = _serial_governed_run(name, kwargs, cache=warm_cache)
+
+        rows[label] = Row(
+            name=label,
+            serial_s=serial_s,
+            parallel_s=parallel_s,
+            warm_s=warm_s,
+            trace_hits=warm_cache.stats.trace_hits,
+            trace_misses=warm_cache.stats.trace_misses,
+            smt_hits=warm_cache.stats.smt_hits,
+            smt_misses=warm_cache.stats.smt_misses,
+        )
+        proofs[label] = {
+            "serial": serial_report.proof.to_json(),
+            "cold": cold_report.proof.to_json(),
+            "warm": warm_report.proof.to_json(),
+            "n_opcodes": len(case.image.opcodes),
+        }
+    return rows, proofs
+
+
+def test_print_table(all_rows, capsys):
+    rows, _ = all_rows
+    with capsys.disabled():
+        print()
+        print(f"Parallel/cache driver timings (jobs={JOBS}, cpus={os.cpu_count()})")
+        print(HEADER)
+        print("-" * len(HEADER))
+        for row in rows.values():
+            print(row.format())
+
+
+def test_certificates_invariant_across_configurations(all_rows):
+    """The headline guarantee: scheduling and caching change timings only."""
+    _, proofs = all_rows
+    for label, p in proofs.items():
+        assert p["serial"] == p["cold"] == p["warm"], label
+
+
+def test_warm_run_serves_every_trace(all_rows):
+    rows, proofs = all_rows
+    for label, row in rows.items():
+        assert row.trace_misses == 0, label
+        assert row.trace_hits == proofs[label]["n_opcodes"], label
+        assert row.smt_misses == 0, label
+        assert row.smt_hits > 0, label
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4, reason="speedup needs actual spare cores"
+)
+def test_parallel_speedup_with_spare_cores(all_rows):
+    rows, _ = all_rows
+    slowest = max(rows.values(), key=lambda r: r.serial_s)
+    assert slowest.parallel_s < slowest.serial_s * 1.5
+
+
+def test_warm_run_beats_cold_on_trace_generation(all_rows):
+    """A warm rerun must not be slower than the serial cold run by more
+    than a small constant factor (cache lookups must stay cheap)."""
+    rows, _ = all_rows
+    total_serial = sum(r.serial_s for r in rows.values())
+    total_warm = sum(r.warm_s for r in rows.values())
+    assert total_warm < max(total_serial * 1.5, 1.0)

@@ -24,7 +24,9 @@ def _x(n: int, sf: int = 1) -> str:
 
 
 def _sp_or_x(n: int, sf: int = 1) -> str:
-    return "sp" if n == 31 else _x(n, sf)
+    if n == 31:
+        return "sp" if sf else "wsp"
+    return _x(n, sf)
 
 
 def _simm(value: int, bits: int) -> int:
@@ -57,6 +59,18 @@ def try_disassemble(op: int) -> str:
         return f".word {op:#010x}"
 
 
+def decode_arm(op: int) -> str:
+    """The name of the decoder arm that claims ``op`` (e.g. ``"addsub_imm"``).
+
+    The assembler's round-trip tests use this to assert that their generator
+    reaches every arm of the decoder.
+    """
+    for matcher in _DECODERS:
+        if matcher(op) is not None:
+            return matcher.__name__.lstrip("_")
+    raise UnknownInstruction(f"{op:#010x}")
+
+
 # -- decoder clauses ----------------------------------------------------------
 
 
@@ -64,13 +78,16 @@ def _addsub_imm(op: int) -> str | None:
     if _f(op, 28, 23) != 0b100010:
         return None
     sf, is_sub, s = _f(op, 31, 31), _f(op, 30, 30), _f(op, 29, 29)
-    imm = _f(op, 21, 10) << (12 if _f(op, 22, 22) else 0)
+    imm12, sh = _f(op, 21, 10), _f(op, 22, 22)
+    # A shifted zero would print identically to an unshifted zero; spell out
+    # the shift in that one degenerate case so the text stays invertible.
+    imm = f"#{imm12}, lsl #12" if sh and not imm12 else f"#{imm12 << (12 if sh else 0)}"
     rn, rd = _f(op, 9, 5), _f(op, 4, 0)
     if s and rd == 31:
-        return f"cmp {_sp_or_x(rn, sf)}, #{imm}" if is_sub else f"cmn {_sp_or_x(rn, sf)}, #{imm}"
+        return f"cmp {_sp_or_x(rn, sf)}, {imm}" if is_sub else f"cmn {_sp_or_x(rn, sf)}, {imm}"
     name = ("sub" if is_sub else "add") + ("s" if s else "")
     rd_s = _x(rd, sf) if s else _sp_or_x(rd, sf)
-    return f"{name} {rd_s}, {_sp_or_x(rn, sf)}, #{imm}"
+    return f"{name} {rd_s}, {_sp_or_x(rn, sf)}, {imm}"
 
 
 def _addsub_reg(op: int) -> str | None:
@@ -79,8 +96,13 @@ def _addsub_reg(op: int) -> str | None:
     sf, is_sub, s = _f(op, 31, 31), _f(op, 30, 30), _f(op, 29, 29)
     rm, rn, rd = _f(op, 20, 16), _f(op, 9, 5), _f(op, 4, 0)
     amount = _f(op, 15, 10)
-    shift = ["lsl", "lsr", "asr", "?"][_f(op, 23, 22)]
-    suffix = f", {shift} #{amount}" if amount else ""
+    shift_type = _f(op, 23, 22)
+    if shift_type == 0b11:  # reserved
+        return None
+    shift = ["lsl", "lsr", "asr"][shift_type]
+    # "lsr #0" etc. is printed even for a zero amount: it is a different
+    # word from the unshifted form and must not share its text.
+    suffix = f", {shift} #{amount}" if amount or shift_type else ""
     if s and rd == 31 and is_sub:
         return f"cmp {_x(rn, sf)}, {_x(rm, sf)}{suffix}"
     name = ("sub" if is_sub else "add") + ("s" if s else "")
@@ -94,9 +116,11 @@ def _logical_reg(op: int) -> str | None:
     invert = _f(op, 21, 21)
     rm, rn, rd = _f(op, 20, 16), _f(op, 9, 5), _f(op, 4, 0)
     amount = _f(op, 15, 10)
+    shift_type = _f(op, 23, 22)
+    shift = ["lsl", "lsr", "asr", "ror"][shift_type]
     name = [["and", "bic"], ["orr", "orn"], ["eor", "eon"], ["ands", "bics"]][opc][invert]
-    suffix = f", lsl #{amount}" if amount else ""
-    if name == "orr" and rn == 31 and not amount:
+    suffix = f", {shift} #{amount}" if amount or shift_type else ""
+    if name == "orr" and rn == 31 and not amount and not shift_type:
         return f"mov {_x(rd, sf)}, {_x(rm, sf)}"
     if name == "ands" and rd == 31:
         return f"tst {_x(rn, sf)}, {_x(rm, sf)}{suffix}"
@@ -111,6 +135,14 @@ def _logical_imm(op: int) -> str | None:
     sf, opc = _f(op, 31, 31), _f(op, 30, 29)
     immn, immr, imms = _f(op, 22, 22), _f(op, 21, 16), _f(op, 15, 10)
     rn, rd = _f(op, 9, 5), _f(op, 4, 0)
+    if not sf and immn:
+        return None  # reserved for 32-bit
+    # Reject non-canonical rotations (immr bits above the element size are
+    # ignored by DecodeBitMasks, so accepting them would alias encodings).
+    combined = (immn << 6) | (~imms & 0x3F)
+    esize = 1 << (combined.bit_length() - 1) if combined else 0
+    if esize < 2 or immr >= esize:
+        return None
     try:
         value = decode_bit_masks(immn, imms, immr, 64 if sf else 32)
     except ValueError:
@@ -141,13 +173,17 @@ def _bitfield(op: int) -> str | None:
     sf, opc = _f(op, 31, 31), _f(op, 30, 29)
     immr, imms = _f(op, 21, 16), _f(op, 15, 10)
     rn, rd = _f(op, 9, 5), _f(op, 4, 0)
+    if _f(op, 22, 22) != sf:  # N must equal sf for valid encodings
+        return None
+    if not sf and (immr >= 32 or imms >= 32):
+        return None
     width = 64 if sf else 32
     if opc == 0b10:  # UBFM aliases
         if imms == width - 1:
             return f"lsr {_x(rd, sf)}, {_x(rn, sf)}, #{immr}"
         if imms + 1 == immr:
             return f"lsl {_x(rd, sf)}, {_x(rn, sf)}, #{width - immr}"
-        if immr == 0 and imms == 7:
+        if not sf and immr == 0 and imms == 7:
             return f"uxtb {_x(rd, 0)}, {_x(rn, 0)}"
         return f"ubfm {_x(rd, sf)}, {_x(rn, sf)}, #{immr}, #{imms}"
     if opc == 0b00:
@@ -205,6 +241,14 @@ _LDST_NAMES = {
     (0b11, 0b00): "str", (0b11, 0b01): "ldr",
 }
 
+# Unscaled (imm9, no-writeback) forms get distinct objdump-style names so a
+# scaled "ldrh w0, [x1, #2]" and its unscaled twin never share text.
+_UNSCALED_NAMES = {
+    "ldr": "ldur", "str": "stur", "ldrb": "ldurb", "strb": "sturb",
+    "ldrh": "ldurh", "strh": "sturh", "ldrsb": "ldursb",
+    "ldrsh": "ldursh", "ldrsw": "ldursw",
+}
+
 
 def _ldst_imm(op: int) -> str | None:
     if _f(op, 29, 24) != 0b111001:
@@ -231,9 +275,13 @@ def _ldst_reg(op: int) -> str | None:
     s = _f(op, 12, 12)
     option = _f(op, 15, 13)
     sf = 1 if size == 0b11 else 0
-    ext = {0b011: "lsl", 0b010: "uxtw", 0b110: "sxtw"}.get(option, "?")
-    amount = f" #{size}" if s and size else ""
-    mod = f", {ext}{amount}" if (s and size) or ext != "lsl" else ""
+    ext = {0b011: "lsl", 0b010: "uxtw", 0b110: "sxtw"}.get(option)
+    if ext is None:  # reserved extend options
+        return None
+    # S chooses between shift #0 and no shift — distinct words, so the
+    # amount is printed whenever S is set, even when it is zero.
+    amount = f" #{size}" if s else ""
+    mod = f", {ext}{amount}" if s or ext != "lsl" else ""
     return f"{name} {_x(rt, sf)}, [{_sp_or_x(rn)}, {_x(rm)}{mod}]"
 
 
@@ -249,9 +297,9 @@ def _ldst_imm9(op: int) -> str | None:
         return None
     rt, rn = _f(op, 4, 0), _f(op, 9, 5)
     imm = _simm(_f(op, 20, 12), 9)
-    sf = 1 if size == 0b11 else 0
+    sf = 1 if size == 0b11 or opc == 0b10 else 0
     if mode == 0b00:
-        base = {"ldr": "ldur", "str": "stur", "ldrb": "ldurb", "strb": "sturb"}.get(name, name)
+        base = _UNSCALED_NAMES.get(name, name)
         return f"{base} {_x(rt, sf)}, [{_sp_or_x(rn)}, #{imm}]"
     if mode == 0b01:
         return f"{name} {_x(rt, sf)}, [{_sp_or_x(rn)}], #{imm}"

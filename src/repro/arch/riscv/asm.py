@@ -1,0 +1,178 @@
+"""RV64I single-line assembler: the inverse of :mod:`repro.arch.riscv.decode`.
+
+``assemble_line`` parses exactly the grammar the disassembler emits and
+returns the 32-bit word, so ``assemble_line(disassemble(op)) == op`` for
+every word the decoder accepts.  Kept independent of both
+:mod:`repro.arch.riscv.encode` and the decoder tables so round-trip tests
+exercise separate implementations.
+"""
+
+from __future__ import annotations
+
+from .decode import ABI, _CSR_NAMES
+
+
+class AsmError(Exception):
+    """The line is not in the disassembler's output grammar."""
+
+
+_CSR_ADDRS = {name: addr for addr, name in _CSR_NAMES.items()}
+
+_LOADS = {"lb": 0, "lh": 1, "lw": 2, "ld": 3, "lbu": 4, "lhu": 5, "lwu": 6}
+_STORES = {"sb": 0, "sh": 1, "sw": 2, "sd": 3}
+_BRANCHES = {"beq": 0, "bne": 1, "blt": 4, "bge": 5, "bltu": 6, "bgeu": 7}
+_OPIMM = {"addi": 0, "slti": 2, "sltiu": 3, "xori": 4, "ori": 6, "andi": 7}
+_OPS = {
+    "add": (0, 0), "sub": (0, 32), "sll": (1, 0), "slt": (2, 0),
+    "sltu": (3, 0), "xor": (4, 0), "srl": (5, 0), "sra": (5, 32),
+    "or": (6, 0), "and": (7, 0),
+}
+_OPS_W = {"addw", "subw", "sllw", "srlw", "sraw"}
+
+
+def _reg(tok: str) -> int:
+    try:
+        return ABI.index(tok)
+    except ValueError:
+        raise AsmError(f"bad register {tok!r}") from None
+
+
+def _int(tok: str) -> int:
+    try:
+        return int(tok, 0)
+    except ValueError:
+        raise AsmError(f"bad integer {tok!r}") from None
+
+
+def _mem(tok: str) -> tuple[int, int]:
+    """Parse ``imm(reg)`` to ``(imm, reg)``."""
+    if not tok.endswith(")") or "(" not in tok:
+        raise AsmError(f"bad memory operand {tok!r}")
+    imm, _, reg = tok[:-1].partition("(")
+    return _int(imm), _reg(reg)
+
+
+def _i_type(imm: int, rs1: int, funct3: int, rd: int, major: int) -> int:
+    return ((imm & 0xFFF) << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | major
+
+
+def _s_type(imm: int, rs2: int, rs1: int, funct3: int) -> int:
+    return (
+        ((imm >> 5 & 0x7F) << 25) | (rs2 << 20) | (rs1 << 15)
+        | (funct3 << 12) | ((imm & 0x1F) << 7) | 0b0100011
+    )
+
+
+def _b_type(imm: int, rs2: int, rs1: int, funct3: int) -> int:
+    return (
+        ((imm >> 12 & 1) << 31) | ((imm >> 5 & 0x3F) << 25) | (rs2 << 20)
+        | (rs1 << 15) | (funct3 << 12) | ((imm >> 1 & 0xF) << 8)
+        | ((imm >> 11 & 1) << 7) | 0b1100011
+    )
+
+
+def _j_type(imm: int, rd: int) -> int:
+    return (
+        ((imm >> 20 & 1) << 31) | ((imm >> 1 & 0x3FF) << 21)
+        | ((imm >> 11 & 1) << 20) | ((imm >> 12 & 0xFF) << 12)
+        | (rd << 7) | 0b1101111
+    )
+
+
+def _r_type(funct7: int, rs2: int, rs1: int, funct3: int, rd: int, major: int) -> int:
+    return (
+        (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12)
+        | (rd << 7) | major
+    )
+
+
+def _csr_addr(tok: str) -> int:
+    if tok in _CSR_ADDRS:
+        return _CSR_ADDRS[tok]
+    return _int(tok)
+
+
+def assemble_line(text: str) -> int:
+    text = text.strip()
+    mnemonic, _, rest = text.partition(" ")
+    ops = [o.strip() for o in rest.split(",")] if rest else []
+
+    if mnemonic == "nop":
+        return 0b0010011  # addi zero, zero, 0
+    if mnemonic == "ret":
+        return _i_type(0, 1, 0, 0, 0b1100111)  # jalr zero, 0(ra)
+    if mnemonic == "fence":
+        return 0x0FF0000F
+    if mnemonic in ("ecall", "ebreak", "mret", "wfi"):
+        funct12 = {"ecall": 0, "ebreak": 1, "mret": 0x302, "wfi": 0x105}[mnemonic]
+        return (funct12 << 20) | 0b1110011
+
+    if mnemonic == "lui":
+        return (_int(ops[1]) << 12) | (_reg(ops[0]) << 7) | 0b0110111
+    if mnemonic == "auipc":
+        return (_int(ops[1]) << 12) | (_reg(ops[0]) << 7) | 0b0010111
+    if mnemonic == "j":
+        return _j_type(_int(ops[0]), 0)
+    if mnemonic == "jal":
+        return _j_type(_int(ops[1]), _reg(ops[0]))
+    if mnemonic == "jalr":
+        imm, rs1 = _mem(ops[1])
+        return _i_type(imm, rs1, 0, _reg(ops[0]), 0b1100111)
+
+    if mnemonic in ("beqz", "bnez"):
+        funct3 = 0 if mnemonic == "beqz" else 1
+        return _b_type(_int(ops[1]), 0, _reg(ops[0]), funct3)
+    if mnemonic in _BRANCHES:
+        return _b_type(_int(ops[2]), _reg(ops[1]), _reg(ops[0]), _BRANCHES[mnemonic])
+
+    if mnemonic in _LOADS:
+        imm, rs1 = _mem(ops[1])
+        return _i_type(imm, rs1, _LOADS[mnemonic], _reg(ops[0]), 0b0000011)
+    if mnemonic in _STORES:
+        imm, rs1 = _mem(ops[1])
+        return _s_type(imm, _reg(ops[0]), rs1, _STORES[mnemonic])
+
+    if mnemonic == "li":
+        return _i_type(_int(ops[1]), 0, 0, _reg(ops[0]), 0b0010011)
+    if mnemonic == "mv":
+        return _i_type(0, _reg(ops[1]), 0, _reg(ops[0]), 0b0010011)
+    if mnemonic in _OPIMM:
+        return _i_type(
+            _int(ops[2]), _reg(ops[1]), _OPIMM[mnemonic], _reg(ops[0]), 0b0010011
+        )
+    if mnemonic == "slli":
+        return _r_type(0, 0, _reg(ops[1]), 1, _reg(ops[0]), 0b0010011) | (_int(ops[2]) << 20)
+    if mnemonic in ("srli", "srai"):
+        funct6 = 0b010000 if mnemonic == "srai" else 0
+        return (
+            (funct6 << 26) | (_int(ops[2]) << 20) | (_reg(ops[1]) << 15)
+            | (5 << 12) | (_reg(ops[0]) << 7) | 0b0010011
+        )
+    if mnemonic == "addiw":
+        return _i_type(_int(ops[2]), _reg(ops[1]), 0, _reg(ops[0]), 0b0011011)
+    if mnemonic == "slliw":
+        return _r_type(0, _int(ops[2]), _reg(ops[1]), 1, _reg(ops[0]), 0b0011011)
+    if mnemonic in ("srliw", "sraiw"):
+        funct7 = 0b0100000 if mnemonic == "sraiw" else 0
+        return _r_type(funct7, _int(ops[2]), _reg(ops[1]), 5, _reg(ops[0]), 0b0011011)
+
+    if mnemonic in _OPS or (mnemonic in _OPS_W and mnemonic[:-1] in _OPS):
+        wide = mnemonic in _OPS_W
+        funct3, funct7 = _OPS[mnemonic[:-1] if wide else mnemonic]
+        return _r_type(
+            funct7, _reg(ops[2]), _reg(ops[1]), funct3, _reg(ops[0]),
+            0b0111011 if wide else 0b0110011,
+        )
+
+    if mnemonic == "csrr":  # csrrs rd, csr, zero
+        return _i_type(_csr_addr(ops[1]), 0, 2, _reg(ops[0]), 0b1110011)
+    if mnemonic == "csrw":  # csrrw zero, csr, rs1
+        return _i_type(_csr_addr(ops[0]), _reg(ops[1]), 1, 0, 0b1110011)
+    if mnemonic in ("csrrw", "csrrs", "csrrc"):
+        funct3 = {"csrrw": 1, "csrrs": 2, "csrrc": 3}[mnemonic]
+        return _i_type(_csr_addr(ops[1]), _reg(ops[2]), funct3, _reg(ops[0]), 0b1110011)
+    if mnemonic in ("csrrwi", "csrrsi", "csrrci"):
+        funct3 = {"csrrwi": 5, "csrrsi": 6, "csrrci": 7}[mnemonic]
+        return _i_type(_csr_addr(ops[1]), _int(ops[2]), funct3, _reg(ops[0]), 0b1110011)
+
+    raise AsmError(f"cannot assemble {text!r}")

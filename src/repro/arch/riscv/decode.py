@@ -85,8 +85,12 @@ def disassemble(op: int) -> str:
         return f"{_STORES[funct3]} {rs2}, {_imm_s(op)}({rs1})"
     if major == 0b0010011:
         if funct3 == 1:
+            if _f(op, 31, 26):  # funct6 must be zero for RV64 slli
+                raise UnknownInstruction(f"{op:#010x}")
             return f"slli {rd}, {rs1}, {_f(op, 25, 20)}"
         if funct3 == 5:
+            if _f(op, 31, 26) not in (0b000000, 0b010000):
+                raise UnknownInstruction(f"{op:#010x}")
             name = "srai" if _f(op, 30, 30) else "srli"
             return f"{name} {rd}, {rs1}, {_f(op, 25, 20)}"
         name = _OPIMM[funct3]
@@ -102,17 +106,25 @@ def disassemble(op: int) -> str:
     if major == 0b0011011:
         if funct3 == 0:
             return f"addiw {rd}, {rs1}, {_imm_i(op)}"
-        if funct3 == 1:
+        if funct3 == 1 and _f(op, 31, 25) == 0:
             return f"slliw {rd}, {rs1}, {_f(op, 24, 20)}"
-        if funct3 == 5:
+        if funct3 == 5 and _f(op, 31, 25) in (0b0000000, 0b0100000):
             name = "sraiw" if _f(op, 30, 30) else "srliw"
             return f"{name} {rd}, {rs1}, {_f(op, 24, 20)}"
     if major in (0b0110011, 0b0111011):
         key = (funct3, _f(op, 31, 25))
-        if key in _OP:
-            suffix = "w" if major == 0b0111011 else ""
-            return f"{_OP[key]}{suffix} {rd}, {rs1}, {rs2}"
+        name = _OP.get(key)
+        if name is not None:
+            if major == 0b0111011:
+                if name not in ("add", "sub", "sll", "srl", "sra"):
+                    raise UnknownInstruction(f"{op:#010x}")  # no sltw etc.
+                name += "w"
+            return f"{name} {rd}, {rs1}, {rs2}"
     if major == 0b0001111:
+        # Only the canonical full fence; other pred/succ/fm fields would all
+        # print as the same text.
+        if op != 0x0FF0000F:
+            raise UnknownInstruction(f"{op:#010x}")
         return "fence"
     if major == 0b1110011:
         return _system(op, rd, rs1, funct3)
@@ -128,11 +140,15 @@ _CSR_NAMES = {
 
 def _system(op: int, rd: str, rs1: str, funct3: int) -> str:
     if funct3 == 0:
+        if _f(op, 19, 7):  # rd/rs1 must be x0
+            raise UnknownInstruction(f"{op:#010x}")
         funct12 = _f(op, 31, 20)
         name = {0: "ecall", 1: "ebreak", 0x302: "mret", 0x105: "wfi"}.get(funct12)
         if name is None:
             raise UnknownInstruction(f"{op:#010x}")
         return name
+    if funct3 == 0b100:  # reserved
+        raise UnknownInstruction(f"{op:#010x}")
     csr_addr = _f(op, 31, 20)
     csr = _CSR_NAMES.get(csr_addr, f"{csr_addr:#x}")
     base = {1: "csrrw", 2: "csrrs", 3: "csrrc"}[funct3 & 0b011]
@@ -150,3 +166,22 @@ def try_disassemble(op: int) -> str:
         return disassemble(op)
     except UnknownInstruction:
         return f".word {op:#010x}"
+
+
+_MAJOR_ARMS = {
+    0b0110111: "lui", 0b0010111: "auipc", 0b1101111: "jal",
+    0b1100111: "jalr", 0b1100011: "branch", 0b0000011: "load",
+    0b0100011: "store", 0b0010011: "op_imm", 0b0011011: "op_imm32",
+    0b0110011: "op", 0b0111011: "op32", 0b0001111: "fence",
+    0b1110011: "system",
+}
+
+
+def decode_arm(op: int) -> str:
+    """The decoder arm (major-opcode class) that claims ``op``.
+
+    Raises :class:`UnknownInstruction` exactly when :func:`disassemble` does;
+    round-trip tests use this for generator-coverage assertions.
+    """
+    disassemble(op)
+    return _MAJOR_ARMS[_f(op, 6, 0)]

@@ -1,0 +1,265 @@
+"""The on-disk cache: a trace store and an SMT verdict store.
+
+Layout (under the user-supplied root)::
+
+    <root>/v<FORMAT>/traces/<k[:2]>/<k>.itl   one file per Isla result
+    <root>/v<FORMAT>/smt/verdicts.jsonl       append-only check verdicts
+
+Trace files carry a one-line JSON header (metrics plus the sort signature
+of *external* free variables — symbolic opcode bits and the like — that the
+trace mentions but never declares), followed by the printed ITL trace.
+Writes are atomic (temp file + ``os.replace``), so a crashed writer never
+leaves a half entry; a corrupt or truncated entry simply reads as a miss.
+
+The SMT store is an append-only JSONL so concurrent workers can record
+verdicts without coordination: each line is a self-contained
+``{"k": key, "r": verdict}`` record, single-``write`` appends in
+``O_APPEND`` mode are atomic at these sizes, duplicate lines are idempotent
+(the verdict is a deterministic function of the key), and a torn final line
+is skipped on load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..smt.sorts import BOOL, bv_sort
+from .keys import CACHE_FORMAT_VERSION
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one :class:`DiskCache` handle."""
+
+    trace_hits: int = 0
+    trace_misses: int = 0
+    trace_writes: int = 0
+    smt_hits: int = 0
+    smt_misses: int = 0
+    smt_records: int = 0
+    smt_loaded: int = 0
+    corrupt_entries: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return dict(self.__dict__)
+
+    def merge(self, other: "CacheStats | dict") -> None:
+        items = other.items() if isinstance(other, dict) else other.__dict__.items()
+        for key, value in items:
+            setattr(self, key, getattr(self, key, 0) + value)
+
+
+def _sort_text(sort) -> str:
+    return "bool" if sort.is_bool() else f"bv{sort.width}"
+
+
+def _sort_from_text(text: str):
+    if text == "bool":
+        return BOOL
+    if text.startswith("bv"):
+        return bv_sort(int(text[2:]))
+    raise ValueError(f"unknown sort text {text!r}")
+
+
+@dataclass
+class DiskCache:
+    """A handle on one on-disk cache directory.
+
+    Cheap to construct; creates the versioned layout on first use and loads
+    the SMT verdict log eagerly (it is the hot store — consulted on every
+    solver miss — so it must be a dict lookup, not file IO).
+    """
+
+    root: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        self._base = self.root / f"v{CACHE_FORMAT_VERSION}"
+        self._traces = self._base / "traces"
+        self._smt_path = self._base / "smt" / "verdicts.jsonl"
+        self._traces.mkdir(parents=True, exist_ok=True)
+        self._smt_path.parent.mkdir(parents=True, exist_ok=True)
+        self._smt: dict[str, str] = {}
+        self._smt_pending: list[str] = []
+        self._load_smt()
+
+    # -- trace store --------------------------------------------------------
+
+    def _trace_path(self, key: str) -> Path:
+        return self._traces / key[:2] / f"{key}.itl"
+
+    def load_trace(self, key: str):
+        """Return ``(trace, meta)`` for a cached Isla result, or ``None``.
+
+        ``meta`` carries the stored execution metrics (``paths``,
+        ``model_calls``, ``model_steps``, ``solver_checks``).
+        """
+        from ..itl.parser import parse_trace
+
+        path = self._trace_path(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.stats.trace_misses += 1
+            return None
+        try:
+            header, _, body = text.partition("\n")
+            meta = json.loads(header)
+            if meta.get("end") != len(text):
+                raise ValueError("truncated trace entry")
+            from ..smt import builder as B
+
+            env = {
+                name: B.var(name, _sort_from_text(sort_text))
+                for name, sort_text in meta.get("extern", [])
+            }
+            trace = parse_trace(body, env=env)
+        except Exception:
+            # Any malformed entry — torn write, hand-edited file, stale
+            # format — is a miss, never an error.
+            self.stats.corrupt_entries += 1
+            self.stats.trace_misses += 1
+            return None
+        self.stats.trace_hits += 1
+        return trace, meta
+
+    def store_trace(self, key: str, trace, meta: dict) -> None:
+        """Persist a *complete* Isla result atomically.
+
+        ``meta`` must already carry the metrics; the external-variable
+        signature is computed here from the trace itself.
+        """
+        from ..itl.printer import trace_to_sexpr
+
+        body = trace_to_sexpr(trace)
+        extern = sorted(
+            (v.name, _sort_text(v.sort)) for v in _undeclared_vars(trace)
+        )
+        meta = dict(meta, extern=extern)
+        # Self-delimiting: the header records the total byte length so a
+        # truncated file is detected without trusting the parser.
+        placeholder = dict(meta, end=0)
+        while True:
+            header = json.dumps(placeholder, sort_keys=True)
+            total = len(header) + 1 + len(body)
+            if placeholder["end"] == total:
+                break
+            placeholder["end"] = total
+        path = self._trace_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(header)
+                handle.write("\n")
+                handle.write(body)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return  # a full disk must not fail the run
+        self.stats.trace_writes += 1
+
+    # -- SMT verdict store --------------------------------------------------
+
+    def _load_smt(self) -> None:
+        try:
+            text = self._smt_path.read_text()
+        except OSError:
+            return
+        for line in text.splitlines():
+            try:
+                record = json.loads(line)
+                self._smt[record["k"]] = record["r"]
+            except (ValueError, KeyError, TypeError):
+                self.stats.corrupt_entries += 1  # torn tail line
+        self.stats.smt_loaded = len(self._smt)
+
+    def smt_lookup(self, key: str) -> str | None:
+        verdict = self._smt.get(key)
+        if verdict is None:
+            self.stats.smt_misses += 1
+        else:
+            self.stats.smt_hits += 1
+        return verdict
+
+    def smt_record(self, key: str, verdict: str) -> None:
+        if verdict not in ("sat", "unsat"):
+            raise ValueError(f"only sat/unsat verdicts persist, got {verdict!r}")
+        if self._smt.get(key) == verdict:
+            return
+        self._smt[key] = verdict
+        self._smt_pending.append(
+            json.dumps({"k": key, "r": verdict}, sort_keys=True)
+        )
+        self.stats.smt_records += 1
+        if len(self._smt_pending) >= 256:
+            self.flush()
+
+    def flush(self) -> None:
+        """Append pending SMT verdicts (one atomic write)."""
+        if not self._smt_pending:
+            return
+        payload = "".join(line + "\n" for line in self._smt_pending)
+        try:
+            fd = os.open(
+                self._smt_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            try:
+                os.write(fd, payload.encode())
+            finally:
+                os.close(fd)
+        except OSError:
+            return  # dropped verdicts are only a warm-start loss
+        self._smt_pending.clear()
+
+    def close(self) -> None:
+        self.flush()
+
+    def __enter__(self) -> "DiskCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _undeclared_vars(trace):
+    """Free variables a trace mentions but never declares or defines.
+
+    These are *external* symbols (symbolic opcode bits, device-chosen
+    values threaded across assumptions) whose sorts must be recorded next
+    to the trace so the parser can rebind them on load.
+    """
+    from ..itl import events as E
+
+    declared: set = set()
+    extern: set = set()
+
+    def walk(node) -> None:
+        for event in node.events:
+            bound = ()
+            if isinstance(event, (E.DeclareConst, E.DefineConst)):
+                declared.add(event.var)
+            if isinstance(event, E.DefineConst):
+                bound = event.expr.free_vars()
+            elif isinstance(event, (E.ReadReg, E.WriteReg, E.AssumeReg)):
+                bound = event.value.free_vars()
+            elif isinstance(event, (E.ReadMem, E.WriteMem)):
+                bound = event.addr.free_vars() | event.data.free_vars()
+            elif isinstance(event, (E.Assert, E.Assume)):
+                bound = event.expr.free_vars()
+            for v in bound:
+                if v not in declared:
+                    extern.add(v)
+        for sub in node.cases or ():
+            walk(sub)
+
+    walk(trace)
+    return extern

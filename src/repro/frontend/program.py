@@ -82,8 +82,38 @@ def generate_instruction_map(
     image: ProgramImage,
     default_assumptions: Assumptions | None = None,
     per_address: dict[int, Assumptions] | None = None,
+    *,
+    jobs: int | None = None,
+    cache=None,
 ) -> FrontendResult:
-    """Run Isla on every opcode of the image."""
+    """Run Isla on every opcode of the image.
+
+    ``jobs`` and ``cache`` default to the ambient
+    :class:`~repro.parallel.config.PipelineConfig` (scoped by the driver
+    via :func:`~repro.parallel.config.configured`), so the nine case-study
+    ``build()`` functions pick up parallelism and on-disk caching without
+    signature changes.  With ``jobs > 1`` the per-opcode runs fan out
+    across worker processes; the result is identical to the serial path.
+    """
+    from ..parallel.config import current_config
+
+    config = current_config()
+    if jobs is None:
+        jobs = config.jobs
+    if cache is None:
+        cache = config.cache
+    if jobs > 1 and len(image.opcodes) > 1:
+        from ..parallel.scheduler import generate_traces_parallel
+
+        return generate_traces_parallel(
+            model,
+            image,
+            default_assumptions,
+            per_address,
+            jobs=jobs,
+            cache=cache,
+            pool=config.pool,
+        )
     per_address = per_address or {}
     traces: dict[int, Trace] = {}
     results: dict[int, IslaResult] = {}
@@ -92,7 +122,7 @@ def generate_instruction_map(
         assumptions = (default_assumptions or Assumptions()).merged_with(
             per_address.get(addr)
         )
-        result = trace_for_opcode(model, opcode, assumptions)
+        result = trace_for_opcode(model, opcode, assumptions, cache=cache)
         traces[addr] = result.trace
         results[addr] = result
     return FrontendResult(traces, results)

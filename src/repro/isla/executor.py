@@ -217,6 +217,9 @@ class IslaResult:
     model_steps: int
     solver_checks: int
     exhausted: str | None = None
+    #: True when the result was served from an on-disk cache (the metrics
+    #: then describe the original, cached run).
+    cached: bool = False
 
 
 #: How many times one forced path prefix is re-executed after a transient
@@ -232,6 +235,7 @@ def trace_for_opcode(
     name_prefix: str = "v",
     budget: Budget | None = None,
     partial_on_exhaustion: bool = False,
+    cache=None,
 ) -> IslaResult:
     """Run Isla on one opcode: returns the (pruned, simplified) ITL trace.
 
@@ -245,10 +249,35 @@ def trace_for_opcode(
     :class:`PathBudgetExceeded` carrying the partial result; with
     ``partial_on_exhaustion=True`` the partial result itself is returned,
     marked via :attr:`IslaResult.exhausted`.
+
+    ``cache`` is an optional :class:`repro.cache.DiskCache`.  Only
+    *complete* enumerations are ever stored or served (a partial trace is
+    an artefact of one run's budget, not of the instruction), and the cache
+    is bypassed entirely while a fault injector is active.
     """
+    from ..resilience.faults import active_injector
+
     assumptions = assumptions or Assumptions()
     if isinstance(opcode, int):
         opcode = B.bv(opcode, model.instr_bytes * 8)
+
+    key: str | None = None
+    if cache is not None and active_injector() is None:
+        from ..cache.keys import trace_key
+
+        key = trace_key(model, opcode, assumptions, name_prefix)
+        hit = cache.load_trace(key)
+        if hit is not None:
+            trace, meta = hit
+            return IslaResult(
+                trace,
+                paths=meta.get("paths", 0),
+                model_calls=meta.get("model_calls", 0),
+                model_steps=meta.get("model_steps", 0),
+                solver_checks=meta.get("solver_checks", 0),
+                exhausted=None,
+                cached=True,
+            )
 
     path_limit = max_paths if budget is None else budget.path_limit(max_paths)
     runs: list[_Run] = []
@@ -317,6 +346,17 @@ def trace_for_opcode(
             trace, len(runs), total_calls, total_steps, total_checks, exhausted
         )
         if exhausted is None:
+            if key is not None:
+                cache.store_trace(
+                    key,
+                    trace,
+                    {
+                        "paths": result.paths,
+                        "model_calls": result.model_calls,
+                        "model_steps": result.model_steps,
+                        "solver_checks": result.solver_checks,
+                    },
+                )
             return result
         partial = result
     if partial_on_exhaustion and partial is not None:

@@ -202,13 +202,18 @@ def _parse_reg(items: list) -> tuple[Reg, int]:
     raise ParseError(f"bad register accessor {accessor!r}")
 
 
-def parse_trace(text: str) -> Trace:
-    """Parse a printed trace back into a :class:`Trace`."""
+def parse_trace(text: str, env: dict[str, Term] | None = None) -> Trace:
+    """Parse a printed trace back into a :class:`Trace`.
+
+    ``env`` pre-binds *external* variables — symbols the trace mentions but
+    never declares (symbolic opcode bits, say) — to typed terms.  Without
+    it, such a trace fails with an unbound-variable :class:`ParseError`.
+    """
     tokens = tokenize(text)
     tree, pos = read_sexpr(tokens, 0)
     if pos != len(tokens):
         raise ParseError("trailing tokens after trace")
-    return _parse_trace_tree(tree, TermParser())
+    return _parse_trace_tree(tree, TermParser(env))
 
 
 def _parse_trace_tree(tree, terms: TermParser) -> Trace:

@@ -110,7 +110,7 @@ class ProofEngine:
             self.verify_block(addr)
         return self.proof
 
-    def verify_all_governed(self) -> RunReport:
+    def verify_all_governed(self, blocks=None) -> RunReport:
         """Verify every block, degrading instead of crashing.
 
         Per-block outcome lattice (see :mod:`repro.resilience.outcome`):
@@ -126,10 +126,26 @@ class ProofEngine:
 
         Every mechanism only moves outcomes *down* the lattice, so a
         ``verified`` verdict is exactly as strong as the ungoverned path.
+
+        ``blocks`` restricts verification to a subset of the spec'd block
+        addresses (the parallel driver gives each worker one block).  The
+        engine still needs the *full* spec map — other blocks' specs are
+        used at continuation points — but only the listed blocks are
+        verified and reported.
         """
         self.config.governed = True
+        if blocks is None:
+            blocks = sorted(self.block_specs)
+        else:
+            unknown = [a for a in blocks if a not in self.block_specs]
+            if unknown:
+                raise ProofError(
+                    f"no block spec at {[hex(a) for a in unknown]}"
+                )
+            blocks = sorted(blocks)
+        cache_before = check_cache_stats()
         report = RunReport(proof=self.proof, budget=self.budget)
-        for addr in sorted(self.block_specs):
+        for addr in blocks:
             before = len(self.proof.residual_obligations)
             try:
                 self.verify_block(addr)
@@ -172,7 +188,19 @@ class ProofEngine:
         for solver in self._solvers:
             totals.merge(solver.stats)
         report.solver_stats = totals.snapshot()
-        report.cache_stats = check_cache_stats()
+        # Report the *delta* of the global check-cache counters over this
+        # run, not their process-lifetime totals.  The cumulative numbers
+        # made otherwise-identical runs produce different reports (a warm
+        # rerun inherited the cold run's misses) and, in the per-block
+        # parallel merge, double-counted shared queries.  ``entries`` and
+        # ``capacity`` are gauges, not counters, and pass through as-is.
+        cache_after = check_cache_stats()
+        report.cache_stats = {
+            key: (value - cache_before.get(key, 0))
+            if key not in ("entries", "capacity")
+            else value
+            for key, value in cache_after.items()
+        }
         injector = active_injector()
         if injector is not None:
             report.faults = tuple(injector.log)
@@ -182,6 +210,12 @@ class ProofEngine:
         if addr not in self.program:
             raise ProofError(f"block spec at 0x{addr:x} but no instruction there")
         self._current_block = addr
+        # Fresh-name numbering restarts per block, so a block's proof steps
+        # (and the solver queries they induce) are a function of the block
+        # alone — the serial whole-program run and the parallel per-block
+        # workers then produce byte-identical certificates and share SMT
+        # cache entries.  Contexts are per-block, so reuse cannot collide.
+        self._uniq = 0
         residuals_before = len(self.proof.residual_obligations)
         ctx = self._context_from_pred(self.block_specs[addr], addr)
         self._record(ctx, "block-start", f"0x{addr:x}", ())
@@ -863,6 +897,7 @@ def verify_program(
     pc_reg: Reg,
     config: EngineConfig | None = None,
     budget: Budget | None = None,
+    blocks=None,
 ) -> RunReport:
     """Verify a program under resource governance.
 
@@ -871,10 +906,14 @@ def verify_program(
     on verification failure, budget exhaustion, or injected faults.  Use
     :meth:`ProofEngine.verify_all` directly for the historical raise-on-
     failure behaviour.
+
+    ``blocks`` optionally restricts verification to a subset of the spec'd
+    addresses (used by the parallel per-block driver); the full spec map is
+    still consulted at continuation points.
     """
     config = config or EngineConfig()
     config.governed = True
     if budget is not None:
         config.budget = budget
     engine = ProofEngine(program, block_specs, pc_reg, config)
-    return engine.verify_all_governed()
+    return engine.verify_all_governed(blocks=blocks)

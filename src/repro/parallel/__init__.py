@@ -1,0 +1,41 @@
+"""Parallel, cache-aware orchestration of the verification pipeline.
+
+Islaris's pipeline is embarrassingly parallel at two grains: each opcode's
+symbolic execution is independent, and each block specification's proof is
+independent (the paper runs its per-instruction spec proofs the same way).
+This package fans both across a ``ProcessPoolExecutor``:
+
+- :func:`~repro.parallel.scheduler.generate_traces_parallel` — per-opcode
+  Isla fan-out behind :func:`repro.frontend.program.generate_instruction_map`;
+- :func:`~repro.parallel.scheduler.verify_case_parallel` — builds a case
+  study, then verifies each block in its own worker and merges the results
+  into one deterministic :class:`~repro.resilience.outcome.RunReport`;
+- :class:`~repro.parallel.config.PipelineConfig` — a context-scoped knob
+  (``jobs``, ``cache``, worker pool) so case-study ``build()`` functions
+  pick up parallelism and caching without signature changes.
+
+Determinism is a hard requirement, not an aspiration: SMT terms are
+interned per process and deliberately unpicklable, so every cross-process
+payload is *text* (opcode hex or sexprs, printed assumption constraints,
+trace sexprs, proof JSON) that each side parses into its own intern table.
+Workers are pure functions of their payload; the parent merges results in
+block-address order, so outcome maps, certificates and budget accounting
+are identical regardless of worker scheduling.  With ``jobs=1`` (or when
+process pools are unavailable) the same code runs in-process, serially.
+"""
+
+from .config import PipelineConfig, configured, current_config
+from .scheduler import (
+    WorkerPool,
+    generate_traces_parallel,
+    verify_case_parallel,
+)
+
+__all__ = [
+    "PipelineConfig",
+    "WorkerPool",
+    "configured",
+    "current_config",
+    "generate_traces_parallel",
+    "verify_case_parallel",
+]

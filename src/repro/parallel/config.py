@@ -1,0 +1,54 @@
+"""Context-scoped pipeline configuration.
+
+Case studies call :func:`repro.frontend.program.generate_instruction_map`
+from deep inside their ``build()`` functions; threading ``jobs``/``cache``
+arguments through every one of them would couple all nine modules to the
+driver.  Instead the driver scopes a :class:`PipelineConfig` via
+:func:`configured` and the frontend consults :func:`current_config` — the
+same ambient-context pattern the fault injector uses.
+
+The config is a :class:`contextvars.ContextVar`, so it is per-thread/task
+and never leaks across unrelated work; worker processes start from the
+default (serial, uncached) config and scope their own.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Ambient knobs for the trace-generation/verification pipeline.
+
+    ``jobs`` is the worker-process count (1 = in-process, serial);
+    ``cache`` an optional :class:`repro.cache.DiskCache`; ``pool`` an
+    optional :class:`~repro.parallel.scheduler.WorkerPool` to reuse across
+    phases (one pool per driver invocation, not per opcode batch).
+    """
+
+    jobs: int = 1
+    cache: Any = None
+    pool: Any = None
+
+
+_CONFIG: contextvars.ContextVar[PipelineConfig] = contextvars.ContextVar(
+    "repro_pipeline_config", default=PipelineConfig()
+)
+
+
+def current_config() -> PipelineConfig:
+    return _CONFIG.get()
+
+
+@contextmanager
+def configured(jobs: int = 1, cache: Any = None, pool: Any = None):
+    """Scope a :class:`PipelineConfig` for the dynamic extent of a block."""
+    token = _CONFIG.set(PipelineConfig(jobs=jobs, cache=cache, pool=pool))
+    try:
+        yield _CONFIG.get()
+    finally:
+        _CONFIG.reset(token)

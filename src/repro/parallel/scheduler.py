@@ -1,0 +1,498 @@
+"""The process-pool scheduler for trace generation and block proofs.
+
+Cross-process protocol
+======================
+
+SMT terms are hash-consed into a per-process intern table and deliberately
+unpicklable (identity *is* semantics: hot paths compare ``is TRUE``).  So
+nothing model- or term-shaped ever crosses a process boundary.  Payloads
+are plain JSON-able data:
+
+- an ISA model travels as its class path (workers construct their own);
+- an opcode travels as an int, or as an SMT-LIB sexpr plus the sorts of
+  its free bits;
+- assumptions travel as pinned ``(reg, sexpr)`` pairs plus constraint
+  predicates applied to a probe variable and printed;
+- a case study travels as its registry name plus build kwargs;
+- results travel back as printed ITL traces, proof-certificate JSON, and
+  counter dictionaries.
+
+Each side parses into its own intern table, which preserves the identity
+invariants.  Workers are pure functions of their payload; the parent
+merges worker results in block-address order, making the merged report and
+certificate independent of scheduling order.
+
+Fault injection composes deterministically: each block worker derives its
+injector seed by hashing ``(run seed, block address)``, so the schedule a
+block sees depends only on the run seed and the block — not on which
+worker ran it or when.  (The *schedule* differs from a serial governed run,
+which shares one per-site counter stream across blocks; determinism here
+means parallel-run-to-parallel-run reproducibility.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict
+
+from ..isla.assumptions import Assumptions
+from ..itl.events import Reg
+from ..smt import builder as B
+from ..smt.sorts import bv_sort
+
+# Term text (de)serialisation is shared with the proof-certificate format.
+from ..logic.proof import _term_from_record, _term_record
+
+
+def pc_for(module) -> Reg:
+    """The architecture PC register of a case-study module."""
+    pc = getattr(module, "PC", None)
+    if pc is not None:
+        return pc
+    from ..arch.arm.regs import PC
+
+    return PC
+
+
+# -- payload encoding -------------------------------------------------------
+
+
+def _model_spec(model) -> tuple[str, str]:
+    cls = type(model)
+    return (cls.__module__, cls.__qualname__)
+
+
+def _model_from_spec(spec: tuple[str, str]):
+    import importlib
+
+    module = importlib.import_module(spec[0])
+    return getattr(module, spec[1])()
+
+
+def _opcode_payload(opcode) -> dict:
+    if isinstance(opcode, int):
+        return {"int": opcode}
+    if opcode.is_value():
+        return {"int": opcode.value, "width": opcode.width}
+    return {"term": _term_record(opcode)}
+
+
+def _opcode_from_payload(payload: dict):
+    if "term" in payload:
+        return _term_from_record(payload["term"])
+    if "width" in payload:
+        return B.bv(payload["int"], payload["width"])
+    return payload["int"]
+
+
+def _assumptions_payload(model, assumptions) -> dict:
+    assumptions = assumptions or Assumptions()
+    pinned = [
+        (reg.base, reg.field, _term_record(assumptions.pinned[reg]))
+        for reg in sorted(assumptions.pinned, key=str)
+    ]
+    constrained = []
+    for reg in sorted(assumptions.constrained, key=str):
+        width = model.regfile.width_of(reg)
+        probe = B.var("?probe", bv_sort(width))
+        constrained.append(
+            (reg.base, reg.field, width,
+             _term_record(assumptions.constrained[reg](probe)))
+        )
+    return {"pinned": pinned, "constrained": constrained}
+
+
+def _assumptions_from_payload(payload: dict) -> Assumptions:
+    out = Assumptions()
+    for base, field, record in payload["pinned"]:
+        out.pinned[Reg(base, field)] = _term_from_record(record)
+    for base, field, width, record in payload["constrained"]:
+        term = _term_from_record(record)
+        probe = B.var("?probe", bv_sort(width))
+
+        def predicate(value, _term=term, _probe=probe):
+            return B.substitute(_term, {_probe: value})
+
+        out.constrained[Reg(base, field)] = predicate
+    return out
+
+
+# -- per-process cache handles ----------------------------------------------
+
+_PROCESS_CACHES: dict[str, object] = {}
+
+
+def _process_cache(cache_dir: str | None):
+    if cache_dir is None:
+        return None
+    cache = _PROCESS_CACHES.get(cache_dir)
+    if cache is None:
+        from ..cache import DiskCache
+
+        cache = DiskCache(cache_dir)
+        _PROCESS_CACHES[cache_dir] = cache
+    return cache
+
+
+# -- the pool ---------------------------------------------------------------
+
+
+class WorkerPool:
+    """A lazy ``ProcessPoolExecutor`` with a serial in-process fallback.
+
+    Pool construction or submission can fail in restricted environments
+    (no ``fork``, no semaphores); results must not.  Any *pool-level*
+    failure flips the pool into in-process mode and the batch is computed
+    serially — task-level exceptions (a genuine ``IslaError``, say) still
+    propagate to the caller.
+    """
+
+    def __init__(self, jobs: int) -> None:
+        self.jobs = max(1, jobs)
+        self._executor = None
+        self.unavailable = jobs <= 1
+
+    def _ensure(self):
+        if self._executor is None and not self.unavailable:
+            try:
+                methods = multiprocessing.get_all_start_methods()
+                ctx = (
+                    multiprocessing.get_context("fork")
+                    if "fork" in methods
+                    else multiprocessing.get_context()
+                )
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.jobs, mp_context=ctx
+                )
+            except Exception:
+                self.unavailable = True
+        return self._executor
+
+    def map_tasks(self, fn, payloads: list) -> list:
+        """Apply ``fn`` to every payload; results in payload order."""
+        payloads = list(payloads)
+        executor = self._ensure()
+        if executor is None:
+            return [fn(p) for p in payloads]
+        try:
+            futures = [executor.submit(fn, p) for p in payloads]
+            return [f.result() for f in futures]
+        except (BrokenProcessPool, OSError):
+            # The pool died (not the task): degrade to in-process serial.
+            self.unavailable = True
+            self._executor = None
+            return [fn(p) for p in payloads]
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# -- trace generation fan-out -----------------------------------------------
+
+
+def _trace_worker(payload: dict) -> dict:
+    from ..cache.store import _sort_text, _undeclared_vars
+    from ..isla.executor import trace_for_opcode
+    from ..itl.printer import trace_to_sexpr
+    from ..smt.solver import install_persistent_check_store
+
+    model = _model_from_spec(payload["model"])
+    opcode = _opcode_from_payload(payload["opcode"])
+    assumptions = _assumptions_from_payload(payload["assumptions"])
+    cache = _process_cache(payload["cache_dir"])
+    previous = install_persistent_check_store(cache)
+    try:
+        result = trace_for_opcode(model, opcode, assumptions, cache=cache)
+    finally:
+        install_persistent_check_store(previous)
+        if cache is not None:
+            cache.flush()
+    return {
+        "addr": payload["addr"],
+        "trace": trace_to_sexpr(result.trace),
+        "extern": sorted(
+            (v.name, _sort_text(v.sort))
+            for v in _undeclared_vars(result.trace)
+        ),
+        "paths": result.paths,
+        "model_calls": result.model_calls,
+        "model_steps": result.model_steps,
+        "solver_checks": result.solver_checks,
+        "cached": result.cached,
+    }
+
+
+def generate_traces_parallel(
+    model,
+    image,
+    default_assumptions=None,
+    per_address=None,
+    jobs: int = 1,
+    cache=None,
+    pool: WorkerPool | None = None,
+):
+    """Fan per-opcode Isla runs across worker processes.
+
+    Returns a :class:`repro.frontend.program.FrontendResult` identical (up
+    to execution metrics of cache hits) to the serial path: traces are
+    parsed back into the parent's intern table in address order.
+    """
+    from ..cache.store import _sort_from_text
+    from ..frontend.program import FrontendResult
+    from ..isla.executor import IslaResult
+    from ..itl.parser import parse_trace
+
+    per_address = per_address or {}
+    addrs = sorted(image.opcodes)
+    cache_dir = str(cache.root) if cache is not None else None
+    if cache is not None:
+        cache.flush()  # workers append to the same log; no parent leftovers
+    payloads = []
+    for addr in addrs:
+        assumptions = (default_assumptions or Assumptions()).merged_with(
+            per_address.get(addr)
+        )
+        payloads.append(
+            {
+                "addr": addr,
+                "model": _model_spec(model),
+                "opcode": _opcode_payload(image.opcodes[addr]),
+                "assumptions": _assumptions_payload(model, assumptions),
+                "cache_dir": cache_dir,
+            }
+        )
+    own_pool = pool is None
+    pool = pool or WorkerPool(jobs)
+    try:
+        raw = pool.map_tasks(_trace_worker, payloads)
+    finally:
+        if own_pool:
+            pool.close()
+    traces = {}
+    results = {}
+    for item in sorted(raw, key=lambda r: r["addr"]):
+        env = {
+            name: B.var(name, _sort_from_text(sort_text))
+            for name, sort_text in item["extern"]
+        }
+        trace = parse_trace(item["trace"], env=env)
+        addr = item["addr"]
+        traces[addr] = trace
+        results[addr] = IslaResult(
+            trace,
+            paths=item["paths"],
+            model_calls=item["model_calls"],
+            model_steps=item["model_steps"],
+            solver_checks=item["solver_checks"],
+            exhausted=None,
+            cached=item["cached"],
+        )
+    return FrontendResult(traces, results)
+
+
+# -- block-proof fan-out ----------------------------------------------------
+
+
+def _block_fault_seed(seed: int, addr: int) -> int:
+    """A per-block injector seed: a pure function of (run seed, block)."""
+    digest = hashlib.sha256(f"{seed}:{addr:#x}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _verify_block_worker(payload: dict) -> dict:
+    from contextlib import nullcontext
+
+    from .. import casestudies
+    from ..logic.automation import verify_program
+    from ..resilience import Budget, BudgetSpec, FaultInjector, inject
+    from ..smt.solver import install_persistent_check_store
+    from .config import configured
+
+    module = getattr(casestudies, payload["case"])
+    cache = _process_cache(payload["cache_dir"])
+    addr = payload["addr"]
+    previous = install_persistent_check_store(cache)
+    try:
+        # Rebuild the case in-process (traces come warm from the shared
+        # disk cache).  The build runs fault-free, matching the serial
+        # driver where only the verify phase is inside the injection scope.
+        with configured(jobs=1, cache=cache):
+            case = module.build(**dict(payload["kwargs"]))
+        budget = (
+            Budget(BudgetSpec(**payload["budget_spec"]))
+            if payload["budget_spec"] is not None
+            else None
+        )
+        fault = payload["fault"]
+        if fault is not None:
+            # Fault schedules are pure functions of (seed, site, per-site
+            # counter) — but how many *decisions* a site sees depends on
+            # which queries short-circuit in the in-memory check cache, and
+            # a pooled worker's cache holds whatever earlier tasks left
+            # behind.  Start the injected verify phase cache-cold so the
+            # decision stream (and hence the certificate) is a function of
+            # the payload alone, not of task-to-worker placement.
+            from ..smt.solver import clear_check_cache
+
+            clear_check_cache()
+        injection = (
+            inject(
+                FaultInjector(
+                    _block_fault_seed(fault["seed"], addr), rate=fault["rate"]
+                )
+            )
+            if fault is not None
+            else nullcontext()
+        )
+        with injection:
+            report = verify_program(
+                case.frontend.traces,
+                case.specs,
+                pc_for(module),
+                budget=budget,
+                blocks=[addr],
+            )
+    finally:
+        install_persistent_check_store(previous)
+        if cache is not None:
+            cache.flush()
+    outcome = report.blocks[addr]
+    return {
+        "addr": addr,
+        "outcome": {
+            "outcome": outcome.outcome,
+            "reason": outcome.reason,
+            "residuals": outcome.residuals,
+        },
+        "proof": report.proof.to_json(),
+        "solver_stats": report.solver_stats,
+        "cache_stats": report.cache_stats,
+        "budget": budget.snapshot() if budget is not None else None,
+        "faults": len(report.faults),
+    }
+
+
+def verify_case_parallel(
+    name: str,
+    build_kwargs: dict | None = None,
+    jobs: int = 1,
+    cache=None,
+    budget_spec=None,
+    fault_seed: int | None = None,
+    fault_rate: float = 0.05,
+    pool: WorkerPool | None = None,
+):
+    """Build a case study and verify each block in its own worker.
+
+    Returns ``(case, report)`` where ``report`` is a merged
+    :class:`~repro.resilience.outcome.RunReport`.  The merge is performed
+    in block-address order throughout — outcomes, certificate steps,
+    budget absorption — so the result is a deterministic function of the
+    inputs, independent of worker scheduling.
+
+    The run-wide ``budget_spec`` is partitioned across blocks with
+    :meth:`~repro.resilience.budget.BudgetSpec.partition` (conflicts
+    divided, deadline and per-query knobs replicated) and worker
+    consumption is folded back into one run-wide budget via
+    :meth:`~repro.resilience.budget.Budget.absorb`.
+    """
+    import tempfile
+
+    from .. import casestudies
+    from ..logic.proof import Proof
+    from ..resilience import Budget
+    from ..resilience.outcome import BlockOutcome, RunReport
+    from .config import configured
+
+    module = getattr(casestudies, name)
+    build_kwargs = build_kwargs or {}
+
+    ephemeral = None
+    if cache is None:
+        # Block workers rebuild the case; without a shared cache every
+        # worker would redo the whole image's symbolic execution.  An
+        # ephemeral cache scoped to this call keeps workers warm without
+        # persisting anything.
+        from ..cache import DiskCache
+
+        ephemeral = tempfile.TemporaryDirectory(prefix="repro-cache-")
+        cache = DiskCache(ephemeral.name)
+    try:
+        own_pool = pool is None
+        pool = pool or WorkerPool(jobs)
+        try:
+            with configured(jobs=jobs, cache=cache, pool=pool):
+                case = module.build(**build_kwargs)
+            cache.flush()
+            addrs = sorted(case.specs)
+            specs = (
+                budget_spec.partition(len(addrs))
+                if budget_spec is not None and addrs
+                else [None] * len(addrs)
+            )
+            fault = (
+                {"seed": fault_seed, "rate": fault_rate}
+                if fault_seed is not None
+                else None
+            )
+            payloads = [
+                {
+                    "case": name,
+                    "kwargs": sorted(build_kwargs.items()),
+                    "addr": addr,
+                    "cache_dir": str(cache.root),
+                    "budget_spec": asdict(spec) if spec is not None else None,
+                    "fault": fault,
+                }
+                for addr, spec in zip(addrs, specs)
+            ]
+            raw = pool.map_tasks(_verify_block_worker, payloads)
+        finally:
+            if own_pool:
+                pool.close()
+    finally:
+        if ephemeral is not None:
+            ephemeral.cleanup()
+
+    merged_proof = Proof()
+    run_budget = Budget(budget_spec) if budget_spec is not None else None
+    report = RunReport(proof=merged_proof, budget=run_budget)
+    solver_totals: dict[str, int] = {}
+    cache_totals: dict[str, int] = {}
+    fault_count = 0
+    for item in sorted(raw, key=lambda r: r["addr"]):
+        addr = item["addr"]
+        sub = Proof.from_json(item["proof"])
+        merged_proof.steps.extend(sub.steps)
+        merged_proof.blocks_verified.extend(sub.blocks_verified)
+        merged_proof.residual_obligations.extend(sub.residual_obligations)
+        merged_proof.outcomes.update(sub.outcomes)
+        out = item["outcome"]
+        report.blocks[addr] = BlockOutcome(
+            addr, out["outcome"], reason=out["reason"], residuals=out["residuals"]
+        )
+        for key, value in item["solver_stats"].items():
+            solver_totals[key] = solver_totals.get(key, 0) + value
+        for key, value in item["cache_stats"].items():
+            if key not in ("entries", "capacity"):
+                cache_totals[key] = cache_totals.get(key, 0) + value
+        if run_budget is not None and item["budget"] is not None:
+            run_budget.absorb(item["budget"])
+        fault_count += item["faults"]
+    report.solver_stats = solver_totals
+    report.cache_stats = cache_totals
+    if fault_count:
+        report.faults = tuple(range(fault_count))  # count only; events stay
+        # in the workers — FaultEvent streams are per-process diagnostics.
+    return case, report

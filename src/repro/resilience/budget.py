@@ -58,6 +58,33 @@ class BudgetSpec:
     cache_entries: int | None = 16_384  # solver result-cache cap
     transient_retries: int = 2  # retries of injected/transient errors
 
+    def partition(self, shares: int) -> list["BudgetSpec"]:
+        """Split this spec into ``shares`` worker allowances.
+
+        Partitioning rules (documented in DESIGN.md):
+
+        - ``conflict_allowance`` is *divided*: conflicts are a consumable
+          resource, so the run-wide pool is split evenly with the remainder
+          going to the earliest shares (deterministic: share ``i``'s
+          allowance depends only on ``(allowance, shares, i)``);
+        - ``deadline_s`` is *replicated*: workers run concurrently against
+          the same wall clock, so each inherits the full deadline;
+        - per-query knobs (``query_conflicts``, the escalation ladder,
+          ``path_allowance``, retries) are *replicated*: they bound single
+          queries/opcodes, not run totals.
+        """
+        if shares <= 0:
+            raise ValueError("shares must be positive")
+        from dataclasses import replace
+
+        if self.conflict_allowance is None:
+            return [self] * shares
+        base, remainder = divmod(self.conflict_allowance, shares)
+        return [
+            replace(self, conflict_allowance=base + (1 if i < remainder else 0))
+            for i in range(shares)
+        ]
+
     def conflict_schedule(self) -> list[int]:
         """The per-query conflict budgets the ladder will try, in order."""
         schedule: list[int] = []
@@ -144,6 +171,19 @@ class Budget:
         if self.exhausted is None:
             self.exhausted = resource
         raise BudgetExhausted(resource, detail)
+
+    def absorb(self, snapshot: dict) -> None:
+        """Fold a worker budget's :meth:`snapshot` into this (run-wide)
+        budget: usage adds up; exhaustion is sticky, first report wins.
+
+        Callers merging several workers must absorb in a deterministic
+        order (block-address order) so the recorded ``exhausted`` resource
+        does not depend on scheduling.
+        """
+        self.conflicts_used += int(snapshot.get("conflicts_used", 0))
+        self.paths_used += int(snapshot.get("paths_used", 0))
+        if self.exhausted is None and snapshot.get("exhausted"):
+            self.exhausted = snapshot["exhausted"]
 
     def snapshot(self) -> dict[str, object]:
         return {

@@ -183,7 +183,7 @@ def eq(a: Term, b: Term) -> Term:
             and sorted(c & _mask(w) for c in coeffs.values()) == [1, _mask(w)]
         ):
             # x - y = 0  stays  x = y  (visible to congruence reasoning).
-            (t1, c1), (t2, c2) = sorted(coeffs.items(), key=lambda p: p[0].uid)
+            (t1, c1), (t2, c2) = sorted(coeffs.items(), key=lambda p: T.stable_key(p[0]))
             a, b = (t1, t2) if c1 & _mask(w) == 1 else (t2, t1)
         else:
             a = _recompose_linear(w, const, coeffs)
@@ -257,7 +257,7 @@ def _recompose_linear(w: int, const: int, coeffs: dict[Term, int]) -> Term:
     mask = _mask(w)
     const &= mask
     items = sorted(
-        ((t, c & mask) for t, c in coeffs.items() if c & mask), key=lambda p: p[0].uid
+        ((t, c & mask) for t, c in coeffs.items() if c & mask), key=lambda p: T.stable_key(p[0])
     )
     pos: list[Term] = []
     neg: list[Term] = []

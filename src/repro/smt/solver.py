@@ -23,7 +23,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from ..resilience.budget import Budget
-from ..resilience.faults import fault_at
+from ..resilience.faults import active_injector, fault_at
 from ..resilience.ladder import DegradationLadder
 from . import builder as B
 from .bitblast import BitBlaster, UnsupportedOperation
@@ -108,6 +108,25 @@ class LruCheckCache:
 
 _GLOBAL_CHECK_CACHE = LruCheckCache()
 
+#: Optional second-level, on-disk verdict store (a
+#: :class:`repro.cache.DiskCache`), consulted after an LRU miss and fed on
+#: every decisive solve.  ``None`` means pure in-memory behaviour.
+_PERSISTENT_STORE = None
+
+
+def install_persistent_check_store(store):
+    """Install (or, with ``None``, remove) the process-wide on-disk verdict
+    store behind the LRU check cache.  Returns the previous store so
+    callers can scope the installation."""
+    global _PERSISTENT_STORE
+    previous = _PERSISTENT_STORE
+    _PERSISTENT_STORE = store
+    return previous
+
+
+def persistent_check_store():
+    return _PERSISTENT_STORE
+
 
 class SolverStats:
     """Aggregate query counters (read by the benchmark harness and folded
@@ -123,6 +142,7 @@ class SolverStats:
         self.escalations = 0  # degradation-ladder rung climbs
         self.transient_retries = 0  # transient faults absorbed by retry
         self.injected_unknowns = 0  # faults forcing a query to unknown
+        self.persistent_hits = 0  # answered by the on-disk verdict store
 
     def snapshot(self) -> dict[str, int]:
         return dict(self.__dict__)
@@ -205,6 +225,14 @@ class Solver:
             hit = _GLOBAL_CHECK_CACHE.get(key)
             if hit is not None:
                 self.stats.cache_hits += 1
+                # Write-through to the on-disk store: an LRU hit proves the
+                # verdict was computed at some point this process, but that
+                # solve may have predated the store installation — without
+                # this, warm-LRU verdicts would never persist.
+                if _PERSISTENT_STORE is not None and active_injector() is None:
+                    from ..cache.keys import smt_query_key
+
+                    _PERSISTENT_STORE.smt_record(smt_query_key(goal), hit)
                 # A cached result has no model; recompute if the caller needs
                 # one (model() recomputes on demand).
                 self._model = None
@@ -221,11 +249,34 @@ class Solver:
             self._model = None
             self._model_goal = None
             return UNKNOWN
+        # Second level: the on-disk verdict store.  Bypassed while a fault
+        # injector is active — injected faults must perturb real solves,
+        # not be papered over by a warm cache.
+        store = _PERSISTENT_STORE
+        store_key: str | None = None
+        if store is not None and self._use_cache and active_injector() is None:
+            from ..cache.keys import smt_query_key
+
+            store_key = smt_query_key(goal)
+            hit = store.smt_lookup(store_key)
+            if hit is not None:
+                self.stats.cache_hits += 1
+                self.stats.persistent_hits += 1
+                self._model = None
+                self._model_goal = goal if hit == SAT else None
+                _GLOBAL_CHECK_CACHE.put(key, hit)
+                if hit == SAT:
+                    self.stats.sat_results += 1
+                else:
+                    self.stats.unsat_results += 1
+                return hit
         result, model = self._solve_governed(goal)
         self._model = model
         self._model_goal = goal if result == SAT else None
         if self._use_cache and result != UNKNOWN:
             _GLOBAL_CHECK_CACHE.put(key, result)
+            if store is not None and store_key is not None:
+                store.smt_record(store_key, result)
         if result == SAT:
             self.stats.sat_results += 1
         elif result == UNSAT:

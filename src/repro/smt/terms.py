@@ -184,6 +184,49 @@ class Term:
 
 _INTERN: dict[tuple, Term] = {}
 
+_STABLE_KEYS: dict[int, bytes] = {}
+
+
+def stable_key(term: Term) -> bytes:
+    """A *process-independent* total-order key for a term.
+
+    ``uid`` (intern-table insertion index) is a fine total order within one
+    process, but it depends on construction *history*: a pooled worker that
+    interned ``y`` during an earlier task and ``x`` during this one orders
+    them y < x, while a fresh process orders them x < y.  Anything that
+    canonicalises by order — commutative-sum layout in the builder — would
+    then print differently across processes, breaking byte-identical
+    certificates.  This key is a structural digest instead: a pure function
+    of the term's content, memoised by uid (terms are interned forever, so
+    uids are stable memo keys).
+    """
+    import hashlib
+
+    cached = _STABLE_KEYS.get(term.uid)
+    if cached is not None:
+        return cached
+    # Iterative post-order so deep sum/ite chains cannot hit the recursion
+    # limit.
+    stack: list[Term] = [term]
+    while stack:
+        t = stack[-1]
+        if t.uid in _STABLE_KEYS:
+            stack.pop()
+            continue
+        pending = [c for c in t.args if c.uid not in _STABLE_KEYS]
+        if pending:
+            stack.extend(pending)
+            continue
+        digest = hashlib.sha256()
+        digest.update(t.op.encode())
+        digest.update(repr(t.attrs).encode())
+        digest.update(repr(t.sort).encode())
+        for child in t.args:
+            digest.update(_STABLE_KEYS[child.uid])
+        _STABLE_KEYS[t.uid] = digest.digest()
+        stack.pop()
+    return _STABLE_KEYS[term.uid]
+
 
 def intern_cache_size() -> int:
     """Number of distinct terms ever built (for diagnostics)."""

@@ -5,11 +5,13 @@ Examples::
     python -m repro.tools.trace arm 0x910103ff --pin PSTATE.EL=2 --pin PSTATE.SP=1
     python -m repro.tools.trace riscv 0x00058683
     python -m repro.tools.trace arm 0x910103ff            # unconstrained
+    python -m repro.tools.trace arm 0x910103ff --cache-dir .repro-cache
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from ..isla import Assumptions, IslaError, trace_for_opcode
@@ -41,6 +43,15 @@ def main(argv: list[str] | None = None) -> int:
         help="pin a register (may be repeated)",
     )
     parser.add_argument("--disassemble", action="store_true", help="show the mnemonic")
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="on-disk trace cache directory (default: $REPRO_CACHE_DIR if "
+             "set, else no cache); warm reruns skip symbolic execution",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk cache even if --cache-dir/$REPRO_CACHE_DIR is set",
+    )
     args = parser.parse_args(argv)
 
     if args.arch == "arm":
@@ -60,15 +71,25 @@ def main(argv: list[str] | None = None) -> int:
     assumptions = Assumptions()
     for name, value in args.pin:
         assumptions.pin(name, value, width_of(model, name))
+    cache = None
+    cache_path = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    if cache_path and not args.no_cache:
+        from ..cache import DiskCache
+
+        cache = DiskCache(cache_path)
     try:
-        result = trace_for_opcode(model, opcode, assumptions)
+        result = trace_for_opcode(model, opcode, assumptions, cache=cache)
     except IslaError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if cache is not None:
+            cache.flush()
     print(trace_to_sexpr(result.trace))
+    source = " (cached)" if result.cached else ""
     print(
         f"; {result.paths} path(s), {result.trace.num_events()} events, "
-        f"{result.model_calls} model functions",
+        f"{result.model_calls} model functions{source}",
         file=sys.stderr,
     )
     return 0

@@ -6,11 +6,17 @@ exits non-zero unless every block verified cleanly and the independent
 checker re-validated the proof.  Budgets and deterministic fault injection
 are exposed for resilience experiments.
 
+Parallelism and caching (see :mod:`repro.parallel` / :mod:`repro.cache`):
+``--jobs N`` fans per-opcode symbolic execution and per-block proofs across
+N worker processes; ``--cache-dir`` points at an on-disk trace/SMT cache so
+reruns are near-instant (also honoured from ``$REPRO_CACHE_DIR``;
+``--no-cache`` disables both).  Results — outcome maps and certificates —
+are byte-identical across ``--jobs`` settings and cache states.
+
 Examples::
 
     python -m repro.tools.verify memcpy_arm --n 4
-    python -m repro.tools.verify pkvm
-    python -m repro.tools.verify --all
+    python -m repro.tools.verify --all --jobs 4 --cache-dir .repro-cache
     python -m repro.tools.verify memcpy_riscv --deadline 0.5 --conflicts 20000
     python -m repro.tools.verify binsearch_riscv --fault-seed 7 --fault-rate 0.1
 """
@@ -18,66 +24,123 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
 
-def _pc_for(module):
-    """The architecture PC register of a case-study module."""
-    pc = getattr(module, "PC", None)
-    if pc is not None:
-        return pc
-    from ..arch.arm.regs import PC
-
-    return PC
-
-
-def _build_budget(args):
-    from ..resilience import Budget, BudgetSpec
+def _build_budget_spec(args):
+    from ..resilience import BudgetSpec
 
     if args.deadline is None and args.conflicts is None:
         return None
-    spec = BudgetSpec(
+    return BudgetSpec(
         deadline_s=args.deadline,
         conflict_allowance=args.conflicts,
     )
-    return Budget(spec)
 
 
-def run_one(name: str, n: int | None, args) -> bool:
-    from contextlib import nullcontext
+def _resolve_cache(args):
+    """``--no-cache`` > ``--cache-dir`` > ``$REPRO_CACHE_DIR`` > none."""
+    if args.no_cache:
+        return None
+    path = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    if not path:
+        return None
+    from ..cache import DiskCache
 
-    from .. import casestudies
-    from ..logic.automation import verify_program
-    from ..logic.checker import CheckFailure, check_proof
-    from ..resilience import FaultInjector, inject
+    return DiskCache(path)
 
-    module = getattr(casestudies, name, None)
-    if module is None:
-        print(f"unknown case study {name!r}", file=sys.stderr)
-        return False
-    kwargs = {}
+
+def _build_kwargs(module, n):
     import inspect
 
     if n is not None and "n" in inspect.signature(module.build).parameters:
-        kwargs["n"] = n
+        return {"n": n}
+    return {}
 
+
+def _render_cache_line(cache) -> str:
+    stats = cache.stats
+    return (
+        f"cache: traces {stats.trace_hits} hits / {stats.trace_misses} misses, "
+        f"smt {stats.smt_hits} hits / {stats.smt_misses} misses "
+        f"({stats.smt_loaded} preloaded)"
+    )
+
+
+def _run_serial(module, name, kwargs, args, cache):
+    from contextlib import nullcontext
+
+    from ..logic.automation import verify_program
+    from ..parallel.config import configured
+    from ..parallel.scheduler import pc_for
+    from ..resilience import Budget, FaultInjector, inject
+    from ..smt.solver import install_persistent_check_store
+
+    spec = _build_budget_spec(args)
     injection = (
         inject(FaultInjector(args.fault_seed, rate=args.fault_rate))
         if args.fault_seed is not None
         else nullcontext()
     )
+    previous = install_persistent_check_store(cache)
+    try:
+        t0 = time.perf_counter()
+        with configured(jobs=1, cache=cache):
+            case = module.build(**kwargs)
+        t1 = time.perf_counter()
+        with injection:
+            report = verify_program(
+                case.frontend.traces, case.specs, pc_for(module),
+                budget=Budget(spec) if spec is not None else None,
+            )
+        t2 = time.perf_counter()
+    finally:
+        install_persistent_check_store(previous)
+        if cache is not None:
+            cache.flush()
+    timings = f"isla {t1 - t0:.2f}s, verify {t2 - t1:.2f}s"
+    return case, report, timings
+
+
+def _run_parallel(module, name, kwargs, args, cache, pool):
+    from ..parallel.scheduler import verify_case_parallel
+
     t0 = time.perf_counter()
-    case = module.build(**kwargs)
+    case, report = verify_case_parallel(
+        name,
+        kwargs,
+        jobs=args.jobs,
+        cache=cache,
+        budget_spec=_build_budget_spec(args),
+        fault_seed=args.fault_seed,
+        fault_rate=args.fault_rate,
+        pool=pool,
+    )
     t1 = time.perf_counter()
-    with injection:
-        report = verify_program(
-            case.frontend.traces, case.specs, _pc_for(module),
-            budget=_build_budget(args),
-        )
-    t2 = time.perf_counter()
+    timings = f"jobs={args.jobs} build+verify {t1 - t0:.2f}s"
+    return case, report, timings
+
+
+def run_one(name: str, n: int | None, args, pool=None, cache=None) -> bool:
+    from .. import casestudies
+    from ..logic.checker import CheckFailure, check_proof
+
+    module = getattr(casestudies, name, None)
+    if module is None:
+        print(f"unknown case study {name!r}", file=sys.stderr)
+        return False
+    kwargs = _build_kwargs(module, n)
+
+    if args.jobs > 1:
+        case, report, timings = _run_parallel(module, name, kwargs, args, cache, pool)
+    else:
+        case, report, timings = _run_serial(module, name, kwargs, args, cache)
+
     # The checker runs outside injection: the certificate must stand on its
     # own regardless of how flaky the run that produced it was.
+    t2 = time.perf_counter()
     try:
         check = check_proof(report.proof, expected_blocks=set(case.specs))
     except CheckFailure as exc:
@@ -91,7 +154,7 @@ def run_one(name: str, n: int | None, args) -> bool:
         f"{name}: {status} — {case.asm_line_count} instrs, "
         f"{case.frontend.total_events} ITL events, {len(proof.steps)} proof "
         f"steps, {proof.num_side_conditions} side conditions "
-        f"(isla {t1 - t0:.2f}s, verify {t2 - t1:.2f}s, re-check {t3 - t2:.2f}s)"
+        f"({timings}, re-check {t3 - t2:.2f}s)"
     )
     if not report.ok or args.verbose:
         for line in report.render().splitlines():
@@ -108,6 +171,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("case", nargs="?", choices=all_names)
     parser.add_argument("--all", action="store_true", help="run every case study")
     parser.add_argument("--n", type=int, default=None, help="array length where applicable")
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for trace generation and block proofs "
+             "(1 = serial, in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="on-disk trace/SMT cache directory (default: $REPRO_CACHE_DIR "
+             "if set, else no persistent cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk cache even if --cache-dir/$REPRO_CACHE_DIR is set",
+    )
     parser.add_argument(
         "--deadline", type=float, default=None,
         help="wall-clock budget in seconds for the whole run",
@@ -132,7 +209,22 @@ def main(argv: list[str] | None = None) -> int:
     if not args.all and not args.case:
         parser.error("give a case study name or --all")
     names = all_names if args.all else [args.case]
-    ok = all([run_one(name, args.n, args) for name in names])
+
+    cache = _resolve_cache(args)
+    pool = None
+    if args.jobs > 1:
+        from ..parallel import WorkerPool
+
+        pool = WorkerPool(args.jobs)
+    try:
+        ok = all([run_one(name, args.n, args, pool=pool, cache=cache) for name in names])
+    finally:
+        if pool is not None:
+            pool.close()
+        if cache is not None:
+            cache.flush()
+            if args.verbose:
+                print(_render_cache_line(cache))
     return 0 if ok else 1
 
 

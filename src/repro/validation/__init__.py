@@ -7,11 +7,13 @@ from .refinement import (
     StateFamily,
     ValidationResult,
     simulate_instruction,
+    simulate_state,
     validate_program,
 )
 
 __all__ = [
     "Effect", "EffectRecorder", "RefinementError", "SimulationReport",
     "StateFamily", "ValidationResult", "effects_match_trace", "interpret",
+    "simulate_state",
     "reify", "simulate_instruction", "validate_program",
 ]

@@ -102,9 +102,20 @@ def simulate_instruction(
     rng = random.Random(seed)
     report = SimulationReport(opcode)
     for state in family.states(model, opcode, rng, samples):
-        _simulate_one(model, opcode, trace, state)
+        simulate_state(model, opcode, trace, state)
         report.states_checked += 1
     return report
+
+
+def simulate_state(model: IsaModel, opcode: int, trace: Trace, state: MachineState):
+    """Check ``m ~ t`` from one concrete start state.
+
+    Runs the authoritative model concretely and replays the Isla trace
+    through the ITL operational semantics from a copy of the same state;
+    raises :class:`RefinementError` on any divergence.  The conformance
+    suite drives this directly with its own state generator.
+    """
+    return _simulate_one(model, opcode, trace, state)
 
 
 def _simulate_one(model: IsaModel, opcode: int, trace: Trace, state: MachineState):

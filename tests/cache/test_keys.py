@@ -1,0 +1,103 @@
+"""Key derivation: every input the computation depends on, nothing more."""
+
+from __future__ import annotations
+
+from repro.arch.arm import ArmModel
+from repro.arch.riscv import RiscvModel
+from repro.cache import (
+    model_fingerprint,
+    opcode_signature,
+    smt_query_key,
+    trace_key,
+)
+from repro.isla import Assumptions
+from repro.itl.events import Reg
+from repro.smt import builder as B
+from repro.smt.sorts import bv_sort
+
+ARM = ArmModel()
+RISCV = RiscvModel()
+
+
+def _pinned(name: str, value: int) -> Assumptions:
+    out = Assumptions()
+    out.pin(name, value, ARM.regfile.width_of(Reg.parse(name)))
+    return out
+
+
+class TestModelFingerprint:
+    def test_stable(self):
+        assert model_fingerprint(ARM) == model_fingerprint(ArmModel())
+
+    def test_distinct_models(self):
+        assert model_fingerprint(ARM) != model_fingerprint(RISCV)
+
+
+class TestOpcodeSignature:
+    def test_concrete(self):
+        assert opcode_signature(0x8B030041) == "#8b030041"
+
+    def test_concrete_term_matches_int(self):
+        assert opcode_signature(B.bv(0x13, 32)) == opcode_signature(0x13)
+
+    def test_symbolic_covers_sorts(self):
+        sym = B.concat(B.bv_var("hi", 16), B.bv(0x13, 16))
+        sig = opcode_signature(sym)
+        assert "hi" in sig
+        wide = B.concat(B.bv_var("hi", 24), B.bv(0x13, 8))
+        assert sig != opcode_signature(wide)
+
+
+class TestTraceKey:
+    def test_deterministic(self):
+        a = trace_key(ARM, 0x8B030041, _pinned("PSTATE.EL", 2))
+        b = trace_key(ARM, 0x8B030041, _pinned("PSTATE.EL", 2))
+        assert a == b
+
+    def test_sensitive_to_every_input(self):
+        base = trace_key(ARM, 0x8B030041, _pinned("PSTATE.EL", 2))
+        assert base != trace_key(ARM, 0x8B030042, _pinned("PSTATE.EL", 2))
+        assert base != trace_key(ARM, 0x8B030041, _pinned("PSTATE.EL", 1))
+        assert base != trace_key(ARM, 0x8B030041, None)
+        assert base != trace_key(
+            ARM, 0x8B030041, _pinned("PSTATE.EL", 2), name_prefix="w"
+        )
+
+    def test_constraint_predicates_compared_extensionally(self):
+        """Two syntactically different callables, one constraint term."""
+
+        def pred_a(v):
+            return B.eq(v, B.bv(0, 64))
+
+        def pred_b(value):
+            return B.eq(value, B.bv(0, 64))
+
+        a = Assumptions().constrain("R0", pred_a)
+        b = Assumptions().constrain("R0", pred_b)
+        assert trace_key(ARM, 0x13, a) == trace_key(ARM, 0x13, b)
+
+        def pred_c(v):
+            return B.eq(v, B.bv(1, 64))
+
+        c = Assumptions().constrain("R0", pred_c)
+        assert trace_key(ARM, 0x13, a) != trace_key(ARM, 0x13, c)
+
+
+class TestSmtQueryKey:
+    def test_order_independent(self):
+        x = B.bv_var("x", 8)
+        a = B.eq(x, B.bv(1, 8))
+        b = B.bvult(x, B.bv(9, 8))
+        assert smt_query_key([a, b]) == smt_query_key([b, a])
+
+    def test_distinct_goals(self):
+        x = B.bv_var("x", 8)
+        assert smt_query_key([B.eq(x, B.bv(1, 8))]) != smt_query_key(
+            [B.eq(x, B.bv(2, 8))]
+        )
+
+    def test_sort_aware(self):
+        """Same sexpr text over differently-sorted variables cannot collide."""
+        narrow = B.eq(B.var("v", bv_sort(8)), B.var("w", bv_sort(8)))
+        wide = B.eq(B.var("v", bv_sort(16)), B.var("w", bv_sort(16)))
+        assert smt_query_key([narrow]) != smt_query_key([wide])

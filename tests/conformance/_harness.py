@@ -1,0 +1,273 @@
+"""Shared machinery for the differential conformance suite.
+
+The suite draws random *valid* encodings (random 32-bit words filtered
+through the decoder, mixed with directed templates for the sparse corners
+of the encoding space), runs each through the full symbolic pipeline, and
+replays the resulting ITL trace against the concrete mini-Sail interpreter
+from random machine states.  Failures are shrunk to a minimal case and
+appended to the checked-in regression corpus under ``corpus/``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.arch.arm import ArmModel
+from repro.arch.arm import asm as arm_asm
+from repro.arch.arm import decode as arm_decode
+from repro.arch.riscv import RiscvModel
+from repro.arch.riscv import asm as riscv_asm
+from repro.arch.riscv import decode as riscv_decode
+from repro.isla import Assumptions, IslaError, trace_for_opcode
+from repro.itl.events import Reg
+from repro.sail.iface import ModelError
+from repro.validation import RefinementError, simulate_state
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+ARM = ArmModel()
+RISCV = RiscvModel()
+
+# A small mapped memory window; registers are sometimes pointed into it so
+# loads and stores exercise real memory as well as the device fallback.
+MEM_BASE = 0x5000
+MEM_LEN = 64
+
+ARM_PINS = {"PSTATE.EL": 2, "PSTATE.SP": 1, "SCTLR_EL2": 0}
+ARM_VARY = [f"R{i}" for i in range(31)] + ["SP_EL2"]
+ARM_FLAGS = ["PSTATE.N", "PSTATE.Z", "PSTATE.C", "PSTATE.V"]
+RISCV_VARY = [f"x{i}" for i in range(1, 32)]
+
+# Directed templates: assembly lines whose encodings random sampling is
+# unlikely to reach (near-constant words), with {r}/{n} filled per draw.
+ARM_TEMPLATES = [
+    "rbit x{r}, x{n}", "rbit w{r}, w{n}",
+    "br x{r}", "blr x{r}", "ret", "ret x{r}", "eret",
+    "nop", "hint #{h}",
+    "mrs x{r}, esr_el2", "mrs x{r}, vbar_el2", "msr elr_el2, x{r}",
+    "hvc #{h}", "svc #{h}",
+    "ldp x{r}, x{n}, [x{m}]", "stp x{r}, x{n}, [x{m}, #16]",
+    "stp x{r}, x{n}, [sp, #-16]!", "ldp x{r}, x{n}, [sp], #16",
+    "tbz x{r}, #{h}, #8", "tbnz x{r}, #{h}, #-8",
+    "sdiv x{r}, x{n}, x{m}", "udiv w{r}, w{n}, w{m}",
+    "ldur x{r}, [x{n}, #-8]", "stur w{r}, [x{n}, #3]",
+    "ldursw x{r}, [x{n}, #4]", "sturh w{r}, [x{n}, #-2]",
+    "ccmp x{r}, #{h}, #5, ne", "ccmn w{r}, w{n}, #3, lt",
+    "tst x{r}, #0xff0", "uxtb w{r}, w{n}",
+]
+RISCV_TEMPLATES = [
+    "fence", "ecall", "ebreak", "mret", "wfi",
+    "csrr t{t}, mstatus", "csrw mtvec, t{t}",
+    "csrrw t{t}, mscratch, t{u}", "csrrci t{t}, mstatus, {h}",
+    "lwu t{t}, 4(t{u})", "sraiw t{t}, t{u}, {h}",
+    "add t{t}, t{u}, t{t}", "sub t{t}, t{u}, t{t}",
+    "sltu t{t}, t{u}, t{t}", "and t{t}, t{u}, t{t}",
+    "sra t{t}, t{u}, t{t}", "addw t{t}, t{u}, t{t}",
+    "sraw t{t}, t{u}, t{t}",
+]
+
+
+@dataclass
+class Arch:
+    name: str
+    model: object
+    decode: object
+    asm: object
+    vary: list[str]
+    pins: dict[str, int]
+    templates: list[str]
+
+    def assumptions(self) -> Assumptions:
+        out = Assumptions()
+        for reg, value in self.pins.items():
+            out.pin(reg, value, self.model.regfile.width_of(Reg.parse(reg)))
+        return out
+
+
+ARCHS = {
+    "arm": Arch("arm", ARM, arm_decode, arm_asm, ARM_VARY, ARM_PINS, ARM_TEMPLATES),
+    "riscv": Arch("riscv", RISCV, riscv_decode, riscv_asm, RISCV_VARY, {}, RISCV_TEMPLATES),
+}
+
+
+def directed_word(arch: Arch, rng: random.Random) -> int:
+    line = rng.choice(arch.templates).format(
+        r=rng.randrange(31), n=rng.randrange(31), m=rng.randrange(31),
+        t=rng.randrange(7), u=rng.randrange(7), h=rng.randrange(1, 16),
+    )
+    return arch.asm.assemble_line(line)
+
+
+def random_valid_word(arch: Arch, rng: random.Random) -> int:
+    """A decoder-accepted word: random sampling with directed templates mixed in."""
+    if rng.random() < 0.15:
+        return directed_word(arch, rng)
+    while True:
+        word = rng.getrandbits(32)
+        try:
+            arch.decode.disassemble(word)
+            return word
+        except arch.decode.UnknownInstruction:
+            continue
+
+
+# -- machine states ----------------------------------------------------------
+
+
+@dataclass
+class CaseState:
+    """One concrete start state, as plain JSON-able data."""
+
+    regs: dict[str, int] = field(default_factory=dict)
+    mem: dict[int, int] = field(default_factory=dict)  # addr -> byte
+    pc: int = 0x1000
+
+    def to_json(self) -> dict:
+        return {
+            "regs": {k: hex(v) for k, v in self.regs.items()},
+            "mem": {hex(a): b for a, b in self.mem.items()},
+            "pc": hex(self.pc),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "CaseState":
+        return cls(
+            regs={k: int(v, 16) for k, v in data.get("regs", {}).items()},
+            mem={int(a, 16): b for a, b in data.get("mem", {}).items()},
+            pc=int(data.get("pc", "0x1000"), 16),
+        )
+
+
+def random_state(arch: Arch, rng: random.Random) -> CaseState:
+    regs = dict(arch.pins)
+    for name in arch.vary:
+        reg = Reg.parse(name)
+        width = arch.model.regfile.width_of(reg)
+        roll = rng.random()
+        if roll < 0.3:
+            # Point into the mapped window (aligned-ish) so memory ops hit it.
+            regs[name] = MEM_BASE + 8 * rng.randrange(MEM_LEN // 8 - 1)
+        elif roll < 0.5:
+            regs[name] = rng.choice([0, 1, 2, 0xFF, (1 << width) - 1, 1 << (width - 1)])
+        else:
+            regs[name] = rng.getrandbits(width)
+    if arch.name == "arm":
+        for flag in ARM_FLAGS:
+            regs[flag] = rng.getrandbits(1)
+    mem = {MEM_BASE + off: rng.getrandbits(8) for off in range(MEM_LEN)}
+    return CaseState(regs=regs, mem=mem)
+
+
+def build_machine_state(arch: Arch, opcode: int, case: CaseState):
+    state = arch.model.initial_state()
+    state.write_reg(arch.model.pc_reg, case.pc)
+    # The trace was generated under the pinned assumptions; the state must
+    # satisfy them even when a (hand-written) corpus case omits them.
+    for name, value in arch.pins.items():
+        state.write_reg(Reg.parse(name), value)
+    for name, value in case.regs.items():
+        state.write_reg(Reg.parse(name), value)
+    for addr, byte in case.mem.items():
+        state.write_mem(addr, byte, 1)
+    state.load_bytes(case.pc, opcode.to_bytes(4, "little"))
+    return state
+
+
+# -- running and shrinking ---------------------------------------------------
+
+
+def trace_for(arch: Arch, opcode: int):
+    """The symbolic trace for an opcode, or None when out of pipeline scope.
+
+    Only complete path enumerations are eligible: replay from an arbitrary
+    state could otherwise wander onto a pruned path.
+    """
+    try:
+        result = trace_for_opcode(arch.model, opcode, arch.assumptions())
+    except IslaError:
+        return None
+    if result.exhausted is not None:
+        return None
+    return result.trace
+
+
+def run_case(arch: Arch, opcode: int, trace, case: CaseState) -> str | None:
+    """Replay one case; returns None on agreement, a reason string on failure.
+
+    ``ModelError`` (e.g. a partially-mapped access straddling the window, or
+    a read of a register the state does not map) means the *state* is outside
+    the comparable domain, not that the semantics diverge; those raise.
+    """
+    state = build_machine_state(arch, opcode, case)
+    try:
+        simulate_state(arch.model, opcode, trace, state)
+    except RefinementError as exc:
+        return str(exc)
+    return None
+
+
+def shrink_case(arch: Arch, opcode: int, trace, case: CaseState) -> CaseState:
+    """Greedy minimisation of a failing case: drop memory, zero registers."""
+
+    def still_fails(candidate: CaseState) -> bool:
+        try:
+            return run_case(arch, opcode, trace, candidate) is not None
+        except ModelError:
+            return False
+
+    current = case
+    without_mem = CaseState(regs=dict(current.regs), mem={}, pc=current.pc)
+    if still_fails(without_mem):
+        current = without_mem
+    for name in sorted(current.regs):
+        if name in arch.pins:
+            continue
+        for value in (None, 0, 1):
+            candidate = CaseState(
+                regs={k: v for k, v in current.regs.items() if k != name},
+                mem=dict(current.mem), pc=current.pc,
+            )
+            if value is not None:
+                candidate.regs[name] = value
+            if still_fails(candidate):
+                current = candidate
+                break
+    return current
+
+
+# -- the regression corpus ---------------------------------------------------
+
+
+def corpus_path(arch_name: str) -> Path:
+    return CORPUS_DIR / f"{arch_name}.jsonl"
+
+
+def load_corpus(arch_name: str) -> list[dict]:
+    path = corpus_path(arch_name)
+    if not path.exists():
+        return []
+    entries = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            entries.append(json.loads(line))
+    return entries
+
+
+def record_failure(arch: Arch, opcode: int, trace, case: CaseState, reason: str) -> CaseState:
+    """Shrink a failing case and append it to the corpus; returns the shrunk case."""
+    shrunk = shrink_case(arch, opcode, trace, case)
+    entry = {
+        "kind": "differential",
+        "opcode": hex(opcode),
+        "text": arch.decode.try_disassemble(opcode),
+        "state": shrunk.to_json(),
+        "reason": reason.splitlines()[0][:200],
+    }
+    CORPUS_DIR.mkdir(exist_ok=True)
+    with corpus_path(arch.name).open("a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return shrunk

@@ -1,0 +1,44 @@
+"""Benchmark-session plumbing: the machine-readable perf trajectory.
+
+Benchmarks that call the ``bench_smt_record`` fixture contribute named
+records (timings, query counts, cache and slice hit rates, speedups) that
+are merged into ``BENCH_smt.json`` at the repo root when the session ends.
+Merging — rather than rewriting — means running one benchmark file updates
+its own entries and leaves the rest of the trajectory intact, so the file
+is comparable PR-over-PR instead of living only in pytest-benchmark's
+transient output.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+_RECORDS: dict[str, dict] = {}
+
+BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_smt.json"
+
+
+@pytest.fixture
+def bench_smt_record():
+    """Record one named benchmark result for ``BENCH_smt.json``."""
+
+    def record(name: str, **data) -> None:
+        _RECORDS[name] = data
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _RECORDS:
+        return
+    merged: dict[str, dict] = {}
+    if BENCH_PATH.exists():
+        try:
+            merged = json.loads(BENCH_PATH.read_text())
+        except (json.JSONDecodeError, OSError):
+            merged = {}
+    merged.update(_RECORDS)
+    BENCH_PATH.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")

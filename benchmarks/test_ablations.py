@@ -58,8 +58,15 @@ class TestTheoryLayerAblation:
         goal = B.bvult(xs[0], xs[-1])
 
         def run():
-            result, _ = Solver._solve(facts + [B.not_(goal)], None, depth=99)
-            assert result == UNSAT
+            # Drive the SAT core directly — no theory layer, no enumeration.
+            from repro.smt.bitblast import BitBlaster
+            from repro.smt.cnf import CnfBuilder
+            from repro.smt.sat import SatSolver
+
+            blaster = BitBlaster(CnfBuilder(sat := SatSolver()))
+            for t in facts + [B.not_(goal)]:
+                blaster.assert_term(t)
+            assert sat.solve() is False  # UNSAT
 
         benchmark(run)
 

@@ -31,7 +31,7 @@ from ..resilience.faults import TransientFault, fault_at
 from ..sail.iface import MachineInterface, ModelError
 from ..sail.model import IsaModel
 from ..smt import builder as B
-from ..smt.solver import SAT, Solver
+from ..smt.solver import SAT, UNSAT, Solver
 from ..smt.sorts import Sort, bv_sort
 from ..smt.terms import FALSE, TRUE, Term
 from .assumptions import Assumptions
@@ -76,6 +76,7 @@ class SymbolicMachine(MachineInterface):
         forced: tuple[bool, ...],
         name_prefix: str = "v",
         budget: Budget | None = None,
+        solver: Solver | None = None,
     ) -> None:
         self.model = model
         self.assumptions = assumptions
@@ -84,11 +85,22 @@ class SymbolicMachine(MachineInterface):
         self.decisions: list[bool] = []
         self.feasible_flip: list[bool] = []
         self.reg_cache: dict[Reg, Term] = {}
-        self.solver = Solver(budget=budget)
+        #: ``trace_for_opcode`` shares one incremental solver across every
+        #: path of an enumeration (scoped by push/pop) so the persistent
+        #: bit-blast context amortises the common path prefix; a standalone
+        #: machine gets a private solver.
+        self.solver = solver if solver is not None else Solver(budget=budget)
         self._counter = 0
         self._prefix = name_prefix
         self.calls = 0
         self.steps = 0
+        self.checks_skipped = 0
+        #: Is the current path condition known satisfiable?  Set by any SAT
+        #: feasibility verdict, invalidated by unchecked ``solver.add``
+        #: (read_reg assumption constraints).  Enables eliding the second
+        #: branch-feasibility query: if path P is SAT and P ∧ cond is UNSAT,
+        #: every model of P falsifies cond, so P ∧ ¬cond is SAT.
+        self._path_known_feasible = False
 
     # -- events ------------------------------------------------------------
 
@@ -124,6 +136,7 @@ class SymbolicMachine(MachineInterface):
             constraint = predicate(var)
             self._emit(E.Assume(constraint))
             self.solver.add(constraint)
+            self._path_known_feasible = False
         self.reg_cache[reg] = var
         return var
 
@@ -168,13 +181,30 @@ class SymbolicMachine(MachineInterface):
         fault = fault_at("executor.fork")
         if fault == "transient":
             raise TransientFault(f"injected transient fault at branch {hint!r}")
-        if fault != "unknown":
+        if fault == "unknown":
             # An injected "unknown" skips pruning entirely: both directions
             # are treated as feasible, which is sound (the infeasible
             # subtrace starts with an Assert the logic refutes) but forks
             # more — exactly the degradation a flaky solver would cause.
-            true_feasible = self.solver.check(cond) == SAT
-            false_feasible = self.solver.check(B.not_(cond)) == SAT
+            # No feasibility verdict was computed, so the skip invariant no
+            # longer holds.
+            self._path_known_feasible = False
+        else:
+            verdict = self.solver.check(cond)
+            true_feasible = verdict == SAT
+            if true_feasible:
+                self._path_known_feasible = True
+                false_feasible = self.solver.check(B.not_(cond)) == SAT
+            elif verdict == UNSAT and self._path_known_feasible:
+                # P is SAT and P ∧ cond is UNSAT, so the model of P
+                # witnesses P ∧ ¬cond: the second query is a foregone
+                # conclusion.  (UNKNOWN verdicts never take this path.)
+                false_feasible = True
+                self.checks_skipped += 1
+            else:
+                false_feasible = self.solver.check(B.not_(cond)) == SAT
+            if false_feasible and not self._path_known_feasible:
+                self._path_known_feasible = True
             if true_feasible and not false_feasible:
                 return True
             if false_feasible and not true_feasible:
@@ -216,6 +246,9 @@ class IslaResult:
     model_calls: int
     model_steps: int
     solver_checks: int
+    #: Branch-feasibility queries elided because the verdict was implied by
+    #: an earlier one (see ``SymbolicMachine._path_known_feasible``).
+    checks_skipped: int = 0
     exhausted: str | None = None
     #: True when the result was served from an on-disk cache (the metrics
     #: then describe the original, cached run).
@@ -275,6 +308,7 @@ def trace_for_opcode(
                 model_calls=meta.get("model_calls", 0),
                 model_steps=meta.get("model_steps", 0),
                 solver_checks=meta.get("solver_checks", 0),
+                checks_skipped=meta.get("checks_skipped", 0),
                 exhausted=None,
                 cached=True,
             )
@@ -287,7 +321,13 @@ def trace_for_opcode(
     total_calls = 0
     total_steps = 0
     total_checks = 0
+    total_skipped = 0
     exhausted: str | None = None
+    # One solver for the whole enumeration: every path runs in its own
+    # push/pop scope, so the incremental bit-blast context (term encodings,
+    # learned clauses) persists across the shared path prefixes instead of
+    # being rebuilt per path.
+    shared_solver = Solver(budget=budget)
 
     while worklist:
         forced = worklist.pop()
@@ -304,7 +344,11 @@ def trace_for_opcode(
             except BudgetExhausted as exc:
                 exhausted = exc.resource
                 break
-        machine = SymbolicMachine(model, assumptions, forced, name_prefix, budget)
+        machine = SymbolicMachine(
+            model, assumptions, forced, name_prefix, budget, solver=shared_solver
+        )
+        checks_before = shared_solver.stats.checks
+        shared_solver.push()
         try:
             model.execute(machine, opcode)
         except ModelError as exc:
@@ -321,6 +365,11 @@ def trace_for_opcode(
         except BudgetExhausted as exc:
             exhausted = exc.resource
             break
+        finally:
+            # Retract this path's constraints in every exit (including the
+            # transient-fault replay, which may have added a partial
+            # prefix); the encodings stay cached in the solver's context.
+            shared_solver.pop()
         explored.add(forced)
         if budget is not None:
             budget.charge_paths()
@@ -329,7 +378,8 @@ def trace_for_opcode(
         )
         total_calls += machine.calls
         total_steps += machine.steps
-        total_checks += machine.solver.stats.checks
+        total_checks += shared_solver.stats.checks - checks_before
+        total_skipped += machine.checks_skipped
         # Schedule the sibling of every fork discovered beyond the prefix.
         for i in range(len(forced), len(machine.decisions)):
             sibling = tuple(machine.decisions[:i]) + (not machine.decisions[i],)
@@ -343,7 +393,13 @@ def trace_for_opcode(
 
         trace = simplify_trace(trace)
         result = IslaResult(
-            trace, len(runs), total_calls, total_steps, total_checks, exhausted
+            trace,
+            len(runs),
+            total_calls,
+            total_steps,
+            total_checks,
+            checks_skipped=total_skipped,
+            exhausted=exhausted,
         )
         if exhausted is None:
             if key is not None:
@@ -355,6 +411,7 @@ def trace_for_opcode(
                         "model_calls": result.model_calls,
                         "model_steps": result.model_steps,
                         "solver_checks": result.solver_checks,
+                        "checks_skipped": result.checks_skipped,
                     },
                 )
             return result

@@ -48,6 +48,7 @@ from ..smt.solver import (
     UNKNOWN as UNKNOWN_RESULT,
     UNSAT as UNSAT_RESULT,
     Solver,
+    SolverMode,
     SolverStats,
     check_cache_stats,
 )
@@ -79,6 +80,10 @@ class EngineConfig:
     governed: bool = False
     #: Resource budget threaded into every context solver (governed mode).
     budget: Budget | None = None
+    #: Query-engine mode for every context solver (incremental context,
+    #: goal slicing); ``None`` follows the process-wide default, which the
+    #: ``tools/verify --no-incremental/--no-slice`` flags control.
+    solver_mode: SolverMode | None = None
 
 
 class ProofEngine:
@@ -225,7 +230,7 @@ class ProofEngine:
 
     def _context_from_pred(self, pred: Pred, addr: int) -> Context:
         """Universally instantiate a block spec into a fresh context."""
-        solver = Solver(budget=self.budget)
+        solver = Solver(budget=self.budget, mode=self.config.solver_mode)
         self._solvers.append(solver)
         ctx = Context(solver)
         mapping: dict[Term, Term] = {}

@@ -1,4 +1,4 @@
-"""A CDCL SAT solver.
+"""A CDCL SAT solver with an incremental, assumption-based interface.
 
 This is the search core underneath the bit-blaster.  It implements the
 standard modern architecture: two-watched-literal propagation, first-UIP
@@ -6,6 +6,18 @@ conflict analysis with clause learning, VSIDS-style activity decay, phase
 saving, and Luby restarts.  It is deliberately dependency-free: the paper's
 pipeline uses Z3, which is unavailable here, so the whole QF_BV stack is
 built from scratch (see DESIGN.md, substitution table).
+
+Incrementality follows the MiniSat design: :meth:`SatSolver.solve` takes
+``assumptions`` — literals that hold *for this call only*.  Each assumption
+is enqueued as a decision at its own level (never level 0), so conflict
+analysis resolves assumption literals into learned clauses like any other
+decision and every learned clause is a consequence of the clause database
+alone.  That is the invariant that makes the solver reusable: clauses,
+watches, activities, and phases persist across calls, and a caller can
+retract "assertions" simply by not assuming their literals next time.
+When the instance is unsatisfiable *under the assumptions*, a final
+conflict analysis (:meth:`_analyze_final`) leaves a clause over the failed
+assumptions in :attr:`SatSolver.conflict`.
 
 Literals are non-zero integers: variable ``v`` is the positive literal ``v``
 and its negation is ``-v`` (DIMACS convention).
@@ -63,6 +75,14 @@ class SatSolver:
         self.phase: dict[int, bool] = {}
         self.stats = SatStats()
         self._ok = True
+        # Level-0 facts (input unit clauses and learned units), re-asserted
+        # at the start of every solve() without scanning the clause DB.
+        self._units: list[int] = []
+        #: After a solve() returning False under assumptions: a conflict
+        #: clause over the assumption literals (each entry is the negation
+        #: of a failed assumption).  Empty for a global (assumption-free)
+        #: UNSAT.
+        self.conflict: list[int] = []
         # Lazy max-heap over (-activity, -var): stale entries are skipped at
         # pop time.  Ties break toward the highest variable index (the most
         # recently created Tseitin gate — the justification-frontier
@@ -79,8 +99,9 @@ class SatSolver:
         return v
 
     def add_clause(self, lits: list[int]) -> None:
-        """Add a clause; must be called before :meth:`solve` (no incremental
-        clause addition mid-search, push/pop lives in the Solver façade)."""
+        """Add a clause.  May be called between :meth:`solve` calls (the
+        delta-encoding path adds Tseitin clauses for each new query), but
+        not while a search is in flight."""
         seen: set[int] = set()
         out: list[int] = []
         for lit in lits:
@@ -95,6 +116,7 @@ class SatSolver:
         if len(out) == 1:
             # Stage unit clauses as level-0 facts during solve().
             self.clauses.append(out)
+            self._units.append(out[0])
             return
         self.clauses.append(out)
         self._watch(out)
@@ -249,12 +271,18 @@ class SatSolver:
     ) -> bool | None:
         """Return True (SAT), False (UNSAT), or None (conflict budget hit).
 
-        ``assumptions`` are treated as additional unit clauses for this call
-        (simple non-incremental handling: they are enqueued as decisions at
-        level 0 and failure is final for this call only).
+        ``assumptions`` hold for this call only.  Each is enqueued as a
+        decision at its own level (MiniSat-style), so learned clauses never
+        depend on them implicitly and the clause database — including
+        everything learned under these assumptions — remains valid for
+        later calls with different assumptions.  On an UNSAT answer,
+        :attr:`conflict` holds a final conflict clause over the failed
+        assumption literals (empty if the instance is globally UNSAT).
         """
+        self.conflict = []
         if not self._ok:
             return False
+        assumptions = list(assumptions or [])
         self._qhead = 0
         self.assign.clear()
         self.level.clear()
@@ -266,18 +294,14 @@ class SatSolver:
         ]
         heapq.heapify(self._heap)
 
-        # Level-0 facts: unit clauses.
-        for clause in self.clauses:
-            if len(clause) == 1:
-                if not self._enqueue(clause[0], None):
-                    return False
-        if self._propagate() is not None:
-            return False
-        for lit in assumptions or []:
+        # Level-0 facts: input units and units learned in earlier calls.
+        for lit in self._units:
             if not self._enqueue(lit, None):
+                self._ok = False
                 return False
-            if self._propagate() is not None:
-                return False
+        if self._propagate() is not None:
+            self._ok = False
+            return False
 
         conflicts_until_restart = luby(1) * 64
         restart_idx = 1
@@ -292,6 +316,9 @@ class SatSolver:
                     if budget < 0:
                         return None
                 if not self.trail_lim:
+                    # Conflict with no decisions on the trail: the clause
+                    # database alone is unsatisfiable, permanently.
+                    self._ok = False
                     return False
                 learnt, bj = self._analyze(conflict)
                 self._backjump(bj)
@@ -299,6 +326,8 @@ class SatSolver:
                 self.clauses.append(learnt)
                 if len(learnt) >= 2:
                     self._watch(learnt)
+                else:
+                    self._units.append(learnt[0])
                 self._enqueue(learnt[0], learnt if len(learnt) >= 2 else None)
                 self._decay()
                 conflicts_until_restart -= 1
@@ -309,7 +338,23 @@ class SatSolver:
                     if self.trail_lim:
                         self._backjump(0)
                 continue
-            # Decide.
+            # Decide: assumption literals first (levels 1..k), then activity.
+            if len(self.trail_lim) < len(assumptions):
+                p = assumptions[len(self.trail_lim)]
+                val = self._value(p)
+                if val is False:
+                    # The assumption is refuted by the current (restart-proof)
+                    # assignment: UNSAT under assumptions, with a final
+                    # conflict clause naming the responsible assumptions.
+                    self.conflict = self._analyze_final(p)
+                    return False
+                # Open a decision level even when the assumption already
+                # holds, keeping level i+1 aligned with assumptions[i].
+                self.trail_lim.append(len(self.trail))
+                if val is None:
+                    self.stats.decisions += 1
+                    self._enqueue(p, None)
+                continue
             var = self._pick_branch_var()
             if var is None:
                 return True
@@ -317,6 +362,30 @@ class SatSolver:
             self.trail_lim.append(len(self.trail))
             lit = var if self.phase.get(var, False) else -var
             self._enqueue(lit, None)
+
+    def _analyze_final(self, p: int) -> list[int]:
+        """Compute a conflict clause over assumption literals for a failed
+        assumption ``p`` (MiniSat's ``analyzeFinal``): walk the implication
+        graph backwards from ``¬p``, collecting the decision literals
+        (which, below the assumption prefix, are exactly assumptions)."""
+        out = [-p]
+        if not self.trail_lim:
+            return out
+        seen = {abs(p)}
+        for lit in reversed(self.trail[self.trail_lim[0] :]):
+            var = abs(lit)
+            if var not in seen:
+                continue
+            reason = self.reason[var]
+            if reason is None:
+                out.append(-lit)
+            else:
+                for q in reason:
+                    qv = abs(q)
+                    if qv != var and self.level[qv] > 0:
+                        seen.add(qv)
+            seen.discard(var)
+        return out
 
     def _pick_branch_var(self) -> int | None:
         heap = self._heap

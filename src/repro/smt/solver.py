@@ -7,6 +7,24 @@ asserted set, which matters a lot in practice: the Isla executor asks about
 many branch conditions under the same path prefix, and the separation-logic
 automation re-discharges structurally identical side conditions.
 
+Incremental solving (the default, see :class:`SolverMode`): each Solver owns
+one long-lived :class:`~repro.smt.sat.SatSolver` / :class:`CnfBuilder` /
+:class:`BitBlaster` triple.  A ``check()`` encodes only the terms the
+context has never seen (term→literal caches survive across queries *and*
+across ``pop()``), and asks the persistent core under *assumption literals*
+— the Tseitin output literal of each asserted term.  ``pop()`` therefore
+never discards learned clauses or encodings: retracting an assertion just
+means not assuming its literal in the next query.  Degradation-ladder rungs
+(escalating conflict budgets) restart the *query*, never the context, so
+everything learned at a cheap rung is still there at the expensive one.
+
+Goal slicing (also default): a goal factors into variable-disjoint
+connected components, which are satisfiable independently — see
+:mod:`repro.smt.slicing`.  ``check()`` solves the component touching the
+query terms and answers the rest (the already-seen path constraints) from
+the verdict caches, which are keyed per component so hits survive across
+queries that merely *extend* an unrelated part of the context.
+
 Resource governance (``repro.resilience``): a solver may carry a
 :class:`~repro.resilience.budget.Budget`.  Governed queries climb the
 degradation ladder — the word-level theory layer first (free), then
@@ -20,16 +38,20 @@ deterministic injector is active; see :mod:`repro.resilience.faults`.
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
+from dataclasses import dataclass
+from time import perf_counter
 
 from ..resilience.budget import Budget
-from ..resilience.faults import active_injector, fault_at
+from ..resilience.faults import TransientFault, active_injector, fault_at
 from ..resilience.ladder import DegradationLadder
 from . import builder as B
 from .bitblast import BitBlaster, UnsupportedOperation
 from .cnf import CnfBuilder
 from .interp import evaluate
 from .sat import SatSolver
+from .slicing import partition_goal, query_component_indices, term_vars
 from .theory import refutes as theory_refutes
 from .terms import FALSE, TRUE, Term
 
@@ -48,6 +70,52 @@ DEFAULT_MAX_CONFLICTS = 60_000
 #: and a 3-7 byte result), but the *keys* pin term DAGs alive; an unbounded
 #: cache is a leak under sustained load.
 DEFAULT_CACHE_CAPACITY = 16_384
+
+
+@dataclass(frozen=True)
+class SolverMode:
+    """Which query engines a :class:`Solver` uses.
+
+    ``incremental`` — persistent bit-blast context with assumption-literal
+    queries (delta encoding, learned clauses survive push/pop).
+    ``slicing`` — connected-component goal slicing with per-component
+    verdict caching.
+
+    Both default to on; the escape hatches are ``tools/verify
+    --no-incremental/--no-slice`` and the ``REPRO_NO_INCREMENTAL`` /
+    ``REPRO_NO_SLICE`` environment variables (any value but ``""``/``"0"``
+    disables).  Verdicts and certificates are mode-independent; the modes
+    only change how much work each query costs.
+    """
+
+    incremental: bool = True
+    slicing: bool = True
+
+
+def _mode_from_env() -> SolverMode:
+    def disabled(name: str) -> bool:
+        return os.environ.get(name, "") not in ("", "0")
+
+    return SolverMode(
+        incremental=not disabled("REPRO_NO_INCREMENTAL"),
+        slicing=not disabled("REPRO_NO_SLICE"),
+    )
+
+
+_DEFAULT_MODE = _mode_from_env()
+
+
+def default_solver_mode() -> SolverMode:
+    return _DEFAULT_MODE
+
+
+def set_default_solver_mode(mode: SolverMode) -> SolverMode:
+    """Set the process-wide default :class:`SolverMode`; returns the
+    previous one so callers (drivers, workers, tests) can scope it."""
+    global _DEFAULT_MODE
+    previous = _DEFAULT_MODE
+    _DEFAULT_MODE = mode
+    return previous
 
 
 class LruCheckCache:
@@ -143,6 +211,16 @@ class SolverStats:
         self.transient_retries = 0  # transient faults absorbed by retry
         self.injected_unknowns = 0  # faults forcing a query to unknown
         self.persistent_hits = 0  # answered by the on-disk verdict store
+        self.quick_valid_hits = 0  # quick_valid proved the goal
+        self.quick_valid_misses = 0  # quick_valid could not decide
+        self.incremental_solves = 0  # queries answered by the persistent core
+        self.fresh_solves = 0  # queries answered by a throwaway core
+        self.sliced_checks = 0  # checks that went through goal slicing
+        self.slice_components = 0  # total components across sliced checks
+        self.slice_cache_hits = 0  # components answered by a verdict cache
+        self.slice_solves = 0  # components that needed a real solve
+        self.encode_us = 0  # microseconds spent bit-blasting
+        self.solve_us = 0  # microseconds spent in SAT search
 
     def snapshot(self) -> dict[str, int]:
         return dict(self.__dict__)
@@ -150,6 +228,19 @@ class SolverStats:
     def merge(self, other: "SolverStats") -> None:
         for key, value in other.__dict__.items():
             setattr(self, key, getattr(self, key, 0) + value)
+
+
+class _BitblastContext:
+    """The persistent encoding state behind one incremental :class:`Solver`:
+    a CDCL core plus the term→literal caches of the CNF builder and the
+    bit-blaster.  Created lazily on the first query that reaches the SAT
+    layer and never reset — ``pop()`` retracts assertions by dropping their
+    assumption literals, not by touching this state."""
+
+    def __init__(self) -> None:
+        self.sat = SatSolver()
+        self.cnf = CnfBuilder(self.sat)
+        self.blaster = BitBlaster(self.cnf)
 
 
 class Solver:
@@ -169,13 +260,19 @@ class Solver:
         use_global_cache: bool = True,
         max_conflicts: int | None = DEFAULT_MAX_CONFLICTS,
         budget: Budget | None = None,
+        mode: SolverMode | None = None,
     ) -> None:
         self._assertions: list[Term] = []
         self._scopes: list[int] = []
         self._use_cache = use_global_cache
         self._max_conflicts = max_conflicts
         self._budget = budget
+        self._mode = mode or default_solver_mode()
+        self._ctx: _BitblastContext | None = None
         self._model: dict[Term, object] | None = None
+        #: The goal of the last SAT check, for lazy model recomputation
+        #: after a cache hit (``None`` when the last check was not SAT).
+        self._model_goal: list[Term] | None = None
         self.stats = SolverStats()
         #: Why the most recent check came back ``unknown`` (reset per query):
         #: "conflict-limit", "unsupported-operation", "fault:solver.check",
@@ -185,6 +282,10 @@ class Solver:
     @property
     def budget(self) -> Budget | None:
         return self._budget
+
+    @property
+    def mode(self) -> SolverMode:
+        return self._mode
 
     # -- assertion stack ------------------------------------------------------
 
@@ -201,6 +302,9 @@ class Solver:
     def pop(self) -> None:
         if not self._scopes:
             raise RuntimeError("pop without matching push")
+        # Truncating the term stack is the whole cost: encodings and learned
+        # clauses live in the persistent context and stay valid (they are
+        # guarded by assumption literals that simply stop being assumed).
         del self._assertions[self._scopes.pop() :]
 
     @property
@@ -218,6 +322,7 @@ class Solver:
         goal = list(self._assertions) + [t for t in extra if t is not TRUE]
         if any(t is FALSE for t in goal):
             self._model = None
+            self._model_goal = None
             self.stats.unsat_results += 1
             return UNSAT
         key = frozenset(goal)
@@ -270,7 +375,13 @@ class Solver:
                 else:
                     self.stats.unsat_results += 1
                 return hit
-        result, model = self._solve_governed(goal)
+        components = (
+            partition_goal(goal) if self._mode.slicing and len(goal) > 1 else None
+        )
+        if components is not None and len(components) > 1:
+            result, model = self._check_sliced(components, extra)
+        else:
+            result, model = self._solve_governed(goal)
         self._model = model
         self._model_goal = goal if result == SAT else None
         if self._use_cache and result != UNKNOWN:
@@ -287,6 +398,74 @@ class Solver:
                 self.last_unknown_reason = "conflict-limit"
         return result
 
+    def _check_sliced(
+        self, components: list[list[Term]], extra: tuple[Term, ...]
+    ) -> tuple[str, dict[Term, object] | None]:
+        """Decide a multi-component goal component-wise.
+
+        Sound because components share no variables: the conjunction is SAT
+        iff every component is, any UNSAT component refutes the whole, and
+        a model of the whole is the union of per-component models.  Query
+        components (those touching ``extra``) are solved first — they carry
+        the new information and are the likely refutation — while path
+        components are usually warm verdict-cache hits.
+        """
+        self.stats.sliced_checks += 1
+        self.stats.slice_components += len(components)
+        query_idx = query_component_indices(
+            components, tuple(t for t in extra if t is not TRUE)
+        )
+        order = sorted(range(len(components)), key=lambda i: (i not in query_idx, i))
+        store = (
+            _PERSISTENT_STORE
+            if self._use_cache and active_injector() is None
+            else None
+        )
+        merged: dict[Term, object] = {}
+        model_complete = True
+        unknown = False
+        for i in order:
+            comp = components[i]
+            comp_key = frozenset(comp)
+            verdict: str | None = None
+            comp_model: dict[Term, object] | None = None
+            if self._use_cache:
+                hit = _GLOBAL_CHECK_CACHE.get(comp_key)
+                if hit is not None:
+                    self.stats.slice_cache_hits += 1
+                    verdict = hit
+            if verdict is None and store is not None:
+                from ..cache.keys import smt_query_key
+
+                hit = store.smt_lookup(smt_query_key(comp))
+                if hit is not None:
+                    self.stats.slice_cache_hits += 1
+                    self.stats.persistent_hits += 1
+                    verdict = hit
+                    _GLOBAL_CHECK_CACHE.put(comp_key, hit)
+            if verdict is None:
+                self.stats.slice_solves += 1
+                verdict, comp_model = self._solve_governed(comp)
+                if self._use_cache and verdict != UNKNOWN:
+                    _GLOBAL_CHECK_CACHE.put(comp_key, verdict)
+                    if store is not None:
+                        from ..cache.keys import smt_query_key
+
+                        store.smt_record(smt_query_key(comp), verdict)
+            if verdict == UNSAT:
+                # One unsatisfiable component refutes the conjunction; the
+                # remaining components need not be looked at at all.
+                return UNSAT, None
+            if verdict == UNKNOWN:
+                unknown = True
+            elif comp_model is not None:
+                merged.update(comp_model)
+            else:
+                model_complete = False  # cached SAT: model() recomputes lazily
+        if unknown:
+            return UNKNOWN, None
+        return SAT, merged if model_complete else None
+
     def is_valid(self, term: Term, *extra: Term) -> bool:
         """Is ``term`` entailed by the current assertions (plus ``extra``)?
 
@@ -302,19 +481,29 @@ class Solver:
         expensive refutation attempt against the wrong candidate would be
         wasted work."""
         if term is TRUE:
+            self.stats.quick_valid_hits += 1
             return True
         if term is FALSE:
+            self.stats.quick_valid_misses += 1
             return False
         goal = list(self._assertions) + [B.not_(term)]
-        return _quick_refutes(goal, 0)
+        proved = _quick_refutes(goal, 0)
+        if proved:
+            self.stats.quick_valid_hits += 1
+        else:
+            self.stats.quick_valid_misses += 1
+        return proved
 
     def model(self) -> dict[Term, object]:
         """A model for the last SAT :meth:`check` (variables -> int/bool)."""
         if self._model is None:
-            goal = getattr(self, "_model_goal", None)
+            goal = self._model_goal
             if goal is None:
                 raise RuntimeError("no model available (last check was not sat?)")
-            result, model = self._solve(goal)
+            # Lazy recompute after a cache hit runs through the governed
+            # ladder, honouring the solver's conflict budget instead of
+            # solving unboundedly.
+            result, model = self._solve_governed(goal)
             if result != SAT or model is None:
                 raise RuntimeError("no model available (last check was not sat?)")
             self._model = model
@@ -331,7 +520,10 @@ class Solver:
         rung at ``max_conflicts``); a budgeted solver escalates through the
         spec's conflict schedule before conceding ``unknown``.  Transient
         faults (from the ``bitblast`` site, or genuine) are retried a bounded
-        number of times at the current rung.
+        number of times at the current rung.  Rungs restart the *query* —
+        in incremental mode every rung reuses the persistent context, so
+        clauses learned under a cheap conflict budget still prune the search
+        at the expensive one.
         """
         if self._budget is None:
             schedule: list[int | None] = [self._max_conflicts]
@@ -342,7 +534,10 @@ class Solver:
         ladder = DegradationLadder(schedule, transient_retries=retries)
 
         def attempt(conflicts: int | None) -> tuple[str, dict[Term, object] | None]:
-            result = self._solve(goal, conflicts)
+            if self._mode.incremental:
+                result = self._solve_incremental(goal, conflicts)
+            else:
+                result = self._solve(goal, conflicts)
             if (
                 result[0] == UNKNOWN
                 and self.last_unknown_reason == "unsupported-operation"
@@ -362,41 +557,147 @@ class Solver:
                 self.last_unknown_reason = ladder.gave_up_reason
         return result, model  # type: ignore[return-value]
 
+    def _enumeration_split(
+        self, goal: list[Term], max_conflicts: int | None, depth: int
+    ) -> tuple[str, dict[Term, object] | None] | None:
+        """Small-domain enumeration: when the facts pin a variable into a
+        small interval (e.g. a loop counter with 0 <= m < n for concrete
+        n), case-split on its value — substitution constant-folds the whole
+        goal, which decides the ite-heavy loop-invariant side conditions
+        far faster than bit-blasting.  Returns ``None`` when no variable is
+        enumerable.  Sub-goals contain substituted one-off terms, so they
+        always go through the throwaway engine — encoding them into the
+        persistent context would bloat it with terms no later query shares.
+        """
+        if depth >= 3:
+            return None
+        split = _enumerable_var(goal)
+        if split is None:
+            return None
+        var, lo, hi = split
+        for val in range(lo, hi + 1):
+            binding = B.bv(val, var.sort.width)
+            sub_goal = [
+                t for t in (B.substitute(g, {var: binding}) for g in goal)
+                if t is not TRUE
+            ]
+            if any(t is FALSE for t in sub_goal):
+                continue
+            result, model = self._solve(sub_goal, max_conflicts, depth + 1)
+            if result == SAT:
+                model = dict(model or {})
+                model[var] = val
+                return SAT, model
+            if result == UNKNOWN:
+                return UNKNOWN, None
+        return UNSAT, None
+
+    def _context(self) -> _BitblastContext:
+        if self._ctx is None:
+            self._ctx = _BitblastContext()
+        return self._ctx
+
+    def _solve_incremental(
+        self, goal: list[Term], max_conflicts: int | None = None
+    ) -> tuple[str, dict[Term, object] | None]:
+        """Decide ``goal`` against the persistent context.
+
+        Word-level layers first (identical to the fresh path, so verdicts
+        are mode-independent); then encode the delta — terms the context
+        has never blasted — and solve under the goal's assumption literals.
+        Nothing is ever asserted at level 0, so the persistent core can
+        never be poisoned by a retracted scope.
+        """
+        if theory_refutes(goal):
+            return UNSAT, None
+        enumerated = self._enumeration_split(goal, max_conflicts, 0)
+        if enumerated is not None:
+            return enumerated
+        ctx = self._context()
+        t0 = perf_counter()
+        lits: list[int] = []
+        try:
+            for t in goal:
+                # Mirror the fresh path's per-term fault site: injected
+                # transient faults must perturb delta encoding too.
+                if fault_at("bitblast") == "transient":
+                    raise TransientFault("injected transient fault in bit-blaster")
+                lits.append(ctx.blaster.blast_bool(t))
+        except UnsupportedOperation:
+            self.stats.unsupported += 1
+            self.last_unknown_reason = "unsupported-operation"
+            return UNKNOWN, None
+        finally:
+            self.stats.encode_us += int((perf_counter() - t0) * 1e6)
+        budget = self._budget
+        clip = max_conflicts
+        if budget is not None:
+            clip = budget.clip_conflicts(max_conflicts)
+        if fault_at("sat.solve") == "unknown":
+            self.stats.injected_unknowns += 1
+            self.last_unknown_reason = "fault:sat.solve"
+            return UNKNOWN, None
+        conflicts_before = ctx.sat.stats.conflicts
+        t1 = perf_counter()
+        try:
+            outcome = ctx.sat.solve(assumptions=lits, max_conflicts=clip)
+        finally:
+            if budget is not None:
+                budget.charge_conflicts(ctx.sat.stats.conflicts - conflicts_before)
+            self.stats.solve_us += int((perf_counter() - t1) * 1e6)
+        self.stats.incremental_solves += 1
+        if outcome is None:
+            if (
+                budget is not None
+                and clip is not None
+                and (max_conflicts is None or clip < max_conflicts)
+            ):
+                budget.exhaust(
+                    "conflicts",
+                    f"allowance {budget.spec.conflict_allowance} spent mid-query",
+                )
+            return UNKNOWN, None
+        if not outcome:
+            return UNSAT, None
+        sat_model = ctx.sat.model()
+        true_lit = ctx.cnf._true
+
+        def lit_value(lit: int) -> bool:
+            if abs(lit) == true_lit:
+                return lit > 0
+            val = sat_model.get(abs(lit), False)
+            return val if lit > 0 else not val
+
+        # The persistent context knows variables from every query this
+        # solver ever ran; restrict the model to the goal's own variables.
+        goal_vars: set[Term] = set()
+        for t in goal:
+            goal_vars.update(term_vars(t))
+        model: dict[Term, object] = {}
+        for var, bits in ctx.blaster.var_bits.items():
+            if var in goal_vars:
+                model[var] = sum(1 << i for i, lit in enumerate(bits) if lit_value(lit))
+        for var, lit in ctx.blaster.var_lits.items():
+            if var in goal_vars:
+                model[var] = lit_value(lit)
+        return SAT, model
+
     def _solve(
         self, goal: list[Term], max_conflicts: int | None = None, depth: int = 0
     ) -> tuple[str, dict[Term, object] | None]:
+        """The throwaway engine: a fresh CDCL core per query.  Kept as the
+        ``--no-incremental`` baseline and for enumeration sub-goals."""
         # Word-level theory layer first: decides relational 64-bit goals
         # (ordering chains, interval bounds) without touching the SAT core.
         if theory_refutes(goal):
             return UNSAT, None
-        # Small-domain enumeration: when the facts pin a variable into a
-        # small interval (e.g. a loop counter with 0 <= m < n for concrete
-        # n), case-split on its value — substitution constant-folds the whole
-        # goal, which decides the ite-heavy loop-invariant side conditions
-        # far faster than bit-blasting.
-        if depth < 3:
-            split = _enumerable_var(goal)
-            if split is not None:
-                var, lo, hi = split
-                for val in range(lo, hi + 1):
-                    binding = B.bv(val, var.sort.width)
-                    sub_goal = [
-                        t for t in (B.substitute(g, {var: binding}) for g in goal)
-                        if t is not TRUE
-                    ]
-                    if any(t is FALSE for t in sub_goal):
-                        continue
-                    result, model = self._solve(sub_goal, max_conflicts, depth + 1)
-                    if result == SAT:
-                        model = dict(model or {})
-                        model[var] = val
-                        return SAT, model
-                    if result == UNKNOWN:
-                        return UNKNOWN, None
-                return UNSAT, None
+        enumerated = self._enumeration_split(goal, max_conflicts, depth)
+        if enumerated is not None:
+            return enumerated
         sat_solver = SatSolver()
         cnf = CnfBuilder(sat_solver)
         blaster = BitBlaster(cnf)
+        t0 = perf_counter()
         try:
             for t in goal:
                 blaster.assert_term(t)
@@ -406,6 +707,8 @@ class Solver:
             self.stats.unsupported += 1
             self.last_unknown_reason = "unsupported-operation"
             return UNKNOWN, None
+        finally:
+            self.stats.encode_us += int((perf_counter() - t0) * 1e6)
         budget = self._budget
         clip = max_conflicts
         if budget is not None:
@@ -414,11 +717,14 @@ class Solver:
             self.stats.injected_unknowns += 1
             self.last_unknown_reason = "fault:sat.solve"
             return UNKNOWN, None
+        t1 = perf_counter()
         try:
             outcome = sat_solver.solve(max_conflicts=clip)
         finally:
             if budget is not None:
                 budget.charge_conflicts(sat_solver.stats.conflicts)
+            self.stats.solve_us += int((perf_counter() - t1) * 1e6)
+        self.stats.fresh_solves += 1
         if outcome is None:
             if (
                 budget is not None

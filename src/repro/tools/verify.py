@@ -202,6 +202,16 @@ def main(argv: list[str] | None = None) -> int:
         help="per-site fault probability when --fault-seed is given",
     )
     parser.add_argument(
+        "--no-incremental", action="store_true",
+        help="disable the persistent bit-blast context (fresh SAT core per "
+             "query); also via $REPRO_NO_INCREMENTAL",
+    )
+    parser.add_argument(
+        "--no-slice", action="store_true",
+        help="disable connected-component goal slicing; also via "
+             "$REPRO_NO_SLICE",
+    )
+    parser.add_argument(
         "-v", "--verbose", action="store_true",
         help="print the per-block outcome report even on success",
     )
@@ -210,6 +220,21 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("give a case study name or --all")
     names = all_names if args.all else [args.case]
 
+    from ..smt.solver import (
+        SolverMode,
+        default_solver_mode,
+        set_default_solver_mode,
+    )
+
+    # Escape hatches: the flags narrow the process-wide default (worker
+    # payloads carry the resulting mode, so --jobs N obeys them too).
+    base_mode = default_solver_mode()
+    previous_mode = set_default_solver_mode(
+        SolverMode(
+            incremental=base_mode.incremental and not args.no_incremental,
+            slicing=base_mode.slicing and not args.no_slice,
+        )
+    )
     cache = _resolve_cache(args)
     pool = None
     if args.jobs > 1:
@@ -219,6 +244,7 @@ def main(argv: list[str] | None = None) -> int:
     try:
         ok = all([run_one(name, args.n, args, pool=pool, cache=cache) for name in names])
     finally:
+        set_default_solver_mode(previous_mode)
         if pool is not None:
             pool.close()
         if cache is not None:

@@ -1,0 +1,67 @@
+"""``repro.analysis`` — static analysis over the ITL/SMT layer.
+
+Three passes plus a lint driver (:mod:`repro.tools.lint`):
+
+- :mod:`repro.analysis.wellformed` — linear-time well-sortedness / SSA
+  checker for ITL traces (the judgement §4's operational semantics assumes);
+- :mod:`repro.analysis.footprint` — per-opcode static register/memory
+  read-write sets with a ``may_interfere`` predicate, feeding the parallel
+  scheduler and the coarse trace-cache keys;
+- :mod:`repro.analysis.framelint` — diffs case-study pre/postconditions
+  against inferred footprints (unframed writes are errors, dead spec
+  clauses are warnings).
+
+Findings share a small severity lattice with stable codes
+(:mod:`repro.analysis.findings`).
+"""
+
+from .findings import (
+    ERROR,
+    INFO,
+    WARNING,
+    Finding,
+    max_severity,
+    render_findings,
+    worst_severity,
+)
+from .footprint import (
+    Footprint,
+    MemRegion,
+    block_footprints,
+    footprint_of_trace,
+    interference_groups,
+    may_interfere,
+    trace_read_regs,
+)
+from .framelint import lint_case, lint_specs
+from .wellformed import (
+    WellFormednessError,
+    assert_wellformed,
+    check_trace,
+    debug_checks_enabled,
+    is_wellformed,
+)
+
+__all__ = [
+    "ERROR",
+    "INFO",
+    "WARNING",
+    "Finding",
+    "Footprint",
+    "MemRegion",
+    "WellFormednessError",
+    "assert_wellformed",
+    "block_footprints",
+    "check_trace",
+    "debug_checks_enabled",
+    "footprint_of_trace",
+    "interference_groups",
+    "is_wellformed",
+    "lint_case",
+    "lint_specs",
+    "max_severity",
+    "may_interfere",
+    "render_findings",
+    "trace_read_regs",
+    "worst_severity",
+]

@@ -1,0 +1,112 @@
+"""Findings: the shared result type of every static-analysis pass.
+
+Severities form a three-point lattice ``error > warning > info``; a pass
+may only *raise* the severity of a situation it understands better, never
+silently lower it.  Codes are stable identifiers (``WF*`` well-formedness,
+``FP*`` footprint, ``FL*`` frame lint) that tests, the mutation-detection
+suite, and downstream tooling match on — change a code's meaning, mint a
+new code.
+
+Code inventory:
+
+===== ======== ==================================================
+code  severity meaning
+===== ======== ==================================================
+WF001 error    ill-sorted SMT term (width/sort mismatch in the DAG)
+WF002 error    variable used before its definition (SSA violation)
+WF003 error    variable defined twice (SSA violation)
+WF004 error    register event width differs from the declaration
+WF005 error    memory event data width differs from ``8 * size``
+WF006 error    ``Assert``/``Assume`` body is not Bool
+WF007 error    ``DeclareConst``/``DefineConst`` var/expr sort mismatch
+WF008 error    memory address is not a bitvector
+WF009 error    undeclared external variable (strict mode only)
+FP001 info     memory access with no base-register ± offset shape
+FL001 error    instruction writes a register no spec mentions
+FL002 warning  spec constrains a register outside the footprint
+===== ======== ==================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+SEVERITIES = (ERROR, WARNING, INFO)
+
+#: Lattice rank; higher is more severe.
+_RANK = {ERROR: 2, WARNING: 1, INFO: 0}
+
+
+def max_severity(*severities: str) -> str:
+    """The join (most severe) of the given severities (``info`` if none)."""
+    result = INFO
+    for severity in severities:
+        if severity not in _RANK:
+            raise ValueError(f"unknown severity {severity!r}")
+        if _RANK[severity] > _RANK[result]:
+            result = severity
+    return result
+
+
+def worst_severity(findings) -> str | None:
+    """The most severe severity among ``findings`` (``None`` when empty)."""
+    severities = [f.severity for f in findings]
+    return max_severity(*severities) if severities else None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static-analysis diagnostic.
+
+    ``where`` is a free-form location (pass-dependent): an event index path
+    like ``events[3]`` or ``cases[1].events[0]``, a register name, etc.
+    ``case``/``addr`` identify the case study and instruction address when
+    the pass runs over a shipped program (``None`` for bare traces).
+    """
+
+    code: str
+    severity: str
+    message: str
+    where: str = ""
+    case: str | None = None
+    addr: int | None = None
+    detail: dict = field(default_factory=dict, compare=False)
+
+    def render(self) -> str:
+        place = []
+        if self.case is not None:
+            place.append(self.case)
+        if self.addr is not None:
+            place.append(f"0x{self.addr:x}")
+        if self.where:
+            place.append(self.where)
+        location = ":".join(place)
+        prefix = f"{location}: " if location else ""
+        return f"{prefix}{self.severity} [{self.code}] {self.message}"
+
+    def to_json(self) -> dict:
+        out = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "where": self.where,
+        }
+        if self.case is not None:
+            out["case"] = self.case
+        if self.addr is not None:
+            out["addr"] = self.addr
+        if self.detail:
+            out["detail"] = self.detail
+        return out
+
+
+def render_findings(findings) -> str:
+    """Human-readable multi-line rendering, most severe first."""
+    ordered = sorted(
+        findings, key=lambda f: (-_RANK[f.severity], f.code, f.case or "", f.addr or 0)
+    )
+    return "\n".join(f.render() for f in ordered)

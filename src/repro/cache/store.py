@@ -27,7 +27,7 @@ import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from ..smt.sorts import BOOL, bv_sort
+from ..smt.sorts import sort_from_text, sort_to_text
 from .keys import CACHE_FORMAT_VERSION
 
 
@@ -38,11 +38,20 @@ class CacheStats:
     trace_hits: int = 0
     trace_misses: int = 0
     trace_writes: int = 0
+    #: Hits served through a footprint-coarsened key (subset of trace_hits).
+    trace_coarse_hits: int = 0
+    #: Writes of coarse-key aliases (not counted in trace_writes: aliases
+    #: are an index detail, one logical trace is still one write).
+    trace_coarse_writes: int = 0
     smt_hits: int = 0
     smt_misses: int = 0
     smt_records: int = 0
     smt_loaded: int = 0
     corrupt_entries: int = 0
+    #: Entries that parsed but failed the well-formedness check (subset of
+    #: corrupt_entries); each is evicted on sight.
+    wellformed_rejects: int = 0
+    fp_index_writes: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return dict(self.__dict__)
@@ -53,16 +62,10 @@ class CacheStats:
             setattr(self, key, getattr(self, key, 0) + value)
 
 
-def _sort_text(sort) -> str:
-    return "bool" if sort.is_bool() else f"bv{sort.width}"
-
-
-def _sort_from_text(text: str):
-    if text == "bool":
-        return BOOL
-    if text.startswith("bv"):
-        return bv_sort(int(text[2:]))
-    raise ValueError(f"unknown sort text {text!r}")
+# Historical aliases for the shared sort-text helpers (kept: the worker
+# payload codecs import them under these names).
+_sort_text = sort_to_text
+_sort_from_text = sort_from_text
 
 
 @dataclass
@@ -84,8 +87,10 @@ class DiskCache:
         self._smt_path = self._base / "smt" / "verdicts.jsonl"
         self._traces.mkdir(parents=True, exist_ok=True)
         self._smt_path.parent.mkdir(parents=True, exist_ok=True)
+        self._fp_path = self._base / "traces" / "footprints.jsonl"
         self._smt: dict[str, str] = {}
         self._smt_pending: list[str] = []
+        self._fp: dict[str, list[str]] | None = None  # lazy
         self._load_smt()
 
     # -- trace store --------------------------------------------------------
@@ -93,11 +98,16 @@ class DiskCache:
     def _trace_path(self, key: str) -> Path:
         return self._traces / key[:2] / f"{key}.itl"
 
-    def load_trace(self, key: str):
+    def load_trace(self, key: str, coarse: bool = False):
         """Return ``(trace, meta)`` for a cached Isla result, or ``None``.
 
         ``meta`` carries the stored execution metrics (``paths``,
-        ``model_calls``, ``model_steps``, ``solver_checks``).
+        ``model_calls``, ``model_steps``, ``solver_checks``).  An entry
+        that parses but fails the well-formedness checker is treated
+        exactly like a torn write: counted, *evicted*, and reported as a
+        miss — a cache must never be able to feed the proof pipeline an
+        ill-formed trace (hand-edited file, version-skewed grammar, bit
+        rot past the length check).
         """
         from ..itl.parser import parse_trace
 
@@ -125,10 +135,23 @@ class DiskCache:
             self.stats.corrupt_entries += 1
             self.stats.trace_misses += 1
             return None
+        from ..analysis.wellformed import is_wellformed
+
+        if not is_wellformed(trace):
+            self.stats.wellformed_rejects += 1
+            self.stats.corrupt_entries += 1
+            self.stats.trace_misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
         self.stats.trace_hits += 1
+        if coarse:
+            self.stats.trace_coarse_hits += 1
         return trace, meta
 
-    def store_trace(self, key: str, trace, meta: dict) -> None:
+    def store_trace(self, key: str, trace, meta: dict, coarse: bool = False) -> None:
         """Persist a *complete* Isla result atomically.
 
         ``meta`` must already carry the metrics; the external-variable
@@ -165,7 +188,57 @@ class DiskCache:
             except OSError:
                 pass
             return  # a full disk must not fail the run
-        self.stats.trace_writes += 1
+        if coarse:
+            self.stats.trace_coarse_writes += 1
+        else:
+            self.stats.trace_writes += 1
+
+    # -- footprint (read-set) index -----------------------------------------
+    #
+    # Maps ``footprint_index_key(model, opcode, prefix)`` to the register
+    # read set of a completed run, enabling coarse trace lookups: a reader
+    # restricts its assumptions to the recorded read set and probes the
+    # coarse key.  Append-only JSONL with last-record-wins, same torn-line
+    # tolerance as the SMT store.
+
+    def _load_fp(self) -> dict[str, list[str]]:
+        if self._fp is None:
+            self._fp = {}
+            try:
+                text = self._fp_path.read_text()
+            except OSError:
+                return self._fp
+            for line in text.splitlines():
+                try:
+                    record = json.loads(line)
+                    self._fp[record["k"]] = list(record["regs"])
+                except (ValueError, KeyError, TypeError):
+                    self.stats.corrupt_entries += 1
+        return self._fp
+
+    def load_footprint(self, key: str) -> list[str] | None:
+        """The recorded register read set for an index key, or ``None``."""
+        return self._load_fp().get(key)
+
+    def store_footprint(self, key: str, regs) -> None:
+        """Record the read set of a completed run (idempotent)."""
+        regs = sorted(str(r) for r in regs)
+        index = self._load_fp()
+        if index.get(key) == regs:
+            return
+        index[key] = regs
+        line = json.dumps({"k": key, "regs": regs}, sort_keys=True) + "\n"
+        try:
+            fd = os.open(
+                self._fp_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            try:
+                os.write(fd, line.encode())
+            finally:
+                os.close(fd)
+        except OSError:
+            return  # losing the index only costs coarse hits
+        self.stats.fp_index_writes += 1
 
     # -- SMT verdict store --------------------------------------------------
 

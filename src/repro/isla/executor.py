@@ -260,6 +260,50 @@ class IslaResult:
 _TRANSIENT_RETRIES = 3
 
 
+def _coarse_enabled() -> bool:
+    import os
+
+    return not os.environ.get("REPRO_NO_COARSE")
+
+
+def _coarse_lookup(cache, model, opcode, assumptions, name_prefix):
+    """Probe the cache through the footprint-coarsened key.
+
+    A prior complete run recorded its register read set in the footprint
+    index; if the current assumptions agree with the recorded run on that
+    read set, the coarse key matches and the cached trace is — provably —
+    the trace this run would generate (execution is deterministic given
+    the constraints over the registers it reads).
+    """
+    if not _coarse_enabled():
+        return None
+    from ..cache.keys import coarse_trace_key, footprint_index_key
+    from ..itl.events import Reg
+
+    fkey = footprint_index_key(model, opcode, name_prefix)
+    reg_names = cache.load_footprint(fkey)
+    if reg_names is None:
+        return None
+    read_regs = frozenset(Reg.parse(name) for name in reg_names)
+    ckey = coarse_trace_key(model, opcode, assumptions, read_regs, name_prefix)
+    return cache.load_trace(ckey, coarse=True)
+
+
+def _coarse_store(
+    cache, model, opcode, assumptions, name_prefix, read_regs, trace, meta
+) -> None:
+    """Record a completed run under its coarse key plus the read-set index."""
+    if not _coarse_enabled():
+        return
+    from ..cache.keys import coarse_trace_key, footprint_index_key
+
+    ckey = coarse_trace_key(model, opcode, assumptions, read_regs, name_prefix)
+    cache.store_trace(ckey, trace, meta, coarse=True)
+    cache.store_footprint(
+        footprint_index_key(model, opcode, name_prefix), read_regs
+    )
+
+
 def trace_for_opcode(
     model: IsaModel,
     opcode: int | Term,
@@ -300,6 +344,8 @@ def trace_for_opcode(
 
         key = trace_key(model, opcode, assumptions, name_prefix)
         hit = cache.load_trace(key)
+        if hit is None:
+            hit = _coarse_lookup(cache, model, opcode, assumptions, name_prefix)
         if hit is not None:
             trace, meta = hit
             return IslaResult(
@@ -388,10 +434,22 @@ def trace_for_opcode(
 
     partial: IslaResult | None = None
     if runs:
-        trace = _build_tree(runs, 0)
+        raw = _build_tree(runs, 0)
+        from ..analysis.footprint import trace_read_regs
         from .footprint import simplify_trace
 
-        trace = simplify_trace(trace)
+        # The read set must come from the *raw* tree: simplification drops
+        # dead ReadRegs whose register the model nonetheless consulted, and
+        # the coarse cache key is only sound over the full read set.
+        read_regs = trace_read_regs(raw)
+        trace = simplify_trace(raw)
+        from ..analysis.wellformed import maybe_assert_wellformed
+
+        maybe_assert_wellformed(
+            trace,
+            model.regfile,
+            where=f"trace_for_opcode({opcode!r})",
+        )
         result = IslaResult(
             trace,
             len(runs),
@@ -403,16 +461,18 @@ def trace_for_opcode(
         )
         if exhausted is None:
             if key is not None:
-                cache.store_trace(
-                    key,
-                    trace,
-                    {
-                        "paths": result.paths,
-                        "model_calls": result.model_calls,
-                        "model_steps": result.model_steps,
-                        "solver_checks": result.solver_checks,
-                        "checks_skipped": result.checks_skipped,
-                    },
+                meta = {
+                    "paths": result.paths,
+                    "model_calls": result.model_calls,
+                    "model_steps": result.model_steps,
+                    "solver_checks": result.solver_checks,
+                    "checks_skipped": result.checks_skipped,
+                    "read_regs": sorted(str(r) for r in read_regs),
+                }
+                cache.store_trace(key, trace, meta)
+                _coarse_store(
+                    cache, model, opcode, assumptions, name_prefix,
+                    read_regs, trace, meta,
                 )
             return result
         partial = result

@@ -27,6 +27,7 @@ successful Islaris verification rules out (Theorem 1).
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -45,6 +46,34 @@ class Failure(Exception):
     def __init__(self, reason: str):
         super().__init__(reason)
         self.reason = reason
+
+
+#: Traces that already passed the pre-replay well-formedness check.  Keyed
+#: by value (Trace is a frozen dataclass), so structurally equal traces
+#: share a verdict; weak so the memo never outlives the traces.
+_wf_checked: "weakref.WeakSet[Trace]" = weakref.WeakSet()
+
+
+def _check_wellformed(trace: Trace) -> None:
+    """Reject an ill-formed trace before replaying it (⊥, not a crash).
+
+    The operational semantics only makes sense over well-formed traces; an
+    ill-sorted term or SSA violation would otherwise surface as a stuck
+    expression deep inside ``evaluate``.  Skipped under ``python -O`` /
+    ``REPRO_WF_CHECK=0``, memoised per trace otherwise.
+    """
+    from ..analysis.wellformed import debug_checks_enabled, is_wellformed
+
+    if not debug_checks_enabled() or trace in _wf_checked:
+        return
+    if not is_wellformed(trace):
+        from ..analysis.wellformed import check_trace
+
+        first = next(iter(check_trace(trace)), None)
+        raise Failure(
+            "ill-formed trace: " + (first.render() if first else "unknown")
+        )
+    _wf_checked.add(trace)
 
 
 class Discarded(Exception):
@@ -113,7 +142,11 @@ class Runner:
 
         Raises :class:`Failure` for ⊥ and :class:`Discarded` for ⊤.
         """
-        env = env if env is not None else {}
+        if env is None:
+            # Top-level entry (sub-case replays share their parent's env
+            # and were covered by the parent's check).
+            _check_wellformed(trace)
+            env = {}
         for idx, event in enumerate(trace.events):
             self.events += 1
             self._step(event, env)

@@ -88,6 +88,11 @@ class RunReport:
     solver_stats: dict[str, int] = field(default_factory=dict)
     cache_stats: dict[str, int] = field(default_factory=dict)
     faults: tuple = ()  # tuple[FaultEvent, ...]
+    #: Interference grouping used by the parallel driver: a tuple of tuples
+    #: of block addresses; blocks in different groups have provably
+    #: disjoint footprints.  Empty for serial runs (informational only —
+    #: the merge is address-ordered, so grouping never affects results).
+    schedule_groups: tuple = ()
 
     @property
     def outcome(self) -> str:

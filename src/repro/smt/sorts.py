@@ -46,6 +46,22 @@ class BitVecSort(Sort):
 
 BOOL = BoolSort()
 
+
+def sort_to_text(sort: Sort) -> str:
+    """Compact textual form (``bool`` / ``bv<N>``) used by the on-disk
+    stores and the static-analysis finding messages."""
+    return "bool" if sort.is_bool() else f"bv{sort.width}"  # type: ignore[attr-defined]
+
+
+def sort_from_text(text: str) -> Sort:
+    """Inverse of :func:`sort_to_text`."""
+    if text == "bool":
+        return BOOL
+    if text.startswith("bv"):
+        return bv_sort(int(text[2:]))
+    raise ValueError(f"unknown sort text {text!r}")
+
+
 _BV_CACHE: dict[int, BitVecSort] = {}
 
 

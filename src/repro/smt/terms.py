@@ -268,6 +268,127 @@ TRUE = mk_bool_value(True)
 FALSE = mk_bool_value(False)
 
 
+class IllSortedTerm(TypeError):
+    """A term whose recorded sort disagrees with its structure.
+
+    ``mk_term`` trusts the sort the caller supplies (the smart constructors
+    in :mod:`repro.smt.builder` always pass a correct one), so a buggy
+    simplification pass, a corrupt cache entry, or a hand-built term can
+    smuggle in a node whose recorded sort does not follow from its
+    children.  :func:`infer_sort` detects exactly that.
+    """
+
+
+def _infer_node_sort(t: Term) -> Sort:
+    """The sort ``t``'s operator and children *imply* (ignores ``t.sort``)."""
+    op = t.op
+    if op in (VAR, BVVAL, BOOLVAL):
+        if op == BVVAL:
+            value, width = t.attrs
+            if not isinstance(width, int) or width <= 0:
+                raise IllSortedTerm(f"bvval with bad width {width!r}")
+            if not isinstance(value, int) or value < 0 or value >> width:
+                raise IllSortedTerm(
+                    f"bvval value {value!r} out of range for width {width}"
+                )
+            return bv_sort(width)
+        if op == BOOLVAL:
+            return BOOL
+        return t.attrs[1]  # a variable's sort is part of its identity
+    if op == NOT:
+        (a,) = t.args
+        check_bool(a, op)
+        return BOOL
+    if op in BOOL_NARY or op == IMPLIES:
+        if len(t.args) < 2:
+            raise IllSortedTerm(f"{op} needs at least two operands")
+        for a in t.args:
+            check_bool(a, op)
+        return BOOL
+    if op == EQ:
+        a, b = t.args
+        if a.sort != b.sort:
+            raise IllSortedTerm(f"=: sort mismatch {a.sort!r} vs {b.sort!r}")
+        return BOOL
+    if op == ITE:
+        cond, then, els = t.args
+        check_bool(cond, op)
+        if then.sort != els.sort:
+            raise IllSortedTerm(f"ite: sort mismatch {then.sort!r} vs {els.sort!r}")
+        return then.sort
+    if op in BV_BINOPS:
+        a, b = t.args
+        return bv_sort(check_same_width(a, b, op))
+    if op in (BVNEG, BVNOT):
+        (a,) = t.args
+        return bv_sort(check_bv(a, op))
+    if op in BV_CMPS:
+        a, b = t.args
+        check_same_width(a, b, op)
+        return BOOL
+    if op == CONCAT:
+        hi, lo = t.args
+        return bv_sort(check_bv(hi, op) + check_bv(lo, op))
+    if op == EXTRACT:
+        (a,) = t.args
+        hi, lo = t.attrs
+        w = check_bv(a, op)
+        if not (isinstance(hi, int) and isinstance(lo, int) and 0 <= lo <= hi < w):
+            raise IllSortedTerm(f"extract [{hi}:{lo}] out of range for width {w}")
+        return bv_sort(hi - lo + 1)
+    if op in (ZERO_EXTEND, SIGN_EXTEND):
+        (a,) = t.args
+        (extra,) = t.attrs
+        w = check_bv(a, op)
+        if not isinstance(extra, int) or extra < 0:
+            raise IllSortedTerm(f"{op}: bad extension {extra!r}")
+        return bv_sort(w + extra)
+    raise IllSortedTerm(f"unknown operator {op!r}")
+
+
+def infer_sort(term: Term) -> Sort:
+    """Recompute and validate the sort of every node of ``term``'s DAG.
+
+    Returns the (validated) sort of the root.  Raises :class:`IllSortedTerm`
+    on the first node whose recorded sort does not follow from its operator,
+    children, and attributes — the well-sortedness judgement of the ITL
+    static checker.  Linear in the number of distinct DAG nodes; results are
+    memoised process-wide by uid (terms are interned forever).
+    """
+    verified = _SORT_VERIFIED
+    if term.uid in verified:
+        return term.sort
+    stack = [term]
+    while stack:
+        t = stack[-1]
+        if t.uid in verified:
+            stack.pop()
+            continue
+        pending = [c for c in t.args if c.uid not in verified]
+        if pending:
+            stack.extend(pending)
+            continue
+        try:
+            inferred = _infer_node_sort(t)
+        except IllSortedTerm:
+            raise
+        except TypeError as exc:
+            # check_bv/check_same_width/check_bool raise plain TypeError.
+            raise IllSortedTerm(str(exc)) from None
+        if inferred != t.sort:
+            raise IllSortedTerm(
+                f"term {t.op!r} recorded sort {t.sort!r} but structure "
+                f"implies {inferred!r}"
+            )
+        verified.add(t.uid)
+        stack.pop()
+    return term.sort
+
+
+#: uids of terms whose whole DAG already passed :func:`infer_sort`.
+_SORT_VERIFIED: set[int] = set()
+
+
 def check_bv(term: Term, context: str) -> int:
     if not isinstance(term.sort, BitVecSort):
         raise TypeError(f"{context}: expected bitvector, got {term.sort!r}")

@@ -1,0 +1,143 @@
+"""CLI: static analysis over case studies — no SMT solving, no proofs.
+
+Runs the :mod:`repro.analysis` passes over one case study (or all of
+them): every generated ITL trace goes through the well-sortedness / SSA
+checker (``WF*`` codes, widths checked against the architecture's register
+file), and the case's specs are diffed against the inferred per-opcode
+footprints (``FL001`` unframed write, ``FL002`` dead spec clause,
+``FP001`` unknown memory shape).
+
+The exit status is non-zero iff any *error*-severity finding was reported;
+warnings and infos are advisory.  Building a case runs the symbolic
+executor, so pointing ``--cache-dir`` (or ``$REPRO_CACHE_DIR``) at the
+same cache the verifier uses makes linting near-instant.
+
+Examples::
+
+    python -m repro.tools.lint rbit
+    python -m repro.tools.lint --all
+    python -m repro.tools.lint memcpy_arm --json report.json
+    python -m repro.tools.lint --all --json -        # JSON to stdout
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def _resolve_cache(args):
+    if args.no_cache:
+        return None
+    path = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    if not path:
+        return None
+    from ..cache import DiskCache
+
+    return DiskCache(path)
+
+
+def _build_kwargs(module, n):
+    import inspect
+
+    if n is not None and "n" in inspect.signature(module.build).parameters:
+        return {"n": n}
+    return {}
+
+
+def lint_one(name: str, n: int | None, cache=None):
+    """Build one case study (serially) and lint it; returns the findings."""
+    from .. import casestudies
+    from ..analysis.framelint import lint_case
+    from ..parallel.config import configured
+
+    module = getattr(casestudies, name)
+    with configured(jobs=1, cache=cache):
+        case = module.build(**_build_kwargs(module, n))
+    if cache is not None:
+        cache.flush()
+    return lint_case(name, case=case)
+
+
+def _counts(findings) -> dict[str, int]:
+    from ..analysis.findings import ERROR, INFO, WARNING
+
+    out = {"errors": 0, "warnings": 0, "infos": 0}
+    for f in findings:
+        key = {ERROR: "errors", WARNING: "warnings", INFO: "infos"}[f.severity]
+        out[key] += 1
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    from .. import casestudies
+
+    all_names = list(casestudies.__all__)
+    parser = argparse.ArgumentParser(prog="repro.tools.lint", description=__doc__)
+    parser.add_argument("case", nargs="?", choices=all_names)
+    parser.add_argument("--all", action="store_true", help="lint every case study")
+    parser.add_argument(
+        "--n", type=int, default=None, help="array length where applicable"
+    )
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write findings as JSON to PATH ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="on-disk trace cache (default: $REPRO_CACHE_DIR if set)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="ignore any configured cache"
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress per-finding output (summary lines only)",
+    )
+    args = parser.parse_args(argv)
+    if not args.all and not args.case:
+        parser.error("give a case study name or --all")
+    names = all_names if args.all else [args.case]
+
+    from ..analysis.findings import render_findings
+
+    cache = _resolve_cache(args)
+    payload: dict = {"cases": {}, "ok": True}
+    total_errors = 0
+    try:
+        for name in names:
+            findings = lint_one(name, args.n, cache=cache)
+            counts = _counts(findings)
+            total_errors += counts["errors"]
+            payload["cases"][name] = {
+                "findings": [f.to_json() for f in findings],
+                **counts,
+            }
+            summary = (
+                f"{name}: {counts['errors']} error(s), "
+                f"{counts['warnings']} warning(s), {counts['infos']} info(s)"
+            )
+            if args.json != "-":
+                print(summary)
+                if findings and not args.quiet:
+                    for line in render_findings(findings).splitlines():
+                        print(f"  {line}")
+    finally:
+        if cache is not None:
+            cache.flush()
+    payload["ok"] = total_errors == 0
+
+    if args.json == "-":
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        print()
+    elif args.json:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0 if total_errors == 0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -74,7 +74,7 @@ def _run_serial(module, name, kwargs, args, cache):
 
     from ..logic.automation import verify_program
     from ..parallel.config import configured
-    from ..parallel.scheduler import pc_for
+    from ..parallel.scheduler import _block_groups, pc_for
     from ..resilience import Budget, FaultInjector, inject
     from ..smt.solver import install_persistent_check_store
 
@@ -100,6 +100,11 @@ def _run_serial(module, name, kwargs, args, cache):
         install_persistent_check_store(previous)
         if cache is not None:
             cache.flush()
+    # Mirror the parallel driver: report the footprint grouping even though
+    # the serial path does not act on it (stats stay jobs-invariant).
+    report.schedule_groups = tuple(
+        tuple(group) for group in _block_groups(case, module)
+    )
     timings = f"isla {t1 - t0:.2f}s, verify {t2 - t1:.2f}s"
     return case, report, timings
 
@@ -123,7 +128,37 @@ def _run_parallel(module, name, kwargs, args, cache, pool):
     return case, report, timings
 
 
-def run_one(name: str, n: int | None, args, pool=None, cache=None) -> bool:
+def _executor_stats(case) -> dict[str, int]:
+    """Sum the per-opcode execution metrics across a case's frontend."""
+    totals = {
+        "paths": 0, "model_calls": 0, "model_steps": 0,
+        "solver_checks": 0, "checks_skipped": 0, "cached_traces": 0,
+    }
+    for result in case.frontend.results.values():
+        totals["paths"] += result.paths
+        totals["model_calls"] += result.model_calls
+        totals["model_steps"] += result.model_steps
+        totals["solver_checks"] += result.solver_checks
+        totals["checks_skipped"] += result.checks_skipped
+        totals["cached_traces"] += bool(result.cached)
+    return totals
+
+
+def _case_stats(case, report) -> dict:
+    """The merged solver/executor/cache stats payload for --stats-json."""
+    return {
+        "outcome": report.outcome,
+        "blocks": len(report.blocks),
+        "solver": dict(report.solver_stats),
+        "cache": dict(report.cache_stats),
+        "executor": _executor_stats(case),
+        "schedule_groups": [list(g) for g in report.schedule_groups],
+    }
+
+
+def run_one(
+    name: str, n: int | None, args, pool=None, cache=None, stats_out=None
+) -> bool:
     from .. import casestudies
     from ..logic.checker import CheckFailure, check_proof
 
@@ -147,6 +182,9 @@ def run_one(name: str, n: int | None, args, pool=None, cache=None) -> bool:
         print(f"{name}: CHECK FAILED: {exc}", file=sys.stderr)
         return False
     t3 = time.perf_counter()
+
+    if stats_out is not None:
+        stats_out[name] = _case_stats(case, report)
 
     proof = report.proof
     status = "OK" if report.ok else report.outcome.upper()
@@ -212,6 +250,11 @@ def main(argv: list[str] | None = None) -> int:
              "$REPRO_NO_SLICE",
     )
     parser.add_argument(
+        "--stats-json", default=None, metavar="PATH",
+        help="dump merged solver/executor/cache statistics as JSON to PATH "
+             "('-' for stdout)",
+    )
+    parser.add_argument(
         "-v", "--verbose", action="store_true",
         help="print the per-block outcome report even on success",
     )
@@ -241,8 +284,14 @@ def main(argv: list[str] | None = None) -> int:
         from ..parallel import WorkerPool
 
         pool = WorkerPool(args.jobs)
+    stats: dict = {}
     try:
-        ok = all([run_one(name, args.n, args, pool=pool, cache=cache) for name in names])
+        ok = all(
+            [
+                run_one(name, args.n, args, pool=pool, cache=cache, stats_out=stats)
+                for name in names
+            ]
+        )
     finally:
         set_default_solver_mode(previous_mode)
         if pool is not None:
@@ -251,6 +300,23 @@ def main(argv: list[str] | None = None) -> int:
             cache.flush()
             if args.verbose:
                 print(_render_cache_line(cache))
+    if args.stats_json:
+        import json
+
+        totals: dict[str, dict[str, int]] = {}
+        for entry in stats.values():
+            for group in ("solver", "cache", "executor"):
+                bucket = totals.setdefault(group, {})
+                for key, value in entry[group].items():
+                    bucket[key] = bucket.get(key, 0) + value
+        payload = {"cases": stats, "totals": totals, "ok": ok}
+        if args.stats_json == "-":
+            json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+            print()
+        else:
+            with open(args.stats_json, "w") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+            print(f"wrote {args.stats_json}")
     return 0 if ok else 1
 
 

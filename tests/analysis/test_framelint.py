@@ -1,0 +1,125 @@
+"""Spec-frame lint: FL001 unframed writes, FL002 dead clauses, FP001."""
+
+from repro.analysis import ERROR, INFO, WARNING, lint_case, worst_severity
+from repro.analysis.framelint import lint_specs, spec_mentioned_regs
+from repro.itl import DeclareConst, ReadReg, Reg, Trace, WriteReg
+from repro.logic.assertions import PredBuilder
+from repro.smt import builder as B
+from repro.smt.sorts import bv_sort
+
+X0 = Reg("X0")
+X1 = Reg("X1")
+X2 = Reg("X2")
+PC = Reg("_PC")
+
+
+def v(name, w=64):
+    return B.bv_var(name, w)
+
+
+def _mov_trace(dst, src):
+    x = v("x")
+    return Trace.lin(
+        DeclareConst(x, bv_sort(64)),
+        ReadReg(src, x),
+        WriteReg(dst, x),
+        WriteReg(PC, B.bv(0x400004, 64)),
+    )
+
+
+class TestSpecMentionedRegs:
+    def test_values_and_wildcards(self):
+        pred = (
+            PredBuilder().reg("X0", B.bv(1, 64)).reg_any("X1").build()
+        )
+        assert spec_mentioned_regs(pred) == {X0: True, X1: False}
+
+    def test_constrained_wins_over_wildcard(self):
+        pred = (
+            PredBuilder().reg_any("X0").reg("X0", B.bv(1, 64)).build()
+        )
+        assert spec_mentioned_regs(pred) == {X0: True}
+
+    def test_nested_instr_pre_counts(self):
+        inner = PredBuilder().reg_any("X2").build()
+        pred = PredBuilder().instr_pre(0x400004, inner).build()
+        assert spec_mentioned_regs(pred) == {X2: False}
+
+    def test_reg_col_entries(self):
+        pred = PredBuilder().reg_col("sys", {"X1": 7, "X2": None}).build()
+        assert spec_mentioned_regs(pred) == {X1: True, X2: False}
+
+
+class TestLintSpecs:
+    def test_clean_when_all_writes_framed(self):
+        traces = {0x400000: _mov_trace(X0, X1)}
+        specs = {0x400000: PredBuilder().reg_any("X0", "X1").build()}
+        assert lint_specs(traces, specs, PC) == []
+
+    def test_fl001_unframed_write(self):
+        traces = {0x400000: _mov_trace(X0, X1)}
+        specs = {0x400000: PredBuilder().reg_any("X1").build()}  # X0 missing
+        findings = lint_specs(traces, specs, PC, case="unit")
+        fl = [f for f in findings if f.code == "FL001"]
+        assert len(fl) == 1
+        assert fl[0].severity == ERROR
+        assert fl[0].where == "X0"
+        assert fl[0].addr == 0x400000
+        assert fl[0].detail["writers"] == ["0x400000"]
+
+    def test_pc_never_needs_a_frame(self):
+        traces = {0x400000: _mov_trace(X0, X1)}
+        specs = {0x400000: PredBuilder().reg_any("X0", "X1").build()}
+        assert not any(
+            f.where == str(PC) for f in lint_specs(traces, specs, PC)
+        )
+
+    def test_fl002_dead_constrained_clause(self):
+        traces = {0x400000: _mov_trace(X0, X1)}
+        specs = {
+            0x400000: (
+                PredBuilder()
+                .reg_any("X0", "X1")
+                .reg("X2", B.bv(9, 64))  # program never touches X2
+                .build()
+            )
+        }
+        findings = lint_specs(traces, specs, PC)
+        fl = [f for f in findings if f.code == "FL002"]
+        assert len(fl) == 1
+        assert fl[0].severity == WARNING
+        assert fl[0].where == "X2"
+
+    def test_wildcard_outside_footprint_is_fine(self):
+        # A wildcard frame on an untouched register is harmless ownership.
+        traces = {0x400000: _mov_trace(X0, X1)}
+        specs = {
+            0x400000: PredBuilder().reg_any("X0", "X1", "X2").build()
+        }
+        assert lint_specs(traces, specs, PC) == []
+
+    def test_fp001_unknown_memory_shape(self):
+        from repro.itl import WriteMem
+
+        a, b = v("a"), v("b")
+        t = Trace.lin(
+            DeclareConst(a, bv_sort(64)),
+            ReadReg(X0, a),
+            DeclareConst(b, bv_sort(64)),
+            ReadReg(X1, b),
+            WriteMem(B.bvadd(a, b), B.bv(0, 8), 1),
+        )
+        specs = {0x400000: PredBuilder().reg_any("X0", "X1").build()}
+        findings = lint_specs({0x400000: t}, specs, PC)
+        fp = [f for f in findings if f.code == "FP001"]
+        assert len(fp) == 1
+        assert fp[0].severity == INFO
+        assert fp[0].addr == 0x400000
+
+
+class TestLintCase:
+    def test_rbit_has_no_errors(self):
+        findings = lint_case("rbit")
+        assert worst_severity(findings) != ERROR
+        # Findings carry the case name for rendering.
+        assert all(f.case == "rbit" for f in findings)

@@ -1,0 +1,66 @@
+"""The lint CLI and the verify driver's --stats-json satellite."""
+
+import json
+
+from repro.tools.lint import main as lint_main
+from repro.tools.verify import main as verify_main
+
+
+class TestLintCli:
+    def test_clean_case_exits_zero(self, capsys):
+        assert lint_main(["rbit"]) == 0
+        out = capsys.readouterr().out
+        assert "rbit: 0 error(s)" in out
+
+    def test_json_payload_shape(self, tmp_path):
+        report = tmp_path / "report.json"
+        assert lint_main(["rbit", "--json", str(report)]) == 0
+        payload = json.loads(report.read_text())
+        assert payload["ok"] is True
+        case = payload["cases"]["rbit"]
+        assert case["errors"] == 0
+        for finding in case["findings"]:
+            assert {"code", "severity", "message"} <= set(finding)
+
+    def test_json_to_stdout(self, capsys):
+        assert lint_main(["rbit", "--json", "-"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "rbit" in payload["cases"]
+
+    def test_requires_a_case_or_all(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            lint_main([])
+
+    def test_cache_makes_lint_reuse_traces(self, tmp_path, capsys):
+        assert lint_main(["rbit", "--cache-dir", str(tmp_path)]) == 0
+        from repro.cache import DiskCache
+
+        warm = DiskCache(tmp_path)
+        assert lint_main(["rbit", "--cache-dir", str(tmp_path)]) == 0
+        # (A fresh handle was used inside main; just assert entries exist.)
+        assert any((tmp_path).rglob("*.itl"))
+
+
+class TestVerifyStatsJson:
+    def test_stats_payload(self, tmp_path, capsys):
+        stats = tmp_path / "stats.json"
+        assert verify_main(["rbit", "--stats-json", str(stats)]) == 0
+        payload = json.loads(stats.read_text())
+        assert payload["ok"] is True
+        case = payload["cases"]["rbit"]
+        assert case["outcome"] == "verified"
+        assert case["blocks"] == 1
+        for group in ("solver", "cache", "executor"):
+            assert isinstance(case[group], dict)
+            assert case[group].keys() <= payload["totals"][group].keys()
+        assert case["executor"]["paths"] >= 1
+        assert case["schedule_groups"] == [[0x400000]]
+
+    def test_stats_to_stdout(self, capsys):
+        assert verify_main(["rbit", "--stats-json", "-"]) == 0
+        out = capsys.readouterr().out
+        start = out.index("{")
+        payload = json.loads(out[start:])
+        assert "totals" in payload and "cases" in payload

@@ -1,0 +1,149 @@
+"""Property (hypothesis): ``simplify_trace`` preserves well-sortedness.
+
+The simplifier's passes — constant inlining, dead-read/dead-def
+elimination, trivial-assertion removal — must map well-formed traces to
+well-formed traces: inlining must not change a definition's sort, dropping
+a definition must not orphan a later use, and branch substitution must
+respect per-path scoping.  The generator below builds random well-formed
+trace trees (checked before the property is asserted, so a generator bug
+cannot masquerade as a simplifier bug) with deliberate dead reads,
+constant definitions, and trivial assertions to push every pass.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.analysis import check_trace
+from repro.isla.footprint import simplify_trace
+from repro.itl import (
+    Assert,
+    Assume,
+    DeclareConst,
+    DefineConst,
+    ReadMem,
+    ReadReg,
+    Reg,
+    Trace,
+    WriteMem,
+    WriteReg,
+)
+from repro.smt import builder as B
+from repro.smt.sorts import bv_sort
+
+REGS = [Reg("R0"), Reg("R1"), Reg("SP"), Reg("PSTATE", "Z"), Reg("_PC")]
+WIDTHS = [1, 8, 32, 64]
+
+
+@st.composite
+def _expr(draw, scope, width, depth=2):
+    """A well-sorted bitvector expression of exactly ``width`` bits."""
+    same = [t for t in scope if t.width == width]
+    options = ["lit"]
+    if same:
+        options.append("var")
+        if depth:
+            options.extend(["add", "not"])
+    narrower = [t for t in scope if t.width < width]
+    if narrower:
+        options.append("extend")
+    kind = draw(st.sampled_from(options))
+    if kind == "lit":
+        return B.bv(draw(st.integers(0, (1 << width) - 1)), width)
+    if kind == "var":
+        return draw(st.sampled_from(same))
+    if kind == "add":
+        a = draw(_expr(scope, width, depth - 1))
+        b = draw(_expr(scope, width, depth - 1))
+        return B.bvadd(a, b)
+    if kind == "not":
+        return B.bvnot(draw(_expr(scope, width, depth - 1)))
+    base = draw(st.sampled_from(narrower))
+    return B.zero_extend(width - base.width, base)
+
+
+@st.composite
+def _segment(draw, scope, counter, max_events=6):
+    """A linear run of events, growing ``scope`` (mutated in place)."""
+    events = []
+    for _ in range(draw(st.integers(0, max_events))):
+        kind = draw(
+            st.sampled_from(
+                ["declare", "define", "define-const", "read-reg",
+                 "write-reg", "mem", "assume", "trivial"]
+            )
+        )
+        width = draw(st.sampled_from(WIDTHS))
+        counter[0] += 1
+        name = f"g{counter[0]}"
+        if kind == "declare":
+            var = B.bv_var(name, width)
+            events.append(DeclareConst(var, bv_sort(width)))
+            scope.append(var)
+        elif kind == "define":
+            var = B.bv_var(name, width)
+            events.append(DefineConst(var, draw(_expr(scope, width))))
+            scope.append(var)
+        elif kind == "define-const":
+            # A literal body: exercises _inline_constant_defs.
+            var = B.bv_var(name, width)
+            value = B.bv(draw(st.integers(0, (1 << width) - 1)), width)
+            events.append(DefineConst(var, value))
+            scope.append(var)
+        elif kind == "read-reg":
+            # Bind a fresh var; often never used again (a dead read).
+            var = B.bv_var(name, 64)
+            events.append(DeclareConst(var, bv_sort(64)))
+            events.append(ReadReg(draw(st.sampled_from(REGS)), var))
+            scope.append(var)
+        elif kind == "write-reg":
+            events.append(
+                WriteReg(draw(st.sampled_from(REGS)), draw(_expr(scope, 64)))
+            )
+        elif kind == "mem":
+            nbytes = draw(st.sampled_from([1, 4, 8]))
+            addr = draw(_expr(scope, 64))
+            data = draw(_expr(scope, 8 * nbytes))
+            ctor = draw(st.sampled_from([ReadMem, WriteMem]))
+            if ctor is ReadMem:
+                events.append(ReadMem(data, addr, nbytes))
+            else:
+                events.append(WriteMem(addr, data, nbytes))
+        elif kind == "assume":
+            lhs = draw(_expr(scope, width))
+            rhs = draw(_expr(scope, width))
+            ctor = draw(st.sampled_from([Assert, Assume]))
+            events.append(ctor(B.eq(lhs, rhs)))
+        else:
+            events.append(draw(st.sampled_from([Assert, Assume]))(B.true()))
+    return events
+
+
+@st.composite
+def wf_trace(draw):
+    counter = [0]
+    scope: list = []
+    spine = draw(_segment(scope, counter))
+    if draw(st.booleans()):
+        cases = tuple(
+            Trace(tuple(draw(_segment(list(scope), counter))), None)
+            for _ in range(draw(st.integers(2, 3)))
+        )
+        return Trace(tuple(spine), cases)
+    return Trace(tuple(spine), None)
+
+
+@settings(max_examples=80, deadline=None)
+@given(wf_trace())
+def test_simplify_preserves_wellformedness(trace):
+    before = [f.render() for f in check_trace(trace)]
+    assert before == [], "generator emitted an ill-formed trace"
+    simplified = simplify_trace(trace)
+    after = [f.render() for f in check_trace(simplified)]
+    assert after == []
+
+
+@settings(max_examples=80, deadline=None)
+@given(wf_trace())
+def test_simplify_is_idempotent(trace):
+    once = simplify_trace(trace)
+    assert simplify_trace(once) == once

@@ -1,0 +1,201 @@
+"""The well-sortedness / SSA checker (WF001–WF009).
+
+Positive cases: hand-written well-formed traces, real executor output, and
+the per-path SSA discipline (sibling branches may reuse names).  Negative
+cases: one test per finding code, each built by hand so exactly the target
+judgement is violated.
+"""
+
+import pytest
+
+from repro.analysis import (
+    ERROR,
+    WellFormednessError,
+    assert_wellformed,
+    check_trace,
+    is_wellformed,
+)
+from repro.arch.arm import ArmModel
+from repro.isla import Assumptions, trace_for_opcode
+from repro.itl import (
+    Assert,
+    Assume,
+    AssumeReg,
+    DeclareConst,
+    DefineConst,
+    ReadMem,
+    ReadReg,
+    Reg,
+    Trace,
+    WriteMem,
+    WriteReg,
+)
+from repro.smt import builder as B
+from repro.smt.sorts import BOOL, bv_sort
+from repro.smt.terms import mk_term
+
+R0 = Reg("R0")
+R1 = Reg("R1")
+PC = Reg("_PC")
+
+
+def v(name, w=64):
+    return B.bv_var(name, w)
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class FakeRegFile:
+    """width_of with KeyError on unknown registers — the checker's contract."""
+
+    def __init__(self, widths):
+        self._widths = {Reg.parse(k): w for k, w in widths.items()}
+
+    def width_of(self, reg):
+        return self._widths[reg]
+
+
+REGFILE = FakeRegFile({"R0": 64, "R1": 64, "_PC": 64, "PSTATE.Z": 1})
+
+
+class TestWellFormed:
+    def test_clean_linear_trace(self):
+        x = v("x")
+        t = Trace.lin(
+            DeclareConst(x, bv_sort(64)),
+            ReadReg(R0, x),
+            DefineConst(v("y"), B.bvadd(x, B.bv(1, 64))),
+            WriteReg(R1, v("y")),
+            Assert(B.eq(x, B.bv(0, 64))),
+        )
+        assert check_trace(t, REGFILE) == []
+        assert is_wellformed(t, REGFILE)
+
+    def test_real_executor_trace(self):
+        arm = ArmModel()
+        assm = Assumptions().pin("PSTATE.EL", 2, 2).pin("PSTATE.SP", 1, 1)
+        res = trace_for_opcode(arm, 0x910103FF, assm)  # add sp, sp, #0x40
+        assert check_trace(res.trace, arm.regfile) == []
+
+    def test_sibling_branches_may_reuse_names(self):
+        # Each case is a separate symbolic run; SSA is per root-to-leaf path.
+        x = v("x")
+        branch = Trace.lin(
+            DeclareConst(x, bv_sort(64)), WriteReg(R0, x)
+        )
+        t = Trace((), cases=(branch, branch))
+        assert check_trace(t, REGFILE) == []
+
+    def test_extern_vars_accepted_by_default(self):
+        op = v("opcode", 32)
+        t = Trace.lin(Assume(B.eq(op, B.bv(7, 32))))
+        assert check_trace(t) == []
+
+    def test_assert_wellformed_raises_with_findings(self):
+        t = Trace.lin(Assert(B.bv(1, 1)))
+        with pytest.raises(WellFormednessError) as exc:
+            assert_wellformed(t, where="unit-test")
+        assert any(f.code == "WF006" for f in exc.value.findings)
+        assert "unit-test" in str(exc.value)
+
+    def test_max_findings_caps_output(self):
+        events = [Assert(B.bv(1, 1)) for _ in range(100)]
+        findings = check_trace(Trace.lin(*events), max_findings=5)
+        assert len(findings) == 5
+
+
+class TestNegativePerCode:
+    def test_wf001_ill_sorted_term(self):
+        # mk_term skips the smart-constructor checks: 64+32-bit bvadd.
+        bad = mk_term("bvadd", (v("a", 64), v("b", 32)), (), bv_sort(64))
+        t = Trace.lin(
+            DeclareConst(v("a", 64), bv_sort(64)),
+            DeclareConst(v("b", 32), bv_sort(32)),
+            DefineConst(v("c", 64), bad),
+        )
+        assert "WF001" in codes(check_trace(t))
+
+    def test_wf001_wrong_result_sort(self):
+        bad = mk_term("=", (v("a"), v("a")), (), bv_sort(1))  # = is Bool
+        t = Trace.lin(DefineConst(v("c", 1), bad))
+        assert "WF001" in codes(check_trace(t))
+
+    def test_wf002_use_before_definition(self):
+        x = v("x")
+        t = Trace.lin(WriteReg(R0, x), DeclareConst(x, bv_sort(64)))
+        assert "WF002" in codes(check_trace(t, REGFILE))
+
+    def test_wf002_sibling_branch_leak(self):
+        x = v("x")
+        defines = Trace.lin(DeclareConst(x, bv_sort(64)), WriteReg(R0, x))
+        uses = Trace.lin(WriteReg(R0, x))  # x not bound on this path
+        t = Trace((), cases=(defines, uses))
+        assert "WF002" in codes(check_trace(t, REGFILE))
+
+    def test_wf002_sort_inconsistent_use(self):
+        t = Trace.lin(
+            DeclareConst(v("x", 64), bv_sort(64)),
+            WriteReg(R0, B.zero_extend(32, v("x", 32))),
+        )
+        assert "WF002" in codes(check_trace(t, REGFILE))
+
+    def test_wf003_double_definition(self):
+        x = v("x")
+        t = Trace.lin(
+            DeclareConst(x, bv_sort(64)), DeclareConst(x, bv_sort(64))
+        )
+        assert "WF003" in codes(check_trace(t))
+
+    def test_wf004_register_width_mismatch(self):
+        t = Trace.lin(WriteReg(R0, B.bv(1, 32)))  # R0 is declared 64-bit
+        assert "WF004" in codes(check_trace(t, REGFILE))
+        # Without a register file the width cannot be judged: clean.
+        assert check_trace(t) == []
+
+    def test_wf004_unknown_register(self):
+        t = Trace.lin(ReadReg(Reg("NOPE"), B.bv(0, 64)))
+        assert "WF004" in codes(check_trace(t, REGFILE))
+
+    def test_wf004_bool_valued_register_event(self):
+        t = Trace.lin(AssumeReg(R0, B.true()))
+        assert "WF004" in codes(check_trace(t))
+
+    def test_wf005_memory_data_width(self):
+        t = Trace.lin(WriteMem(B.bv(0x1000, 64), B.bv(0, 32), 8))
+        assert "WF005" in codes(check_trace(t))
+
+    def test_wf005_bad_size(self):
+        t = Trace.lin(ReadMem(B.bv(0, 8), B.bv(0x1000, 64), 0))
+        assert "WF005" in codes(check_trace(t))
+
+    def test_wf006_non_bool_assertion(self):
+        assert "WF006" in codes(check_trace(Trace.lin(Assert(B.bv(1, 1)))))
+        assert "WF006" in codes(check_trace(Trace.lin(Assume(B.bv(1, 1)))))
+
+    def test_wf007_define_sort_mismatch(self):
+        t = Trace.lin(DefineConst(v("y", 64), B.bv(0, 32)))
+        assert "WF007" in codes(check_trace(t))
+
+    def test_wf007_declare_sort_mismatch(self):
+        t = Trace.lin(DeclareConst(v("x", 64), bv_sort(32)))
+        assert "WF007" in codes(check_trace(t))
+
+    def test_wf008_non_bitvector_address(self):
+        t = Trace.lin(ReadMem(B.bv(0, 8), B.var("p", BOOL), 1))
+        assert "WF008" in codes(check_trace(t))
+
+    def test_wf009_strict_mode_flags_externs(self):
+        t = Trace.lin(Assume(B.eq(v("opcode", 32), B.bv(7, 32))))
+        assert "WF009" in codes(check_trace(t, strict=True))
+
+    def test_extern_allow_set(self):
+        t = Trace.lin(Assume(B.eq(v("opcode", 32), B.bv(7, 32))))
+        assert check_trace(t, extern={"opcode"}) == []
+        assert "WF002" in codes(check_trace(t, extern={"other"}))
+
+    def test_all_negative_findings_are_errors(self):
+        t = Trace.lin(Assert(B.bv(1, 1)), WriteReg(R0, B.bv(0, 32)))
+        for f in check_trace(t, REGFILE):
+            assert f.severity == ERROR

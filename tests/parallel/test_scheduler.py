@@ -102,3 +102,24 @@ class TestVerifyCaseParallel:
         assert report.ok
         assert report.budget is not None
         assert report.budget.spec.conflict_allowance == 10_000_000
+
+
+class TestScheduleGroups:
+    """Footprint-driven block grouping (repro.analysis.footprint)."""
+
+    def test_groups_partition_the_spec_addresses(self):
+        case, report = verify_case_parallel("memcpy_arm", {"n": 3}, jobs=1)
+        flat = sorted(a for g in report.schedule_groups for a in g)
+        assert flat == sorted(case.specs)
+
+    def test_interfering_blocks_stay_grouped(self):
+        # memcpy's loop head and body share the length/pointer registers:
+        # the conservative analysis must keep them in one group.
+        _, report = verify_case_parallel("memcpy_arm", {"n": 3}, jobs=1)
+        assert len(report.schedule_groups) == 1
+
+    def test_grouping_is_jobs_invariant(self):
+        _, serial = verify_case_parallel("memcpy_arm", {"n": 3}, jobs=1)
+        _, pooled = verify_case_parallel("memcpy_arm", {"n": 3}, jobs=2)
+        assert serial.schedule_groups == pooled.schedule_groups
+        assert serial.proof.to_json() == pooled.proof.to_json()

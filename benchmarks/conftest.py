@@ -17,8 +17,11 @@ import pathlib
 import pytest
 
 _RECORDS: dict[str, dict] = {}
+_SERVICE_RECORDS: dict[str, dict] = {}
 
-BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_smt.json"
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_PATH = _ROOT / "BENCH_smt.json"
+BENCH_SERVICE_PATH = _ROOT / "BENCH_service.json"
 
 
 @pytest.fixture
@@ -31,14 +34,29 @@ def bench_smt_record():
     return record
 
 
-def pytest_sessionfinish(session, exitstatus):
-    if not _RECORDS:
-        return
+@pytest.fixture
+def bench_service_record():
+    """Record one named daemon benchmark result for ``BENCH_service.json``."""
+
+    def record(name: str, **data) -> None:
+        _SERVICE_RECORDS[name] = data
+
+    return record
+
+
+def _merge_into(path: pathlib.Path, records: dict[str, dict]) -> None:
     merged: dict[str, dict] = {}
-    if BENCH_PATH.exists():
+    if path.exists():
         try:
-            merged = json.loads(BENCH_PATH.read_text())
+            merged = json.loads(path.read_text())
         except (json.JSONDecodeError, OSError):
             merged = {}
-    merged.update(_RECORDS)
-    BENCH_PATH.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+    merged.update(records)
+    path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _RECORDS:
+        _merge_into(BENCH_PATH, _RECORDS)
+    if _SERVICE_RECORDS:
+        _merge_into(BENCH_SERVICE_PATH, _SERVICE_RECORDS)

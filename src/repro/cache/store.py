@@ -13,10 +13,18 @@ leaves a half entry; a corrupt or truncated entry simply reads as a miss.
 
 The SMT store is an append-only JSONL so concurrent workers can record
 verdicts without coordination: each line is a self-contained
-``{"k": key, "r": verdict}`` record, single-``write`` appends in
-``O_APPEND`` mode are atomic at these sizes, duplicate lines are idempotent
+``{"k": key, "r": verdict}`` record, duplicate lines are idempotent
 (the verdict is a deterministic function of the key), and a torn final line
 is skipped on load.
+
+Concurrency discipline (daemon workers + CLI runs sharing one directory):
+trace entries are written to a temp file and atomically renamed, so a
+reader can never observe a half entry; JSONL appends go through
+:func:`_append_exact`, which takes an advisory ``flock`` on the log file
+(where available) and loops over short ``write``\\ s — two processes
+appending concurrently can therefore never interleave bytes *within* a
+record, only order whole records.  Losing the lock race costs latency,
+never correctness.
 """
 
 from __future__ import annotations
@@ -27,8 +35,50 @@ import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 
+try:  # POSIX only; the fallback below keeps non-POSIX hosts working.
+    import fcntl
+except ImportError:  # pragma: no cover - exercised only on non-POSIX
+    fcntl = None  # type: ignore[assignment]
+
 from ..smt.sorts import sort_from_text, sort_to_text
 from .keys import CACHE_FORMAT_VERSION
+
+
+def _append_exact(path: Path, payload: bytes) -> bool:
+    """Append ``payload`` to ``path`` without interleaving with other writers.
+
+    Opens in ``O_APPEND``, takes an exclusive advisory lock on the file
+    itself (no separate lockfile to leak), and loops until every byte is
+    written — a short write mid-payload would otherwise let a concurrent
+    appender land *inside* our record.  Returns ``False`` on any OS error:
+    append-only stores treat a lost write as a warm-start loss, never a
+    failure of the run.
+    """
+    try:
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    except OSError:
+        return False
+    try:
+        if fcntl is not None:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            except OSError:
+                pass  # lock unsupported (NFS?): O_APPEND is the fallback
+        view = memoryview(payload)
+        while view:
+            try:
+                written = os.write(fd, view)
+            except InterruptedError:
+                continue
+            view = view[written:]
+        return True
+    except OSError:
+        return False
+    finally:
+        try:
+            os.close(fd)  # releases the flock too
+        except OSError:
+            pass
 
 
 @dataclass
@@ -91,6 +141,12 @@ class DiskCache:
         self._smt: dict[str, str] = {}
         self._smt_pending: list[str] = []
         self._fp: dict[str, list[str]] | None = None  # lazy
+        # One handle may be shared by every job thread of the daemon: the
+        # in-memory views and pending buffers need mutual exclusion even
+        # though the on-disk appends are self-synchronising.
+        import threading
+
+        self._lock = threading.RLock()
         self._load_smt()
 
     # -- trace store --------------------------------------------------------
@@ -202,19 +258,20 @@ class DiskCache:
     # tolerance as the SMT store.
 
     def _load_fp(self) -> dict[str, list[str]]:
-        if self._fp is None:
-            self._fp = {}
-            try:
-                text = self._fp_path.read_text()
-            except OSError:
-                return self._fp
-            for line in text.splitlines():
+        with self._lock:
+            if self._fp is None:
+                self._fp = {}
                 try:
-                    record = json.loads(line)
-                    self._fp[record["k"]] = list(record["regs"])
-                except (ValueError, KeyError, TypeError):
-                    self.stats.corrupt_entries += 1
-        return self._fp
+                    text = self._fp_path.read_text()
+                except OSError:
+                    return self._fp
+                for line in text.splitlines():
+                    try:
+                        record = json.loads(line)
+                        self._fp[record["k"]] = list(record["regs"])
+                    except (ValueError, KeyError, TypeError):
+                        self.stats.corrupt_entries += 1
+            return self._fp
 
     def load_footprint(self, key: str) -> list[str] | None:
         """The recorded register read set for an index key, or ``None``."""
@@ -223,20 +280,13 @@ class DiskCache:
     def store_footprint(self, key: str, regs) -> None:
         """Record the read set of a completed run (idempotent)."""
         regs = sorted(str(r) for r in regs)
-        index = self._load_fp()
-        if index.get(key) == regs:
-            return
-        index[key] = regs
+        with self._lock:
+            index = self._load_fp()
+            if index.get(key) == regs:
+                return
+            index[key] = regs
         line = json.dumps({"k": key, "regs": regs}, sort_keys=True) + "\n"
-        try:
-            fd = os.open(
-                self._fp_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
-            )
-            try:
-                os.write(fd, line.encode())
-            finally:
-                os.close(fd)
-        except OSError:
+        if not _append_exact(self._fp_path, line.encode()):
             return  # losing the index only costs coarse hits
         self.stats.fp_index_writes += 1
 
@@ -266,32 +316,33 @@ class DiskCache:
     def smt_record(self, key: str, verdict: str) -> None:
         if verdict not in ("sat", "unsat"):
             raise ValueError(f"only sat/unsat verdicts persist, got {verdict!r}")
-        if self._smt.get(key) == verdict:
-            return
-        self._smt[key] = verdict
-        self._smt_pending.append(
-            json.dumps({"k": key, "r": verdict}, sort_keys=True)
-        )
-        self.stats.smt_records += 1
-        if len(self._smt_pending) >= 256:
+        with self._lock:
+            if self._smt.get(key) == verdict:
+                return
+            self._smt[key] = verdict
+            self._smt_pending.append(
+                json.dumps({"k": key, "r": verdict}, sort_keys=True)
+            )
+            self.stats.smt_records += 1
+            full = len(self._smt_pending) >= 256
+        if full:
             self.flush()
 
     def flush(self) -> None:
-        """Append pending SMT verdicts (one atomic write)."""
-        if not self._smt_pending:
-            return
-        payload = "".join(line + "\n" for line in self._smt_pending)
-        try:
-            fd = os.open(
-                self._smt_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
-            )
-            try:
-                os.write(fd, payload.encode())
-            finally:
-                os.close(fd)
-        except OSError:
-            return  # dropped verdicts are only a warm-start loss
-        self._smt_pending.clear()
+        """Append pending SMT verdicts (one locked, uninterleaved write).
+
+        The handle lock is held across the append: two of this process's
+        threads flushing concurrently must not both write the same pending
+        lines (on-disk duplicates would be harmless, but clearing the
+        buffer twice could drop records queued in between).
+        """
+        with self._lock:
+            if not self._smt_pending:
+                return
+            payload = "".join(line + "\n" for line in self._smt_pending)
+            if not _append_exact(self._smt_path, payload.encode()):
+                return  # dropped verdicts are only a warm-start loss
+            self._smt_pending.clear()
 
     def close(self) -> None:
         self.flush()

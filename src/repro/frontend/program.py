@@ -102,6 +102,16 @@ def generate_instruction_map(
         jobs = config.jobs
     if cache is None:
         cache = config.cache
+    if config.batcher is not None:
+        from ..resilience.faults import active_injector
+
+        # The daemon's cross-job dedup layer.  Bypassed under fault
+        # injection for the same reason the cache is: a shared result would
+        # leak one run's fault schedule into another's.
+        if active_injector() is None:
+            return config.batcher.generate(
+                model, image, default_assumptions, per_address
+            )
     if jobs > 1 and len(image.opcodes) > 1:
         from ..parallel.scheduler import generate_traces_parallel
 

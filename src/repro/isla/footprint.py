@@ -23,11 +23,18 @@ from ..smt.terms import TRUE, Term
 
 
 def simplify_trace(trace: Trace) -> Trace:
-    trace = _inline_constant_defs(trace)
-    trace = _drop_dead_reg_reads(trace)
-    trace = _drop_dead_defs(trace)
-    trace = _drop_trivial_asserts(trace)
-    return trace
+    # Run the passes to a fixed point: dropping a dead definition can turn
+    # a previously-live ``ReadReg`` dead (the definition was its only other
+    # use), so a single sweep is not idempotent.  Every changed iteration
+    # strictly shrinks the event count, so the loop terminates.
+    while True:
+        out = _inline_constant_defs(trace)
+        out = _drop_dead_reg_reads(out)
+        out = _drop_dead_defs(out)
+        out = _drop_trivial_asserts(out)
+        if out == trace:
+            return out
+        trace = out
 
 
 def _event_uses(j: E.Event) -> set[Term]:

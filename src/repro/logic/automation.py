@@ -33,6 +33,7 @@ from ..itl.events import Reg
 from ..itl.trace import Trace, substitute_event
 from ..resilience.budget import Budget, BudgetExhausted
 from ..resilience.faults import TransientFault, active_injector
+from ..resilience.shutdown import SHUTDOWN_REASON, shutdown_requested
 from ..resilience.outcome import (
     DEGRADED,
     FAILED,
@@ -151,6 +152,14 @@ class ProofEngine:
         cache_before = check_cache_stats()
         report = RunReport(proof=self.proof, budget=self.budget)
         for addr in blocks:
+            if shutdown_requested():
+                # Drain: everything not yet attempted lands on the unknown
+                # rung (fail-safe — never silently verified), and the report
+                # stays a complete, renderable object.
+                outcome = BlockOutcome(addr, UNKNOWN_OUTCOME, reason=SHUTDOWN_REASON)
+                report.blocks[addr] = outcome
+                self.proof.outcomes[addr] = outcome.outcome
+                continue
             before = len(self.proof.residual_obligations)
             try:
                 self.verify_block(addr)

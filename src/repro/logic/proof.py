@@ -127,9 +127,17 @@ def _sort_text(sort) -> str:
 
 
 def _term_record(term: Term) -> dict:
+    # Sorted by name: frozenset iteration order follows object-identity
+    # hashes, which depend on the process's allocation history — fresh CLI
+    # runs happen to agree, but a resident daemon worker that served other
+    # jobs first would emit the same certificate with differently-ordered
+    # vars.  Certificates must be canonical bytes.
     return {
         "sexpr": term_to_sexpr(term),
-        "vars": {v.name: _sort_text(v.sort) for v in term.free_vars()},
+        "vars": {
+            v.name: _sort_text(v.sort)
+            for v in sorted(term.free_vars(), key=lambda v: v.name)
+        },
     }
 
 

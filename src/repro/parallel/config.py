@@ -27,12 +27,17 @@ class PipelineConfig:
     ``jobs`` is the worker-process count (1 = in-process, serial);
     ``cache`` an optional :class:`repro.cache.DiskCache`; ``pool`` an
     optional :class:`~repro.parallel.scheduler.WorkerPool` to reuse across
-    phases (one pool per driver invocation, not per opcode batch).
+    phases (one pool per driver invocation, not per opcode batch);
+    ``batcher`` an optional :class:`repro.service.batcher.TraceBatcher`
+    that coalesces identical trace requests across concurrent jobs (the
+    verification daemon's dedup layer) — when set, the frontend routes
+    per-opcode Isla runs through it instead of fanning out directly.
     """
 
     jobs: int = 1
     cache: Any = None
     pool: Any = None
+    batcher: Any = None
 
 
 _CONFIG: contextvars.ContextVar[PipelineConfig] = contextvars.ContextVar(
@@ -45,9 +50,13 @@ def current_config() -> PipelineConfig:
 
 
 @contextmanager
-def configured(jobs: int = 1, cache: Any = None, pool: Any = None):
+def configured(
+    jobs: int = 1, cache: Any = None, pool: Any = None, batcher: Any = None
+):
     """Scope a :class:`PipelineConfig` for the dynamic extent of a block."""
-    token = _CONFIG.set(PipelineConfig(jobs=jobs, cache=cache, pool=pool))
+    token = _CONFIG.set(
+        PipelineConfig(jobs=jobs, cache=cache, pool=pool, batcher=batcher)
+    )
     try:
         yield _CONFIG.get()
     finally:

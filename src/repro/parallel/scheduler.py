@@ -32,11 +32,14 @@ means parallel-run-to-parallel-run reproducibility.)
 
 from __future__ import annotations
 
+import concurrent.futures
 import hashlib
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import asdict
+from dataclasses import asdict, dataclass
+
+from ..resilience.shutdown import SHUTDOWN_REASON, shutdown_requested
 
 from ..isla.assumptions import Assumptions
 from ..itl.events import Reg
@@ -177,6 +180,23 @@ def _process_cache(cache_dir: str | None):
 # -- the pool ---------------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class TaskFailure:
+    """Per-payload failure marker returned by :meth:`WorkerPool.map_tasks_graceful`.
+
+    Carries only a reason string: by construction nothing result-shaped
+    exists for the payload (the worker died, the task raised, or a drain
+    cancelled it before it ran).  Callers map these onto the ``unknown``
+    rung of the outcome lattice — fail-soft, never fail-silent.
+    """
+
+    reason: str
+
+
+#: Reason used when a worker process disappears mid-task (SIGKILL, OOM).
+WORKER_DIED = "worker process died"
+
+
 class WorkerPool:
     """A lazy ``ProcessPoolExecutor`` with a serial in-process fallback.
 
@@ -222,6 +242,111 @@ class WorkerPool:
             self.unavailable = True
             self._executor = None
             return [fn(p) for p in payloads]
+
+    def map_tasks_graceful(self, fn, payloads: list, on_result=None) -> list:
+        """Apply ``fn`` to every payload, fail-soft per payload.
+
+        Returns one entry per payload, in payload order: the task's result,
+        or a :class:`TaskFailure` when the worker process died, the task
+        raised, or a graceful drain (:mod:`repro.resilience.shutdown`)
+        cancelled it before it ran.  Unlike :meth:`map_tasks`, a broken
+        pool never silently recomputes tasks — results that completed
+        before the break are kept, everything else is reported as a
+        failure, and the pool is rebuilt for the next batch (a resident
+        daemon pool must survive one worker's death).
+
+        ``on_result(index, result)`` fires from the waiting thread as each
+        task completes (successes only) — live progress for the service's
+        per-block event streams.
+        """
+        payloads = list(payloads)
+        executor = self._ensure()
+        if executor is None:
+            out: list = []
+            for i, payload in enumerate(payloads):
+                if shutdown_requested():
+                    out.append(TaskFailure(SHUTDOWN_REASON))
+                    continue
+                try:
+                    result = fn(payload)
+                except Exception as exc:  # noqa: BLE001 — fail-soft by contract
+                    result = TaskFailure(f"{type(exc).__name__}: {exc}")
+                out.append(result)
+                if on_result is not None and not isinstance(result, TaskFailure):
+                    on_result(i, result)
+            return out
+
+        futures: list = []
+        for payload in payloads:
+            if shutdown_requested():
+                futures.append(None)  # drain: stop submitting
+                continue
+            try:
+                futures.append(executor.submit(fn, payload))
+            except Exception:  # pool already broken at submission time
+                futures.append(None)
+        index_of = {f: i for i, f in enumerate(futures) if f is not None}
+        reported: set = set()
+
+        def _report(done_set) -> None:
+            if on_result is None:
+                return
+            for f in done_set:
+                if f in reported or f.cancelled():
+                    continue
+                reported.add(f)
+                try:
+                    result = f.result()
+                except Exception:
+                    continue
+                on_result(index_of[f], result)
+
+        pending = set(index_of)
+        while pending:
+            done, pending = concurrent.futures.wait(
+                pending,
+                timeout=0.05,
+                return_when=concurrent.futures.FIRST_COMPLETED,
+            )
+            _report(done)
+            if shutdown_requested() and pending:
+                # Drain: cancel what has not started; in-flight tasks are
+                # allowed to finish (that is the "drain", not an abort).
+                for f in pending:
+                    f.cancel()
+                still_running = {f for f in pending if not f.cancelled()}
+                done, _ = concurrent.futures.wait(still_running)
+                _report(done)
+                break
+
+        broken = False
+        results: list = []
+        for f in futures:
+            if f is None:
+                results.append(TaskFailure(SHUTDOWN_REASON))
+                continue
+            if f.cancelled():
+                results.append(TaskFailure(SHUTDOWN_REASON))
+                continue
+            try:
+                results.append(f.result())
+            except BrokenProcessPool:
+                broken = True
+                results.append(TaskFailure(WORKER_DIED))
+            except concurrent.futures.CancelledError:
+                results.append(TaskFailure(SHUTDOWN_REASON))
+            except Exception as exc:  # noqa: BLE001 — fail-soft by contract
+                results.append(TaskFailure(f"{type(exc).__name__}: {exc}"))
+        if broken:
+            # Replace the poisoned executor; the next batch gets a fresh
+            # one (``unavailable`` stays False — one dead worker must not
+            # demote a long-lived pool to serial forever).
+            try:
+                executor.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+            self._executor = None
+        return results
 
     def close(self) -> None:
         if self._executor is not None:
@@ -468,6 +593,8 @@ def verify_case_parallel(
     fault_seed: int | None = None,
     fault_rate: float = 0.05,
     pool: WorkerPool | None = None,
+    batcher=None,
+    progress=None,
 ):
     """Build a case study and verify each block in its own worker.
 
@@ -482,6 +609,19 @@ def verify_case_parallel(
     divided, deadline and per-query knobs replicated) and worker
     consumption is folded back into one run-wide budget via
     :meth:`~repro.resilience.budget.Budget.absorb`.
+
+    Fail-soft dispatch: block workers run through
+    :meth:`WorkerPool.map_tasks_graceful`, so a killed worker process or a
+    graceful drain (SIGINT/SIGTERM) turns the affected blocks into
+    ``unknown`` outcomes — never a traceback, never a silent ``verified``
+    — and their partitioned budget shares are *not* absorbed (the parent
+    budget only ever records resources a worker actually reported
+    consuming).
+
+    ``batcher`` optionally routes the build's trace generation through a
+    shared :class:`repro.service.batcher.TraceBatcher` (the daemon's
+    cross-job dedup layer); ``progress(addr, outcome)`` fires as each
+    block's verdict arrives.
     """
     import tempfile
 
@@ -508,7 +648,7 @@ def verify_case_parallel(
         own_pool = pool is None
         pool = pool or WorkerPool(jobs)
         try:
-            with configured(jobs=jobs, cache=cache, pool=pool):
+            with configured(jobs=jobs, cache=cache, pool=pool, batcher=batcher):
                 case = module.build(**build_kwargs)
             cache.flush()
             addrs = sorted(case.specs)
@@ -544,7 +684,13 @@ def verify_case_parallel(
                 for group in groups
                 for addr in group
             ]
-            raw = pool.map_tasks(_verify_block_worker, payloads)
+            on_result = None
+            if progress is not None:
+                def on_result(index, item, _progress=progress):
+                    _progress(item["addr"], item["outcome"]["outcome"])
+            raw = pool.map_tasks_graceful(
+                _verify_block_worker, payloads, on_result=on_result
+            )
         finally:
             if own_pool:
                 pool.close()
@@ -558,8 +704,20 @@ def verify_case_parallel(
     solver_totals: dict[str, int] = {}
     cache_totals: dict[str, int] = {}
     fault_count = 0
-    for item in sorted(raw, key=lambda r: r["addr"]):
-        addr = item["addr"]
+    # Failures carry no result payload: recover the block address from the
+    # payload the task was given, then merge everything in address order.
+    tagged = [
+        (payload["addr"], item) for payload, item in zip(payloads, raw)
+    ]
+    for addr, item in sorted(tagged, key=lambda t: t[0]):
+        if isinstance(item, TaskFailure):
+            from ..resilience.outcome import UNKNOWN
+
+            report.blocks[addr] = BlockOutcome(addr, UNKNOWN, reason=item.reason)
+            merged_proof.outcomes[addr] = UNKNOWN
+            # The dead/cancelled worker reported no consumption: its
+            # partitioned budget share stays unspent in the parent.
+            continue
         sub = Proof.from_json(item["proof"])
         merged_proof.steps.extend(sub.steps)
         merged_proof.blocks_verified.extend(sub.blocks_verified)

@@ -30,6 +30,13 @@ from .faults import (
     inject,
 )
 from .ladder import DegradationLadder
+from .shutdown import (
+    SHUTDOWN_REASON,
+    handle_signals,
+    request_shutdown,
+    reset_shutdown,
+    shutdown_requested,
+)
 from .outcome import (
     DEGRADED,
     FAILED,
@@ -45,6 +52,8 @@ from .outcome import (
 __all__ = [
     "Budget", "BudgetExhausted", "BudgetSpec", "BlockOutcome", "DEGRADED",
     "DegradationLadder", "FAILED", "FaultEvent", "FaultInjector", "OUTCOMES",
-    "ResidualObligation", "RunReport", "TransientFault", "UNKNOWN",
-    "VERIFIED", "active_injector", "fault_at", "inject", "worst",
+    "ResidualObligation", "RunReport", "SHUTDOWN_REASON", "TransientFault",
+    "UNKNOWN", "VERIFIED", "active_injector", "fault_at", "handle_signals",
+    "inject", "request_shutdown", "reset_shutdown", "shutdown_requested",
+    "worst",
 ]

@@ -1,0 +1,256 @@
+"""Cross-job trace-request batching and deduplication.
+
+Binary-verification traffic arrives as many small per-opcode requests, and
+concurrent jobs overlap heavily: two submissions of the same program, or
+two programs sharing instructions under the same system configuration,
+want the *same* Isla runs.  The batcher is a single-flight layer in front
+of the resident :class:`~repro.parallel.scheduler.WorkerPool`:
+
+- every per-opcode request is keyed by its content — the exact
+  (model, opcode, assumptions, solver mode) payload, or, when the on-disk
+  footprint index already knows the opcode's register read set, the
+  *footprint-coarsened* key (assumptions restricted to the read set), so
+  requests differing only in irrelevant assumptions coalesce too;
+- the first request for a key becomes the *leader* and is queued for
+  dispatch; followers subscribe to the leader's future (``dedup_hits``);
+- a dispatcher thread collects queued leaders for a short window
+  (``window_s``) and ships them to the pool as one batch — fewer, larger
+  ``map_tasks`` calls, warm worker processes.
+
+Identity guarantee: the computation dispatched for a key is byte-for-byte
+the one ``generate_traces_parallel`` would dispatch (same worker function,
+same payload codec), and results are parsed back through the same path, so
+serving through the batcher cannot change any result.  Followers observe
+the leader's metrics with ``cached=True`` semantics only when the leader
+itself was served from cache; otherwise they share the leader's metrics —
+exactly what a same-process disk-cache hit would report.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import json
+import threading
+import time
+
+from ..isla.assumptions import Assumptions
+from ..parallel.scheduler import (
+    TaskFailure,
+    _assumptions_payload,
+    _model_spec,
+    _opcode_payload,
+    _solver_mode_payload,
+    _trace_worker,
+)
+
+
+class TraceBatcher:
+    """Single-flight dedup + windowed batch dispatch for Isla runs."""
+
+    def __init__(
+        self,
+        pool=None,
+        cache=None,
+        window_s: float = 0.01,
+        max_batch: int = 32,
+        telemetry=None,
+    ) -> None:
+        self.pool = pool
+        self.cache = cache
+        self.window_s = window_s
+        self.max_batch = max(1, max_batch)
+        self.telemetry = telemetry
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        #: key -> Future for the in-flight leader computation.
+        self._inflight: dict[str, concurrent.futures.Future] = {}
+        #: leaders awaiting dispatch: (key, payload).
+        self._queue: list[tuple[str, dict]] = []
+        self._closed = False
+        self._dispatcher: threading.Thread | None = None
+        # The ITL parser interns into a process-wide table; serialise
+        # parsing so concurrent job threads cannot race it.
+        self._parse_lock = threading.Lock()
+
+    # -- keys ----------------------------------------------------------------
+
+    @staticmethod
+    def _exact_key(payload: dict) -> str:
+        body = json.dumps(
+            {
+                "model": payload["model"],
+                "opcode": payload["opcode"],
+                "assumptions": payload["assumptions"],
+                "solver_mode": payload["solver_mode"],
+            },
+            sort_keys=True,
+        )
+        return "x:" + hashlib.sha256(body.encode()).hexdigest()
+
+    def _dedup_key(self, payload: dict, model, opcode, assumptions) -> str:
+        """The coalescing key: footprint-coarse when the index knows the
+        opcode's read set, exact otherwise."""
+        if self.cache is not None:
+            from ..cache.keys import coarse_trace_key, footprint_index_key
+            from ..itl.events import Reg
+
+            reg_names = self.cache.load_footprint(
+                footprint_index_key(model, opcode)
+            )
+            if reg_names is not None:
+                read_regs = frozenset(Reg.parse(name) for name in reg_names)
+                mode = json.dumps(payload["solver_mode"], sort_keys=True)
+                return "c:" + hashlib.sha256(
+                    (
+                        coarse_trace_key(model, opcode, assumptions, read_regs)
+                        + mode
+                    ).encode()
+                ).hexdigest()
+        return self._exact_key(payload)
+
+    # -- the dispatcher ------------------------------------------------------
+
+    def _ensure_dispatcher(self) -> None:
+        if self._dispatcher is None or not self._dispatcher.is_alive():
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop, name="trace-batcher", daemon=True
+            )
+            self._dispatcher.start()
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._wakeup:
+                while not self._queue and not self._closed:
+                    self._wakeup.wait(timeout=0.5)
+                if self._closed and not self._queue:
+                    return
+            # Collection window: let concurrent jobs contribute to the
+            # batch before dispatch.  Outside the lock on purpose.
+            if self.window_s > 0:
+                time.sleep(self.window_s)
+            with self._lock:
+                batch = self._queue[: self.max_batch]
+                del self._queue[: len(batch)]
+            if batch:
+                self._run_batch(batch)
+
+    def _run_batch(self, batch: list[tuple[str, dict]]) -> None:
+        payloads = [payload for _key, payload in batch]
+        if self.telemetry is not None:
+            self.telemetry.inc("batches")
+            self.telemetry.inc("batched_requests", len(batch))
+            self.telemetry.gauge("last_batch_size", len(batch))
+        try:
+            if self.pool is not None:
+                raw = self.pool.map_tasks_graceful(_trace_worker, payloads)
+            else:
+                raw = []
+                for payload in payloads:
+                    try:
+                        raw.append(_trace_worker(payload))
+                    except Exception as exc:  # noqa: BLE001 — fail-soft
+                        raw.append(TaskFailure(f"{type(exc).__name__}: {exc}"))
+        except Exception as exc:  # noqa: BLE001 — dispatch itself failed
+            raw = [TaskFailure(f"{type(exc).__name__}: {exc}")] * len(batch)
+        for (key, _payload), item in zip(batch, raw):
+            with self._lock:
+                future = self._inflight.pop(key, None)
+            if future is None:  # pragma: no cover - defensive
+                continue
+            if isinstance(item, TaskFailure):
+                future.set_exception(RuntimeError(item.reason))
+            else:
+                future.set_result(item)
+
+    # -- the public entry point ----------------------------------------------
+
+    def generate(self, model, image, default_assumptions=None, per_address=None):
+        """Run Isla on every opcode of the image through the dedup layer.
+
+        Drop-in for the frontend's serial loop and for
+        ``generate_traces_parallel``: returns an identical
+        :class:`~repro.frontend.program.FrontendResult`.
+        """
+        from ..cache.store import _sort_from_text
+        from ..frontend.program import FrontendResult
+        from ..isla.executor import IslaResult
+        from ..itl.parser import parse_trace
+        from ..smt import builder as B
+
+        per_address = per_address or {}
+        addrs = sorted(image.opcodes)
+        cache_dir = str(self.cache.root) if self.cache is not None else None
+        if self.cache is not None:
+            self.cache.flush()  # workers read the shared log; no leftovers
+        mode_payload = _solver_mode_payload()
+
+        subscriptions: list[tuple[int, concurrent.futures.Future]] = []
+        for addr in addrs:
+            assumptions = (default_assumptions or Assumptions()).merged_with(
+                per_address.get(addr)
+            )
+            payload = {
+                "addr": addr,
+                "model": _model_spec(model),
+                "opcode": _opcode_payload(image.opcodes[addr]),
+                "assumptions": _assumptions_payload(model, assumptions),
+                "cache_dir": cache_dir,
+                "solver_mode": mode_payload,
+            }
+            opcode = image.opcodes[addr]
+            key = self._dedup_key(payload, model, opcode, assumptions)
+            if self.telemetry is not None:
+                self.telemetry.inc("trace_requests")
+            with self._lock:
+                future = self._inflight.get(key)
+                if future is not None:
+                    if self.telemetry is not None:
+                        self.telemetry.inc("dedup_hits")
+                        if key.startswith("c:"):
+                            self.telemetry.inc("coarse_dedup_hits")
+                else:
+                    future = concurrent.futures.Future()
+                    self._inflight[key] = future
+                    self._queue.append((key, payload))
+                    self._ensure_dispatcher()
+                    self._wakeup.notify()
+            subscriptions.append((addr, future))
+
+        traces = {}
+        results = {}
+        for addr, future in subscriptions:
+            item = future.result()
+            with self._parse_lock:
+                env = {
+                    name: B.var(name, _sort_from_text(sort_text))
+                    for name, sort_text in item["extern"]
+                }
+                trace = parse_trace(item["trace"], env=env)
+            traces[addr] = trace
+            results[addr] = IslaResult(
+                trace,
+                paths=item["paths"],
+                model_calls=item["model_calls"],
+                model_steps=item["model_steps"],
+                solver_checks=item["solver_checks"],
+                checks_skipped=item.get("checks_skipped", 0),
+                exhausted=None,
+                cached=item["cached"],
+            )
+        return FrontendResult(traces, results)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        with self._wakeup:
+            self._closed = True
+            self._wakeup.notify_all()
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=5)
+
+    def __enter__(self) -> "TraceBatcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

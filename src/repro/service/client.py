@@ -1,0 +1,186 @@
+"""Thin client for the verification daemon.
+
+Speaks the daemon's JSON-over-HTTP protocol over local TCP or a Unix
+domain socket using only the standard library.  Every method maps to one
+endpoint; :meth:`ServiceClient.run` composes submit + wait into the shape
+CLI tools want.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+
+
+class ServiceError(Exception):
+    """A daemon-side refusal or failure, with the HTTP status attached."""
+
+    def __init__(self, status: int, reason: str) -> None:
+        self.status = status
+        self.reason = reason
+        super().__init__(f"[{status}] {reason}")
+
+
+class _UnixHTTPConnection(http.client.HTTPConnection):
+    """http.client over an AF_UNIX socket path."""
+
+    def __init__(self, socket_path: str, timeout: float | None = None) -> None:
+        super().__init__("localhost", timeout=timeout)
+        self._socket_path = socket_path
+
+    def connect(self) -> None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.timeout is not None:
+            sock.settimeout(self.timeout)
+        sock.connect(self._socket_path)
+        self.sock = sock
+
+
+class ServiceClient:
+    """One daemon address; connections are per-request (the daemon closes
+    after each response)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        socket_path: str | None = None,
+        timeout: float = 600.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.socket_path = socket_path
+        self.timeout = timeout
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self.socket_path is not None:
+            return _UnixHTTPConnection(self.socket_path, timeout=self.timeout)
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+
+    def _request(self, method: str, path: str, payload: dict | None = None):
+        conn = self._connection()
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload).encode()
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            content_type = response.getheader("Content-Type", "")
+            if "json" in content_type:
+                data = json.loads(raw.decode() or "{}")
+            else:
+                data = raw.decode()
+            if response.status >= 400:
+                reason = (
+                    data.get("error", response.reason)
+                    if isinstance(data, dict)
+                    else response.reason
+                )
+                raise ServiceError(response.status, reason)
+            return response.status, data
+        finally:
+            conn.close()
+
+    # -- endpoints -----------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")[1]
+
+    def submit(
+        self,
+        case: str,
+        kwargs: dict | None = None,
+        priority: str = "batch",
+        deadline_s: float | None = None,
+        conflicts: int | None = None,
+    ) -> dict:
+        payload: dict = {"case": case, "priority": priority}
+        if kwargs:
+            payload["kwargs"] = kwargs
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
+        if conflicts is not None:
+            payload["conflicts"] = conflicts
+        return self._request("POST", "/jobs", payload)[1]
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs")[1]["jobs"]
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")[1]
+
+    def report(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}/report")[1]
+
+    def events(self, job_id: str, since: int = 0, wait_s: float = 0.0) -> dict:
+        return self._request(
+            "GET", f"/jobs/{job_id}/events?since={since}&wait={wait_s}"
+        )[1]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")[1]
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics.json")[1]
+
+    def metrics_text(self) -> str:
+        return self._request("GET", "/metrics")[1]
+
+    def shutdown(self, mode: str = "drain") -> dict:
+        return self._request("POST", "/shutdown", {"mode": mode})[1]
+
+    # -- composed flows -------------------------------------------------------
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float | None = None,
+        poll_s: float = 0.1,
+        on_event=None,
+    ) -> dict:
+        """Block until the job is terminal; returns the final job summary.
+
+        ``on_event`` (if given) is called with each
+        :class:`~repro.service.protocol.JobEvent` JSON dict as it arrives.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        seq = 0
+        while True:
+            batch = self.events(job_id, since=seq, wait_s=min(5.0, poll_s * 50))
+            for event in batch["events"]:
+                seq = event["seq"] + 1
+                if on_event is not None:
+                    on_event(event)
+            status = self.status(job_id)
+            if status["state"] in ("done", "failed", "cancelled"):
+                return status
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(f"job {job_id} still {status['state']}")
+            time.sleep(poll_s)
+
+    def run(
+        self,
+        case: str,
+        kwargs: dict | None = None,
+        priority: str = "batch",
+        timeout: float | None = None,
+        on_event=None,
+    ) -> dict:
+        """Submit a case, wait for it, and return the full report.
+
+        Raises :class:`ServiceError` if the job failed or was cancelled.
+        """
+        job = self.submit(case, kwargs=kwargs, priority=priority)
+        final = self.wait(job["id"], timeout=timeout, on_event=on_event)
+        if final["state"] != "done":
+            raise ServiceError(
+                409, final.get("error") or f"job ended {final['state']}"
+            )
+        return self.report(job["id"])

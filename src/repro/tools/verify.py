@@ -186,6 +186,13 @@ def run_one(
     if stats_out is not None:
         stats_out[name] = _case_stats(case, report)
 
+    if getattr(args, "cert_dir", None):
+        import pathlib
+
+        cert_dir = pathlib.Path(args.cert_dir)
+        cert_dir.mkdir(parents=True, exist_ok=True)
+        (cert_dir / f"{name}.cert.json").write_text(report.proof.to_json())
+
     proof = report.proof
     status = "OK" if report.ok else report.outcome.upper()
     print(
@@ -250,6 +257,11 @@ def main(argv: list[str] | None = None) -> int:
              "$REPRO_NO_SLICE",
     )
     parser.add_argument(
+        "--cert-dir", default=None, metavar="DIR",
+        help="write each case's proof certificate to DIR/<case>.cert.json "
+             "(byte-identical across --jobs settings and against the daemon)",
+    )
+    parser.add_argument(
         "--stats-json", default=None, metavar="PATH",
         help="dump merged solver/executor/cache statistics as JSON to PATH "
              "('-' for stdout)",
@@ -286,12 +298,21 @@ def main(argv: list[str] | None = None) -> int:
         pool = WorkerPool(args.jobs)
     stats: dict = {}
     try:
-        ok = all(
-            [
-                run_one(name, args.n, args, pool=pool, cache=cache, stats_out=stats)
-                for name in names
-            ]
-        )
+        # SIGINT/SIGTERM drain gracefully: in-flight blocks finish, the
+        # rest land on the unknown rung, caches flush on the way out, and
+        # the process exits 1 with a partial report instead of a traceback.
+        from ..resilience import handle_signals, shutdown_requested
+
+        with handle_signals():
+            ok = all(
+                [
+                    run_one(name, args.n, args, pool=pool, cache=cache, stats_out=stats)
+                    for name in names
+                ]
+            )
+            if shutdown_requested():
+                print("shutdown requested: run drained, partial results above",
+                      file=sys.stderr)
     finally:
         set_default_solver_mode(previous_mode)
         if pool is not None:

@@ -1,0 +1,148 @@
+"""Graceful SIGINT/SIGTERM drain: block-granular, cache-safe, fail-safe.
+
+The shutdown event (:mod:`repro.resilience.shutdown`) is cooperative:
+verification loops poll it at block granularity, so the first signal lets
+in-flight blocks finish and parks everything else on the ``unknown`` rung
+with a uniform reason — never a torn certificate, never a traceback.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+
+import pytest
+
+from repro.parallel.scheduler import (
+    TaskFailure,
+    WorkerPool,
+    verify_case_parallel,
+)
+from repro.resilience import (
+    SHUTDOWN_REASON,
+    handle_signals,
+    request_shutdown,
+    reset_shutdown,
+    shutdown_requested,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_shutdown_state():
+    reset_shutdown()
+    yield
+    reset_shutdown()
+
+
+def _sleeper(payload):
+    time.sleep(payload["sleep"])
+    return payload["value"]
+
+
+class TestShutdownEvent:
+    def test_request_and_reset(self):
+        assert not shutdown_requested()
+        request_shutdown()
+        assert shutdown_requested()
+        reset_shutdown()
+        assert not shutdown_requested()
+
+
+class TestSignalHandling:
+    def test_first_signal_drains_not_raises(self):
+        with handle_signals():
+            signal.raise_signal(signal.SIGINT)
+            assert shutdown_requested()  # no KeyboardInterrupt
+
+    def test_sigterm_drains_too(self):
+        with handle_signals():
+            signal.raise_signal(signal.SIGTERM)
+            assert shutdown_requested()
+
+    def test_second_sigint_aborts(self):
+        with pytest.raises(KeyboardInterrupt):
+            with handle_signals():
+                signal.raise_signal(signal.SIGINT)
+                signal.raise_signal(signal.SIGINT)
+
+    def test_handlers_restored_and_event_cleared_on_exit(self):
+        before_int = signal.getsignal(signal.SIGINT)
+        before_term = signal.getsignal(signal.SIGTERM)
+        with handle_signals():
+            signal.raise_signal(signal.SIGINT)
+        assert signal.getsignal(signal.SIGINT) is before_int
+        assert signal.getsignal(signal.SIGTERM) is before_term
+        assert not shutdown_requested()
+
+
+class TestPoolDrain:
+    def test_serial_pool_drains_remaining_payloads(self):
+        pool = WorkerPool(1)
+        payloads = [{"sleep": 0, "value": i} for i in range(3)]
+        request_shutdown()
+        results = pool.map_tasks_graceful(_sleeper, payloads)
+        assert all(
+            isinstance(r, TaskFailure) and r.reason == SHUTDOWN_REASON
+            for r in results
+        )
+
+    def test_process_pool_keeps_inflight_drops_unstarted(self):
+        pool = WorkerPool(2)
+        try:
+            done_once = []
+
+            def on_result(index, result):
+                if not done_once:
+                    done_once.append(index)
+                    request_shutdown()
+
+            payloads = [{"sleep": 0.3, "value": i} for i in range(8)]
+            results = pool.map_tasks_graceful(
+                _sleeper, payloads, on_result=on_result
+            )
+        finally:
+            pool.close()
+        successes = [r for r in results if not isinstance(r, TaskFailure)]
+        drained = [r for r in results if isinstance(r, TaskFailure)]
+        # The first completion triggered the drain: something finished,
+        # something was cancelled before starting, nothing was lost.
+        assert successes
+        assert drained
+        assert len(successes) + len(drained) == len(payloads)
+        assert all(r.reason == SHUTDOWN_REASON for r in drained)
+
+
+class TestVerificationDrain:
+    def test_governed_run_parks_blocks_on_unknown(self):
+        from repro import casestudies
+        from repro.logic.automation import verify_program
+        from repro.parallel.config import configured
+        from repro.parallel.scheduler import pc_for
+
+        with configured(jobs=1):
+            case = casestudies.memcpy_arm.build(n=3)
+        request_shutdown()
+        report = verify_program(
+            case.frontend.traces, case.specs, pc_for(casestudies.memcpy_arm)
+        )
+        assert set(report.blocks) == set(case.specs)
+        for outcome in report.blocks.values():
+            assert outcome.outcome == "unknown"
+            assert outcome.reason == SHUTDOWN_REASON
+        assert report.outcome == "unknown"
+        assert not report.ok
+        # The partial certificate still re-checks: drained blocks are
+        # honestly recorded unknown, not silently verified.
+        from repro.logic.checker import check_proof
+
+        check_proof(report.proof, expected_blocks=set(case.specs))
+
+    def test_parallel_driver_drains_to_partial_report(self):
+        request_shutdown()
+        case, report = verify_case_parallel("memcpy_arm", {"n": 3}, jobs=1)
+        assert set(report.blocks) == set(case.specs)
+        assert all(
+            b.outcome == "unknown" and b.reason == SHUTDOWN_REASON
+            for b in report.blocks.values()
+        )
+        assert report.outcome == "unknown"

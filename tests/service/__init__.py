@@ -1,0 +1,1 @@
+"""Tests for the persistent verification daemon (``repro.service``)."""

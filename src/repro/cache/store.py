@@ -14,8 +14,8 @@ leaves a half entry; a corrupt or truncated entry simply reads as a miss.
 The SMT store is an append-only JSONL so concurrent workers can record
 verdicts without coordination: each line is a self-contained
 ``{"k": key, "r": verdict}`` record, duplicate lines are idempotent
-(the verdict is a deterministic function of the key), and a torn final line
-is skipped on load.
+(the verdict is a deterministic function of the key), and a torn final
+tail is truncated off the file on load.
 
 Concurrency discipline (daemon workers + CLI runs sharing one directory):
 trace entries are written to a temp file and atomically renamed, so a
@@ -81,6 +81,21 @@ def _append_exact(path: Path, payload: bytes) -> bool:
             pass
 
 
+def _fsync_dir(directory: Path) -> None:
+    """Make a just-completed rename in ``directory`` durable.  Best-effort:
+    a filesystem that cannot fsync a directory still gets the atomicity."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 @dataclass
 class CacheStats:
     """Hit/miss counters for one :class:`DiskCache` handle."""
@@ -97,6 +112,9 @@ class CacheStats:
     smt_misses: int = 0
     smt_records: int = 0
     smt_loaded: int = 0
+    #: Bytes cut off the verdict log's corrupt tail on open (a crashed
+    #: appender's torn final records).
+    smt_truncated_bytes: int = 0
     corrupt_entries: int = 0
     #: Entries that parsed but failed the well-formedness check (subset of
     #: corrupt_entries); each is evicted on sight.
@@ -237,7 +255,16 @@ class DiskCache:
                 handle.write(header)
                 handle.write("\n")
                 handle.write(body)
+                # Durability, not just atomicity: the data must be on disk
+                # *before* the rename publishes the name, and the rename
+                # itself must survive a power cut — otherwise a crash can
+                # leave a published entry with unwritten bytes (exactly the
+                # corruption the length check would then mis-diagnose as a
+                # plain miss, silently losing warm state).
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
+            _fsync_dir(path.parent)
         except OSError:
             try:
                 os.unlink(tmp)
@@ -293,16 +320,59 @@ class DiskCache:
     # -- SMT verdict store --------------------------------------------------
 
     def _load_smt(self) -> None:
+        """Load the verdict log; truncate its corrupt tail in place.
+
+        Records mid-file that fail to parse are skipped (they cost one
+        warm verdict each), but a *trailing* run of bad bytes — a torn
+        final append, a dangling line with no newline — is cut off the
+        file under the same ``flock`` the appenders take, so the log
+        stops accumulating garbage that every subsequent open would
+        re-skip and every subsequent append would bury mid-file where it
+        can no longer be distinguished from real corruption.
+        """
         try:
-            text = self._smt_path.read_text()
+            fd = os.open(self._smt_path, os.O_RDWR)
         except OSError:
             return
-        for line in text.splitlines():
-            try:
-                record = json.loads(line)
-                self._smt[record["k"]] = record["r"]
-            except (ValueError, KeyError, TypeError):
-                self.stats.corrupt_entries += 1  # torn tail line
+        try:
+            if fcntl is not None:
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_EX)
+                except OSError:
+                    pass
+            chunks = []
+            while True:
+                chunk = os.read(fd, 1 << 20)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+            data = b"".join(chunks)
+            valid_end = 0  # byte offset just past the last valid record
+            offset = 0
+            while offset < len(data):
+                newline = data.find(b"\n", offset)
+                if newline == -1:
+                    # Dangling final line, no terminator: a torn write,
+                    # whatever its bytes happen to parse as.
+                    self.stats.corrupt_entries += 1
+                    break
+                try:
+                    record = json.loads(data[offset:newline])
+                    self._smt[record["k"]] = record["r"]
+                except (ValueError, KeyError, TypeError):
+                    self.stats.corrupt_entries += 1
+                else:
+                    valid_end = newline + 1
+                offset = newline + 1
+            if valid_end < len(data):
+                self.stats.smt_truncated_bytes = len(data) - valid_end
+                try:
+                    os.ftruncate(fd, valid_end)
+                    os.fsync(fd)
+                except OSError:
+                    pass
+        finally:
+            os.close(fd)
         self.stats.smt_loaded = len(self._smt)
 
     def smt_lookup(self, key: str) -> str | None:

@@ -1,17 +1,47 @@
-"""Thin client for the verification daemon.
+"""Thin client for the verification daemon and fleet.
 
 Speaks the daemon's JSON-over-HTTP protocol over local TCP or a Unix
 domain socket using only the standard library.  Every method maps to one
 endpoint; :meth:`ServiceClient.run` composes submit + wait into the shape
 CLI tools want.
+
+Failure handling is typed and bounded:
+
+- **timeouts** — connections and reads both carry socket timeouts (a hung
+  daemon can no longer block a client forever) and surface as
+  :class:`ServiceTimeout`, never as a raw ``socket.timeout``;
+- **refusals** — connection refused/reset surfaces as
+  :class:`ServiceUnavailable` (both are :class:`ServiceError` subclasses,
+  so existing ``except ServiceError`` call sites keep working);
+- **retries** — ``retries > 0`` retries failed requests with jittered
+  exponential backoff.  Reads of non-idempotent requests (a ``POST``
+  whose bytes may already have reached the daemon) are *not* retried —
+  only connect-phase failures and idempotent ``GET``\\ s are, so a retry
+  can never double-submit a job;
+- **deadlines** — a per-request ``deadline_s`` bounds the whole attempt
+  loop (backoff sleeps included) against one wall clock.
+
+:class:`FailoverClient` layers hedged failover on top: given several
+shard clients and a health predicate (the fleet router wires in its
+circuit breakers), a request that cannot be served by one shard moves to
+the next healthy one instead of failing.
+
+The ``service.conn`` fault-injection site lives here: with an active
+:class:`~repro.resilience.faults.FaultInjector` the client can be made to
+drop or half-close connections deterministically, which is how the chaos
+harness exercises every retry/failover path.
 """
 
 from __future__ import annotations
 
 import http.client
-import json
+import random
 import socket
 import time
+
+import json
+
+from ..resilience import fault_at
 
 
 class ServiceError(Exception):
@@ -23,19 +53,64 @@ class ServiceError(Exception):
         super().__init__(f"[{status}] {reason}")
 
 
+class ServiceTimeout(ServiceError):
+    """A connect or read deadline expired talking to the daemon.
+
+    ``phase`` is ``"connect"`` (no request bytes reached the daemon — safe
+    to retry anything) or ``"read"`` (the request may have been received —
+    only idempotent requests may retry).
+    """
+
+    def __init__(self, reason: str, phase: str = "read") -> None:
+        self.phase = phase
+        super().__init__(504, reason)
+
+
+class ServiceUnavailable(ServiceError):
+    """The daemon could not be reached (refused, reset, gone)."""
+
+    def __init__(self, reason: str, phase: str = "connect") -> None:
+        self.phase = phase
+        super().__init__(503, reason)
+
+
+class _TCPConnection(http.client.HTTPConnection):
+    """HTTPConnection with split connect/read timeouts."""
+
+    def __init__(
+        self, host: str, port: int, connect_timeout: float | None,
+        read_timeout: float | None,
+    ) -> None:
+        super().__init__(host, port, timeout=connect_timeout)
+        self._read_timeout = read_timeout
+
+    def connect(self) -> None:
+        super().connect()
+        self.sock.settimeout(self._read_timeout)
+
+
 class _UnixHTTPConnection(http.client.HTTPConnection):
     """http.client over an AF_UNIX socket path."""
 
-    def __init__(self, socket_path: str, timeout: float | None = None) -> None:
-        super().__init__("localhost", timeout=timeout)
+    def __init__(
+        self, socket_path: str, connect_timeout: float | None = None,
+        read_timeout: float | None = None,
+    ) -> None:
+        super().__init__("localhost", timeout=connect_timeout)
         self._socket_path = socket_path
+        self._read_timeout = read_timeout
 
     def connect(self) -> None:
         sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         if self.timeout is not None:
             sock.settimeout(self.timeout)
         sock.connect(self._socket_path)
+        sock.settimeout(self._read_timeout)
         self.sock = sock
+
+
+#: Methods whose read-phase failures are safe to retry.
+_IDEMPOTENT = frozenset({"GET", "HEAD"})
 
 
 class ServiceClient:
@@ -48,30 +123,83 @@ class ServiceClient:
         port: int = 8642,
         socket_path: str | None = None,
         timeout: float = 600.0,
+        connect_timeout: float = 5.0,
+        retries: int = 0,
+        backoff_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        jitter: float = 0.5,
+        retry_seed: int | None = None,
+        deadline_s: float | None = None,
     ) -> None:
         self.host = host
         self.port = port
         self.socket_path = socket_path
         self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self.retries = max(0, retries)
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self.jitter = min(1.0, max(0.0, jitter))
+        self.deadline_s = deadline_s
+        self._rng = random.Random(retry_seed)
 
-    def _connection(self) -> http.client.HTTPConnection:
+    @property
+    def address(self) -> str:
         if self.socket_path is not None:
-            return _UnixHTTPConnection(self.socket_path, timeout=self.timeout)
-        return http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
+            return f"unix:{self.socket_path}"
+        return f"{self.host}:{self.port}"
+
+    def _connection(self, read_timeout: float) -> http.client.HTTPConnection:
+        if self.socket_path is not None:
+            return _UnixHTTPConnection(
+                self.socket_path,
+                connect_timeout=self.connect_timeout,
+                read_timeout=read_timeout,
+            )
+        return _TCPConnection(
+            self.host, self.port,
+            connect_timeout=self.connect_timeout,
+            read_timeout=read_timeout,
         )
 
-    def _request(self, method: str, path: str, payload: dict | None = None):
-        conn = self._connection()
+    # -- one attempt ----------------------------------------------------------
+
+    def _attempt(self, method: str, path: str, payload: dict | None,
+                 read_timeout: float):
+        fault = fault_at("service.conn")
+        if fault == "drop":
+            raise ServiceUnavailable("injected connection drop")
+        if fault == "halfclose":
+            raise ServiceTimeout("injected half-closed connection")
+        conn = self._connection(read_timeout)
         try:
-            body = None
-            headers = {}
-            if payload is not None:
-                body = json.dumps(payload).encode()
-                headers["Content-Type"] = "application/json"
-            conn.request(method, path, body=body, headers=headers)
-            response = conn.getresponse()
-            raw = response.read()
+            try:
+                conn.connect()
+            except socket.timeout as exc:
+                raise ServiceTimeout(
+                    f"connect to {self.address} timed out", phase="connect"
+                ) from exc
+            except (ConnectionError, FileNotFoundError, OSError) as exc:
+                raise ServiceUnavailable(
+                    f"cannot reach {self.address}: {exc}"
+                ) from exc
+            try:
+                body = None
+                headers = {}
+                if payload is not None:
+                    body = json.dumps(payload).encode()
+                    headers["Content-Type"] = "application/json"
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except socket.timeout as exc:
+                raise ServiceTimeout(
+                    f"{method} {path} to {self.address} timed out"
+                ) from exc
+            except (ConnectionError, OSError) as exc:
+                raise ServiceUnavailable(
+                    f"connection to {self.address} lost: {exc}", phase="read"
+                ) from exc
             content_type = response.getheader("Content-Type", "")
             if "json" in content_type:
                 data = json.loads(raw.decode() or "{}")
@@ -87,6 +215,41 @@ class ServiceClient:
             return response.status, data
         finally:
             conn.close()
+
+    # -- the retry loop -------------------------------------------------------
+
+    def _backoff(self, attempt: int) -> float:
+        delay = min(self.backoff_cap_s, self.backoff_s * (2 ** attempt))
+        return delay * (1.0 - self.jitter * self._rng.random())
+
+    def _request(self, method: str, path: str, payload: dict | None = None,
+                 deadline_s: float | None = None):
+        budget = deadline_s if deadline_s is not None else self.deadline_s
+        deadline = None if budget is None else time.monotonic() + budget
+        attempt = 0
+        while True:
+            read_timeout = self.timeout
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ServiceTimeout(
+                        f"deadline exhausted before {method} {path}",
+                        phase="connect",
+                    )
+                read_timeout = min(read_timeout, remaining)
+            try:
+                return self._attempt(method, path, payload, read_timeout)
+            except (ServiceTimeout, ServiceUnavailable) as exc:
+                retryable = exc.phase == "connect" or method in _IDEMPOTENT
+                if not retryable or attempt >= self.retries:
+                    raise
+                delay = self._backoff(attempt)
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= delay:
+                        raise
+                time.sleep(delay)
+                attempt += 1
 
     # -- endpoints -----------------------------------------------------------
 
@@ -132,6 +295,9 @@ class ServiceClient:
 
     def metrics_text(self) -> str:
         return self._request("GET", "/metrics")[1]
+
+    def fleet(self) -> dict:
+        return self._request("GET", "/fleet")[1]
 
     def shutdown(self, mode: str = "drain") -> dict:
         return self._request("POST", "/shutdown", {"mode": mode})[1]
@@ -184,3 +350,42 @@ class ServiceClient:
                 409, final.get("error") or f"job ended {final['state']}"
             )
         return self.report(job["id"])
+
+
+class FailoverClient:
+    """Hedged failover over several shard clients.
+
+    ``clients`` maps shard id -> :class:`ServiceClient`; ``health`` is an
+    optional predicate (shard id -> bool) consulted *before* each attempt,
+    so shards the router reports open-circuited are skipped outright
+    instead of timed out against.  Candidates are tried in the given
+    preference order (for the fleet router: ring order from the job's
+    hash point); the first success wins and its shard id is returned.
+    """
+
+    def __init__(self, clients: dict[str, ServiceClient], health=None) -> None:
+        if not clients:
+            raise ValueError("FailoverClient needs at least one client")
+        self.clients = dict(clients)
+        self.health = health
+
+    def candidates(self, preference=None) -> list[str]:
+        order = [s for s in (preference or self.clients) if s in self.clients]
+        if self.health is None:
+            return order
+        healthy = [s for s in order if self.health(s)]
+        # Every shard unhealthy: fall back to trying them all anyway —
+        # refusing outright would turn a transient blip into a lost job.
+        return healthy or order
+
+    def submit(self, case: str, preference=None, **kwargs):
+        """Submit to the first healthy shard; returns ``(shard_id, job)``."""
+        last_error: Exception | None = None
+        for shard_id in self.candidates(preference):
+            try:
+                return shard_id, self.clients[shard_id].submit(case, **kwargs)
+            except (ServiceTimeout, ServiceUnavailable) as exc:
+                last_error = exc
+        raise last_error if last_error is not None else ServiceUnavailable(
+            "no shard accepted the submission"
+        )

@@ -121,6 +121,18 @@ class JobQueue:
         if snapshot and self.service_budget is not None:
             self.service_budget.absorb(snapshot)
 
+    def pool_remaining(self) -> int | None:
+        """The service pool's remaining conflict total (None = ungoverned).
+
+        The pool drains only by *absorbed* consumption, never by handed-out
+        partitions, so this is exactly ``allowance - Σ absorbed`` — the
+        conservation quantity the admission-storm and shard-death tests
+        assert on.
+        """
+        if self.service_budget is None:
+            return None
+        return self.service_budget.remaining_conflicts()
+
     # -- consumption ----------------------------------------------------------
 
     def take(self, timeout: float | None = None) -> JobRecord | None:

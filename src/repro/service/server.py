@@ -56,6 +56,7 @@ class VerificationService:
         service_spec=None,
         batch_window_s: float = 0.01,
         telemetry: Telemetry | None = None,
+        shard_id: str | None = None,
     ) -> None:
         from ..cache import DiskCache
         from ..parallel.scheduler import WorkerPool
@@ -63,6 +64,9 @@ class VerificationService:
         from .runner import JobRunner
 
         self.telemetry = telemetry or Telemetry()
+        #: Optional fleet identity: reported on /healthz so a supervisor's
+        #: heartbeat can confirm it reached the shard it meant to.
+        self.shard_id = shard_id
         self.cache = DiskCache(cache_dir) if cache_dir else None
         self.pool = WorkerPool(pool_jobs)
         self.batcher = TraceBatcher(
@@ -84,6 +88,7 @@ class VerificationService:
         self._previous_store = None
         self._shutdown_event: asyncio.Event | None = None
         self._shutdown_mode = "drain"
+        self._loop: asyncio.AbstractEventLoop | None = None
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -186,6 +191,7 @@ class VerificationService:
         (``(host, port)`` tuple or the socket path) once listening.
         """
         self.start()
+        self._loop = asyncio.get_running_loop()
         self._shutdown_event = asyncio.Event()
         if socket_path is not None:
             server = await asyncio.start_unix_server(self._handle, path=socket_path)
@@ -201,13 +207,46 @@ class VerificationService:
             await self._shutdown_event.wait()
             server.close()
             await server.wait_closed()
+        if self._shutdown_mode == "crash":
+            # Simulated crash (chaos harness, in-process shards): the
+            # listener is gone and runner threads are told to stop, but
+            # nothing drains, flushes, or reports — queued and in-flight
+            # jobs are simply lost, exactly as a SIGKILL would lose them.
+            # In-flight connections are about to be cancelled mid-read by
+            # the loop teardown; that is the point, so keep it quiet.
+            asyncio.get_running_loop().set_exception_handler(
+                lambda _loop, _ctx: None
+            )
+            for runner in self._runners:
+                runner.stop()
+            self.telemetry.log("service-crashed")
+            return
         await asyncio.to_thread(self.stop, self._shutdown_mode == "abort")
 
     def request_stop(self, mode: str = "drain") -> None:
-        """Trigger the serve() loop to exit (thread/signal-handler safe)."""
+        """Trigger the serve() loop to exit (thread/signal-handler safe).
+
+        ``mode`` is ``"drain"`` (finish everything), ``"abort"`` (finish
+        current blocks only), or ``"crash"`` (abandon everything on the
+        floor — the chaos harness's stand-in for SIGKILL when the shard
+        shares the test process).
+        """
         self._shutdown_mode = mode
-        if self._shutdown_event is not None:
-            self._shutdown_event.set()
+        if self._shutdown_event is None:
+            return
+        # An asyncio.Event set from a foreign thread does not wake the
+        # selector; without the threadsafe hop the serve loop only notices
+        # on its next unrelated I/O — which never comes once heartbeats
+        # stop.  Fall back to a direct set when called from the loop itself
+        # (the /shutdown route) or after the loop is gone.
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(self._shutdown_event.set)
+                return
+            except RuntimeError:
+                pass
+        self._shutdown_event.set()
 
     # -- request plumbing ------------------------------------------------------
 
@@ -270,10 +309,16 @@ class VerificationService:
         parts = [p for p in path.split("/") if p]
         try:
             if method == "GET" and parts == ["healthz"]:
+                with self._jobs_lock:
+                    inflight = sum(
+                        1 for j in self.jobs.values() if j.state == "running"
+                    )
                 await self._respond(
                     writer, 200,
                     {"ok": True, "uptime_s": self.telemetry.snapshot()["uptime_s"],
-                     "queue_depth": self.queue.depth},
+                     "queue_depth": self.queue.depth,
+                     "inflight": inflight,
+                     "shard": self.shard_id},
                 )
             elif method == "POST" and parts == ["jobs"]:
                 await self._submit(writer, body)

@@ -105,6 +105,15 @@ def main(argv: list[str] | None = None) -> int:
         help="per-job wait timeout in seconds",
     )
     parser.add_argument(
+        "--retries", type=int, default=0,
+        help="retry failed requests with jittered exponential backoff "
+        "(connect failures and idempotent reads only — never double-submits)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="S",
+        help="per-request wall-clock deadline bounding the whole retry loop",
+    )
+    parser.add_argument(
         "--cert-dir", default=None, metavar="DIR",
         help="write DIR/<case>.cert.json with the daemon's certificate bytes",
     )
@@ -131,7 +140,8 @@ def main(argv: list[str] | None = None) -> int:
     from ..service.client import ServiceClient
 
     client = ServiceClient(
-        host=args.host, port=args.port, socket_path=args.socket
+        host=args.host, port=args.port, socket_path=args.socket,
+        retries=args.retries, deadline_s=args.deadline,
     )
     cert_dir = None
     if args.cert_dir:

@@ -131,3 +131,73 @@ class TestSmtStore:
         with DiskCache(tmp_path) as cache:
             cache.smt_record("c" * 64, "sat")
         assert DiskCache(tmp_path).smt_lookup("c" * 64) == "sat"
+
+
+class TestDurability:
+    """ISSUE 6 satellite: the store behaves like a WAL — atomic renames
+    are fsynced through the directory, and a torn verdict-log tail is
+    *repaired on disk* at open, not merely skipped over forever."""
+
+    def _verdicts_path(self, tmp_path):
+        return tmp_path / f"v{CACHE_FORMAT_VERSION}" / "smt" / "verdicts.jsonl"
+
+    def test_torn_tail_is_truncated_off_the_file(self, tmp_path):
+        path = self._verdicts_path(tmp_path)
+        path.parent.mkdir(parents=True)
+        good = json.dumps({"k": "a" * 64, "r": "unsat"}) + "\n"
+        path.write_text(good + '{"k": "bbbb')  # no terminating newline
+        cache = DiskCache(tmp_path)
+        assert cache.smt_lookup("a" * 64) == "unsat"
+        assert cache.stats.corrupt_entries == 1
+        assert cache.stats.smt_truncated_bytes == len('{"k": "bbbb')
+        # The file itself was repaired under the appenders' lock.
+        assert path.read_bytes() == good.encode()
+
+    def test_garbage_terminated_tail_is_also_truncated(self, tmp_path):
+        path = self._verdicts_path(tmp_path)
+        path.parent.mkdir(parents=True)
+        good = json.dumps({"k": "d" * 64, "r": "sat"}) + "\n"
+        path.write_text(good + "\xff\xfe utter junk\n")
+        cache = DiskCache(tmp_path)
+        assert cache.smt_lookup("d" * 64) == "sat"
+        assert cache.stats.smt_truncated_bytes > 0
+        assert path.read_text() == good
+
+    def test_mid_file_garbage_is_skipped_but_kept(self, tmp_path):
+        """Only a *trailing* run of bad bytes is cut: a valid record after
+        mid-file garbage proves the suffix is live, so nothing is lost."""
+        path = self._verdicts_path(tmp_path)
+        path.parent.mkdir(parents=True)
+        first = json.dumps({"k": "e" * 64, "r": "unsat"}) + "\n"
+        second = json.dumps({"k": "f" * 64, "r": "sat"}) + "\n"
+        content = first + "garbage line\n" + second
+        path.write_text(content)
+        cache = DiskCache(tmp_path)
+        assert cache.smt_lookup("e" * 64) == "unsat"
+        assert cache.smt_lookup("f" * 64) == "sat"
+        assert cache.stats.corrupt_entries == 1
+        assert cache.stats.smt_truncated_bytes == 0
+        assert path.read_text() == content
+
+    def test_appends_after_repair_reload_cleanly(self, tmp_path):
+        path = self._verdicts_path(tmp_path)
+        path.parent.mkdir(parents=True)
+        path.write_text(
+            json.dumps({"k": "a" * 64, "r": "unsat"}) + "\n" + '{"k": "torn'
+        )
+        with DiskCache(tmp_path) as cache:
+            cache.smt_record("b" * 64, "sat")
+        reloaded = DiskCache(tmp_path)
+        assert reloaded.smt_lookup("a" * 64) == "unsat"
+        assert reloaded.smt_lookup("b" * 64) == "sat"
+        assert reloaded.stats.corrupt_entries == 0
+
+    def test_store_trace_leaves_no_temp_files(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        result = _fresh_trace()
+        key = trace_key(ARM, ADD_X1_X2_X3, _assumptions())
+        cache.store_trace(key, result.trace, {"paths": result.paths})
+        entry = cache._trace_path(key)
+        assert entry.exists()
+        # The durable-rename dance left exactly the entry, no droppings.
+        assert [p.name for p in entry.parent.iterdir()] == [entry.name]

@@ -1,0 +1,129 @@
+"""The circuit breaker: trip, cool down, probe, close — deterministically."""
+
+from __future__ import annotations
+
+from repro.service.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _breaker(**kwargs) -> tuple[CircuitBreaker, FakeClock]:
+    clock = FakeClock()
+    defaults = dict(failure_threshold=3, cooldown_s=1.0, max_cooldown_s=8.0)
+    defaults.update(kwargs)
+    return CircuitBreaker(clock=clock, **defaults), clock
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        breaker, _clock = _breaker()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_consecutive_failures_trip(self):
+        breaker, _clock = _breaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_run(self):
+        breaker, _clock = _breaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # the run restarted after success
+
+    def test_cooldown_opens_the_probe_window(self):
+        breaker, clock = _breaker(failure_threshold=1, cooldown_s=1.0)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(0.5)
+        assert breaker.state == OPEN
+        clock.advance(0.6)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()
+
+    def test_half_open_bounds_concurrent_probes(self):
+        breaker, clock = _breaker(
+            failure_threshold=1, cooldown_s=1.0, half_open_probes=2
+        )
+        breaker.record_failure()
+        clock.advance(1.1)
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()  # third concurrent probe refused
+
+    def test_probe_success_closes(self):
+        breaker, clock = _breaker(failure_threshold=1)
+        breaker.record_failure()
+        clock.advance(1.1)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.times_closed == 1
+
+    def test_probe_failure_reopens(self):
+        breaker, clock = _breaker(failure_threshold=1)
+        breaker.record_failure()
+        clock.advance(1.1)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+
+    def test_force_open(self):
+        breaker, _clock = _breaker()
+        breaker.force_open()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+
+class TestBackoff:
+    def test_reopen_doubles_cooldown_capped(self):
+        breaker, clock = _breaker(
+            failure_threshold=1, cooldown_s=1.0, max_cooldown_s=4.0
+        )
+        cooldowns = []
+        for _ in range(4):
+            breaker.record_failure()  # (re)open
+            cooldowns.append(breaker.snapshot()["cooldown_s"])
+            clock.advance(cooldowns[-1] + 0.01)
+            assert breaker.state == HALF_OPEN
+            assert breaker.allow()
+        # First open keeps the base; every flap doubles, capped at 4.
+        assert cooldowns == [1.0, 2.0, 4.0, 4.0]
+
+    def test_success_resets_cooldown_to_base(self):
+        breaker, clock = _breaker(
+            failure_threshold=1, cooldown_s=1.0, max_cooldown_s=8.0
+        )
+        for _ in range(3):  # climb the ladder
+            breaker.record_failure()
+            clock.advance(breaker.snapshot()["cooldown_s"] + 0.01)
+            assert breaker.allow()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.snapshot()["cooldown_s"] == 2.0  # base, doubled once
+
+    def test_transition_counters(self):
+        breaker, clock = _breaker(failure_threshold=1)
+        breaker.record_failure()
+        clock.advance(1.1)
+        assert breaker.allow()
+        breaker.record_success()
+        snap = breaker.snapshot()
+        assert snap["times_opened"] == 1
+        assert snap["times_closed"] == 1

@@ -161,3 +161,95 @@ class TestBudgetPartitions:
         assert spec is not None
         assert spec.conflict_allowance == 42
         assert spec.deadline_s is None
+
+
+class TestSubmitStorm:
+    """Concurrent submit storms (ISSUE 6 satellite): admission under
+    contention must be *deterministic in count* — exactly ``max_depth``
+    jobs get in, every other submitter gets the 429-mapped
+    :class:`AdmissionError` — and the budget pool must be conserved to
+    the integer no matter how absorbs interleave."""
+
+    def test_exactly_max_depth_admitted_under_contention(self):
+        queue = JobQueue(max_depth=16)
+        threads, per_thread = 8, 8
+        barrier = threading.Barrier(threads)
+        admitted = []
+        rejected = []
+        lock = threading.Lock()
+
+        def storm():
+            barrier.wait()
+            for _ in range(per_thread):
+                job = _job()
+                try:
+                    queue.submit(job)
+                except AdmissionError as exc:
+                    with lock:
+                        rejected.append(exc.reason)
+                else:
+                    with lock:
+                        admitted.append(job)
+
+        workers = [threading.Thread(target=storm) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=30)
+        assert len(admitted) == 16
+        assert len(rejected) == threads * per_thread - 16
+        assert all("queue full" in reason for reason in rejected)
+        assert queue.depth == 16
+        # Every admitted job is actually drainable — none were dropped.
+        drained = [queue.take(timeout=0) for _ in range(16)]
+        assert sorted(j.id for j in drained) == sorted(
+            j.id for j in admitted
+        )
+
+    def test_pool_exactly_conserved_under_concurrent_absorbs(self):
+        """remaining == allowance − Σ(absorbed), even with hand-outs and
+        absorbs racing: partitions never drain the pool, absorbs always
+        do, exactly once each."""
+        allowance = 100_000
+        queue = JobQueue(
+            service_spec=BudgetSpec(conflict_allowance=allowance), shares=4
+        )
+        threads, rounds, used_each = 16, 50, 7
+        barrier = threading.Barrier(threads)
+
+        def worker():
+            barrier.wait()
+            for _ in range(rounds):
+                spec = queue.job_budget_spec(_job())  # hand out a share
+                assert spec.conflict_allowance >= 0
+                queue.absorb({"conflicts_used": used_each})
+
+        workers = [threading.Thread(target=worker) for _ in range(threads)]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join(timeout=60)
+        expected = allowance - threads * rounds * used_each
+        assert queue.pool_remaining() == expected
+
+    def test_storm_against_a_spent_pool_rejects_everyone(self):
+        queue = JobQueue(service_spec=BudgetSpec(conflict_allowance=10))
+        queue.absorb({"conflicts_used": 10})
+        outcomes = []
+        lock = threading.Lock()
+
+        def storm():
+            try:
+                queue.submit(_job())
+            except AdmissionError as exc:
+                with lock:
+                    outcomes.append(exc.reason)
+
+        workers = [threading.Thread(target=storm) for _ in range(8)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=30)
+        assert len(outcomes) == 8
+        assert all("budget exhausted" in reason for reason in outcomes)
+        assert queue.pool_remaining() == 0

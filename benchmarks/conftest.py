@@ -18,10 +18,12 @@ import pytest
 
 _RECORDS: dict[str, dict] = {}
 _SERVICE_RECORDS: dict[str, dict] = {}
+_COSIM_RECORDS: dict[str, dict] = {}
 
 _ROOT = pathlib.Path(__file__).resolve().parent.parent
 BENCH_PATH = _ROOT / "BENCH_smt.json"
 BENCH_SERVICE_PATH = _ROOT / "BENCH_service.json"
+BENCH_COSIM_PATH = _ROOT / "BENCH_cosim.json"
 
 
 @pytest.fixture
@@ -44,6 +46,16 @@ def bench_service_record():
     return record
 
 
+@pytest.fixture
+def bench_cosim_record():
+    """Record one named co-simulation benchmark for ``BENCH_cosim.json``."""
+
+    def record(name: str, **data) -> None:
+        _COSIM_RECORDS[name] = data
+
+    return record
+
+
 def _merge_into(path: pathlib.Path, records: dict[str, dict]) -> None:
     merged: dict[str, dict] = {}
     if path.exists():
@@ -60,3 +72,5 @@ def pytest_sessionfinish(session, exitstatus):
         _merge_into(BENCH_PATH, _RECORDS)
     if _SERVICE_RECORDS:
         _merge_into(BENCH_SERVICE_PATH, _SERVICE_RECORDS)
+    if _COSIM_RECORDS:
+        _merge_into(BENCH_COSIM_PATH, _COSIM_RECORDS)

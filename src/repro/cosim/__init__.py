@@ -1,0 +1,37 @@
+"""``repro.cosim`` — mass differential co-simulation.
+
+Scales the conformance story from hundreds of checked-in cases to millions
+of generated ones, following the state-comparison idiom of symbolic-
+execution validation against formal ISA semantics (Tempel et al.): a *fast
+direct interpreter* per architecture executes generated programs in plain
+Python integers, and a co-simulation driver steps it in lockstep against
+the concrete ITL operational semantics (the authoritative side), diffing
+registers, memory, flags, and visible labels after every instruction.
+
+Trust story (see DESIGN.md): the fast interpreter is an **oracle
+cross-check, not a trusted component**.  A divergence means one of the two
+executors is wrong; the shrinker minimises the witness and the reproducer
+lands in the conformance corpus where the existing differential machinery
+(concrete mini-Sail model vs ITL trace replay) adjudicates.  Nothing the
+interpreter computes ever enters a proof.
+"""
+
+from .archs import COSIM_ARCHS, CosimArch
+from .driver import BatchReport, CoSimDriver, Divergence, run_service_batch
+from .generate import CoverageMap, ProgramGenerator, GeneratedProgram
+from .interp import (
+    ArmInterp,
+    CosimDomainError,
+    CosimUnsupported,
+    DEFECTS,
+    RiscvInterp,
+    interp_for,
+)
+from .state import diff_states, snapshot_state
+
+__all__ = [
+    "ArmInterp", "BatchReport", "COSIM_ARCHS", "CoSimDriver", "CosimArch",
+    "CosimDomainError", "CosimUnsupported", "CoverageMap", "DEFECTS",
+    "Divergence", "GeneratedProgram", "ProgramGenerator", "RiscvInterp",
+    "diff_states", "interp_for", "run_service_batch", "snapshot_state",
+]

@@ -1,0 +1,119 @@
+"""Per-architecture co-simulation profiles.
+
+One :class:`CosimArch` per supported architecture bundles everything the
+generator and driver need: the mini-Sail model (for the authoritative
+side), the decoder (arm accounting), the assembler (directed templates),
+the pinned registers the ITL traces assume, and the register/memory domain
+generated states draw from.
+
+The pins mirror the conformance harness: ARM runs at EL2 with the banked
+stack pointer selected and alignment checking off (``SCTLR_EL2 = 0``);
+RISC-V needs no pins.  Generated programs may *leave* this domain (an
+``eret`` dropping to EL1, an ``msr`` to SCTLR_EL2); the driver detects
+that and ends the case — the ITL traces were generated under the pinned
+assumptions and are only authoritative inside them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..arch.arm import ArmModel
+from ..arch.arm import asm as arm_asm
+from ..arch.arm import decode as arm_decode
+from ..arch.riscv import RiscvModel
+from ..arch.riscv import asm as riscv_asm
+from ..arch.riscv import decode as riscv_decode
+from ..isla import Assumptions
+from ..itl.events import Reg
+
+#: Mapped memory window for generated states (mirrors the conformance
+#: harness): registers are biased to point into it so loads/stores hit
+#: real memory as well as the MMIO device fallback.
+MEM_BASE = 0x5000
+MEM_LEN = 64
+
+#: Where generated programs are placed.
+CODE_BASE = 0x1000
+
+ARM_PINS = {"PSTATE.EL": 2, "PSTATE.SP": 1, "SCTLR_EL2": 0}
+ARM_VARY = [f"R{i}" for i in range(31)] + ["SP_EL2"]
+ARM_FLAGS = ["PSTATE.N", "PSTATE.Z", "PSTATE.C", "PSTATE.V"]
+RISCV_VARY = [f"x{i}" for i in range(1, 32)]
+
+
+@dataclass(frozen=True)
+class CosimArch:
+    """Everything the co-sim stack needs to know about one architecture."""
+
+    name: str
+    model: object
+    decode: object
+    asm: object
+    pins: dict
+    vary: tuple
+    flags: tuple
+
+    def assumptions(self) -> Assumptions:
+        out = Assumptions()
+        for reg, value in self.pins.items():
+            out.pin(reg, value, self.model.regfile.width_of(Reg.parse(reg)))
+        return out
+
+    def pins_hold(self, state) -> bool:
+        """Do the pinned-register assumptions still hold in ``state``?
+
+        ITL traces are generated under these assumptions; once a program
+        escapes them (eret, msr to a pinned register) the oracle side is
+        no longer authoritative and the case must end.
+        """
+        for name, value in self.pins.items():
+            if state.read_reg(Reg.parse(name)) != value:
+                return False
+        return True
+
+    def arm_names(self) -> list[str]:
+        """Every decode-arm name of this architecture's decoder."""
+        return decode_arm_names(self.name)
+
+
+@lru_cache(maxsize=None)
+def _models():
+    return {"arm": ArmModel(), "riscv": RiscvModel()}
+
+
+def decode_arm_names(arch_name: str) -> list[str]:
+    """The full universe of decode-arm names, straight from the decoders."""
+    if arch_name == "arm":
+        return [fn.__name__.lstrip("_") for fn in arm_decode._DECODERS]
+    if arch_name == "riscv":
+        return list(riscv_decode._MAJOR_ARMS.values())
+    raise KeyError(f"unknown cosim arch {arch_name!r}")
+
+
+def _build_archs() -> dict[str, CosimArch]:
+    models = _models()
+    return {
+        "arm": CosimArch(
+            name="arm",
+            model=models["arm"],
+            decode=arm_decode,
+            asm=arm_asm,
+            pins=dict(ARM_PINS),
+            vary=tuple(ARM_VARY),
+            flags=tuple(ARM_FLAGS),
+        ),
+        "riscv": CosimArch(
+            name="riscv",
+            model=models["riscv"],
+            decode=riscv_decode,
+            asm=riscv_asm,
+            pins={},
+            vary=tuple(RISCV_VARY),
+            flags=(),
+        ),
+    }
+
+
+COSIM_ARCHS: dict[str, CosimArch] = _build_archs()

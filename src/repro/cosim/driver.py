@@ -1,0 +1,321 @@
+"""Lockstep co-simulation driver with divergence shrinking.
+
+For every generated case the driver steps the fast interpreter and the
+concrete ITL operational semantics (the authoritative side) from the same
+start state, one instruction at a time, and diffs registers, memory, and
+visible MMIO labels after every step.  Any mismatch is a
+:class:`Divergence`; the shrinker then delta-debugs the program (words →
+NOPs, truncation) and the start state (memory, registers) while preserving
+the divergence *signature* — the shape of the first differing observable —
+and the minimized reproducer can be appended to the conformance corpus.
+
+Traces come from the same Isla pipeline the proof stack uses
+(``trace_for_opcode`` under the architecture's pinned assumptions) and
+are cached per opcode behind a lock, so daemon runner threads can share
+one driver process.  Only exhaustive enumerations are eligible for
+replay from arbitrary states.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..isla import IslaError, trace_for_opcode
+from ..itl.opsem import Discarded, Failure, Runner
+from .archs import COSIM_ARCHS, CosimArch
+from .generate import CoverageMap, ProgramGenerator
+from .interp import CosimDomainError, CosimUnsupported, interp_for
+from .state import ProgramCase, build_machine_state, diff_states
+
+#: ``(arch_name, opcode) -> Trace | None`` — None caches "out of scope".
+_TRACE_CACHE: dict[tuple[str, int], object] = {}
+_TRACE_LOCK = threading.Lock()
+
+_NOP = {"arm": 0xD503201F, "riscv": 0x00000013}
+
+
+def cached_trace(arch: CosimArch, opcode: int):
+    """The exhaustive ITL trace for ``opcode``, or None when out of scope.
+
+    Generation happens at most once per opcode across all threads; replay
+    of the returned trace is pure, so the cached object is shared freely.
+    """
+    key = (arch.name, opcode)
+    try:
+        return _TRACE_CACHE[key]
+    except KeyError:
+        pass
+    with _TRACE_LOCK:
+        if key not in _TRACE_CACHE:
+            try:
+                result = trace_for_opcode(arch.model, opcode, arch.assumptions())
+                trace = result.trace if result.exhausted is None else None
+            except IslaError:
+                trace = None
+            _TRACE_CACHE[key] = trace
+        return _TRACE_CACHE[key]
+
+
+@dataclass
+class Divergence:
+    """A minimized witness that the two executors disagree."""
+
+    arch: str
+    case: ProgramCase
+    step: int
+    pc: int
+    opcode: int
+    arm: str
+    details: list[str]
+
+    @property
+    def signature(self) -> str:
+        """The shape of the first differing observable (``register R3
+        diverges`` / ``memory 0x5008 diverges`` / ``labels diverge`` /
+        ``itl-bottom``); this is what the shrinker preserves."""
+        return self.details[0].split(":", 1)[0] if self.details else ""
+
+    def to_json(self) -> dict:
+        return {
+            "kind": "cosim",
+            "arch": self.arch,
+            "case": self.case.to_json(),
+            "step": self.step,
+            "pc": hex(self.pc),
+            "opcode": hex(self.opcode),
+            "arm": self.arm,
+            "reason": self.details[0] if self.details else "",
+        }
+
+
+@dataclass
+class BatchReport:
+    """Counters for one co-simulation batch."""
+
+    arch: str
+    seed: int
+    cases: int = 0
+    instructions: int = 0
+    skips: int = 0
+    trace_misses: int = 0
+    divergences: list[Divergence] = field(default_factory=list)
+    coverage: CoverageMap | None = None
+    elapsed_s: float = 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "arch": self.arch,
+            "seed": self.seed,
+            "cases": self.cases,
+            "instructions": self.instructions,
+            "skips": self.skips,
+            "trace_misses": self.trace_misses,
+            "divergences": [d.to_json() for d in self.divergences],
+            "coverage": self.coverage.to_json() if self.coverage else None,
+            "elapsed_s": round(self.elapsed_s, 3),
+        }
+
+
+class CoSimDriver:
+    """Steps the fast interpreter against the ITL opsem in lockstep."""
+
+    def __init__(
+        self,
+        arch: CosimArch,
+        defect: str | None = None,
+        max_steps: int = 48,
+    ) -> None:
+        self.arch = arch
+        self.defect = defect
+        self.max_steps = max_steps
+
+    # -- one case -----------------------------------------------------------
+
+    def run_case(self, case: ProgramCase) -> tuple[Divergence | None, dict]:
+        """Run one case to completion; returns ``(divergence, counters)``.
+
+        The case ends without divergence when: the PC leaves the program,
+        the pinned-register domain is escaped (the ITL traces are only
+        authoritative inside it), the next opcode has no exhaustive trace,
+        or the interpreter declares the encoding unsupported/out of domain.
+        """
+        counters = {"instructions": 0, "skips": 0, "trace_misses": 0, "arms": []}
+        interp_state = build_machine_state(self.arch, case)
+        itl_state = interp_state.copy()
+        interp = interp_for(self.arch, interp_state, defect=self.defect)
+        pc_reg = self.arch.model.pc_reg
+        code_end = case.pc + 4 * len(case.words)
+
+        for step in range(self.max_steps):
+            if not self.arch.pins_hold(itl_state):
+                break
+            pc = itl_state.read_reg(pc_reg)
+            if pc is None or not (case.pc <= pc < code_end) or pc % 4:
+                break
+            opcode = itl_state.read_mem(pc, 4)
+            try:
+                arm = self.arch.decode.decode_arm(opcode)
+            except self.arch.decode.UnknownInstruction:
+                break
+            trace = cached_trace(self.arch, opcode)
+            if trace is None:
+                counters["trace_misses"] += 1
+                break
+
+            labels_before = len(interp.labels)
+            try:
+                interp.step()
+            except (CosimUnsupported, CosimDomainError):
+                counters["skips"] += 1
+                break
+
+            runner = Runner(itl_state)
+            try:
+                runner.run_trace(trace)
+            except (Failure, Discarded) as exc:
+                reason = getattr(exc, "reason", "discarded")
+                return (
+                    Divergence(
+                        arch=self.arch.name, case=case, step=step, pc=pc,
+                        opcode=opcode, arm=arm,
+                        details=[f"itl-bottom: ITL replay reached ⊥ ({reason})"],
+                    ),
+                    counters,
+                )
+            itl_state = runner.state
+
+            diff = diff_states(
+                interp.state, itl_state,
+                interp.labels[labels_before:], runner.labels,
+            )
+            if diff:
+                return (
+                    Divergence(
+                        arch=self.arch.name, case=case, step=step, pc=pc,
+                        opcode=opcode, arm=arm, details=diff,
+                    ),
+                    counters,
+                )
+            counters["instructions"] += 1
+            counters["arms"].append(arm)
+        return None, counters
+
+    # -- shrinking ----------------------------------------------------------
+
+    def _diverges_like(self, case: ProgramCase, signature: str) -> bool:
+        divergence, _ = self.run_case(case)
+        return divergence is not None and divergence.signature == signature
+
+    def shrink(self, case: ProgramCase, divergence: Divergence) -> ProgramCase:
+        """Greedy delta-debug of program and state, re-verifying after
+        *every* reduction that the original divergence signature still
+        reproduces (a reduction that merely fails differently is rejected)."""
+        signature = divergence.signature
+        current = case.copy()
+        nop = _NOP[self.arch.name]
+
+        # 1. Truncate the program after the diverging step's reach.
+        for length in range(1, len(current.words)):
+            candidate = current.copy()
+            candidate.words = candidate.words[:length]
+            if self._diverges_like(candidate, signature):
+                current = candidate
+                break
+
+        # 2. Replace words with NOPs, one at a time, repeat to fixpoint.
+        changed = True
+        while changed:
+            changed = False
+            for i, word in enumerate(current.words):
+                if word == nop:
+                    continue
+                candidate = current.copy()
+                candidate.words[i] = nop
+                if self._diverges_like(candidate, signature):
+                    current = candidate
+                    changed = True
+
+        # 3. Drop the data memory window entirely if possible.
+        candidate = current.copy()
+        candidate.mem = {}
+        if self._diverges_like(candidate, signature):
+            current = candidate
+
+        # 4. Minimise registers: delete, then 0, then 1.
+        for name in sorted(current.regs):
+            if name in self.arch.pins:
+                continue
+            for value in (None, 0, 1):
+                candidate = current.copy()
+                del candidate.regs[name]
+                if value is not None:
+                    candidate.regs[name] = value
+                if self._diverges_like(candidate, signature):
+                    current = candidate
+                    break
+        return current
+
+    # -- batches ------------------------------------------------------------
+
+    def run_batch(
+        self,
+        seed: int,
+        count: int,
+        shrink: bool = True,
+        max_divergences: int = 10,
+    ) -> BatchReport:
+        """Generate and run ``count`` cases; shrink any divergences found."""
+        start = time.monotonic()
+        generator = ProgramGenerator(self.arch, seed)
+        executed = CoverageMap(self.arch.name)
+        report = BatchReport(arch=self.arch.name, seed=seed, coverage=executed)
+        for _ in range(count):
+            program = generator.program()
+            divergence, counters = self.run_case(program.case)
+            report.cases += 1
+            report.instructions += counters["instructions"]
+            report.skips += counters["skips"]
+            report.trace_misses += counters["trace_misses"]
+            for arm in counters["arms"]:
+                executed.record(arm)
+            if divergence is not None:
+                if shrink:
+                    shrunk = self.shrink(program.case, divergence)
+                    redo, _ = self.run_case(shrunk)
+                    if redo is not None:
+                        divergence = redo
+                report.divergences.append(divergence)
+                if len(report.divergences) >= max_divergences:
+                    break
+        report.elapsed_s = time.monotonic() - start
+        return report
+
+
+def record_reproducer(divergence: Divergence, corpus_dir: Path | str) -> Path:
+    """Append a minimized co-sim reproducer to the conformance corpus."""
+    path = Path(corpus_dir) / f"{divergence.arch}.jsonl"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as fh:
+        fh.write(json.dumps(divergence.to_json()) + "\n")
+    return path
+
+
+def run_service_batch(
+    arch_name: str,
+    seed: int = 0,
+    count: int = 50,
+    defect: str | None = None,
+    max_steps: int = 48,
+    shrink: bool = True,
+) -> dict:
+    """Daemon entry point: one co-sim batch as a JSON-able result payload."""
+    arch = COSIM_ARCHS[arch_name]
+    driver = CoSimDriver(arch, defect=defect, max_steps=max_steps)
+    report = driver.run_batch(seed=seed, count=count, shrink=shrink)
+    payload = report.to_json()
+    payload["outcome"] = "pass" if not report.divergences else "divergence"
+    return payload

@@ -1,0 +1,137 @@
+"""Architectural-state construction and diffing for co-simulation.
+
+The two executors (fast interpreter and ITL opsem) each own a
+:class:`~repro.itl.machine.MachineState` copy; after every instruction the
+driver diffs the two — registers (including the PSTATE flag cells), byte
+memory, and the visible MMIO labels each side emitted — and any mismatch
+is a divergence witness.
+
+States round-trip through the same JSON shape the conformance corpus
+uses (hex-string registers, per-byte memory), so shrunk co-sim
+reproducers can be checked in next to the differential entries.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..itl.events import Reg
+from ..itl.machine import MachineState
+from .archs import CODE_BASE, MEM_BASE, MEM_LEN, CosimArch
+
+
+@dataclass
+class ProgramCase:
+    """One concrete co-sim start state plus its program, JSON-able."""
+
+    regs: dict[str, int] = field(default_factory=dict)
+    mem: dict[int, int] = field(default_factory=dict)  # addr -> byte
+    pc: int = CODE_BASE
+    words: list[int] = field(default_factory=list)  # program, 4-byte words
+
+    def to_json(self) -> dict:
+        return {
+            "regs": {k: hex(v) for k, v in sorted(self.regs.items())},
+            "mem": {hex(a): b for a, b in sorted(self.mem.items())},
+            "pc": hex(self.pc),
+            "words": [hex(w) for w in self.words],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ProgramCase":
+        return cls(
+            regs={k: int(v, 16) for k, v in data.get("regs", {}).items()},
+            mem={int(a, 16): b for a, b in data.get("mem", {}).items()},
+            pc=int(data.get("pc", hex(CODE_BASE)), 16),
+            words=[int(w, 16) for w in data.get("words", [])],
+        )
+
+    def copy(self) -> "ProgramCase":
+        return ProgramCase(
+            regs=dict(self.regs), mem=dict(self.mem),
+            pc=self.pc, words=list(self.words),
+        )
+
+
+def random_case(arch: CosimArch, rng: random.Random, words: list[int]) -> ProgramCase:
+    """A random start state in the comparable domain (mirrors the
+    conformance harness's distribution: window pointers, corner values,
+    uniform bits)."""
+    regs = dict(arch.pins)
+    for name in arch.vary:
+        width = arch.model.regfile.width_of(Reg.parse(name))
+        roll = rng.random()
+        if roll < 0.3:
+            regs[name] = MEM_BASE + 8 * rng.randrange(MEM_LEN // 8 - 1)
+        elif roll < 0.5:
+            regs[name] = rng.choice(
+                [0, 1, 2, 0xFF, (1 << width) - 1, 1 << (width - 1)]
+            )
+        else:
+            regs[name] = rng.getrandbits(width)
+    for flag in arch.flags:
+        regs[flag] = rng.getrandbits(1)
+    mem = {MEM_BASE + off: rng.getrandbits(8) for off in range(MEM_LEN)}
+    return ProgramCase(regs=regs, mem=mem, pc=CODE_BASE, words=list(words))
+
+
+def build_machine_state(arch: CosimArch, case: ProgramCase) -> MachineState:
+    """Materialise a :class:`MachineState` (every declared register at its
+    reset value, then pins, then the case's registers, memory, program)."""
+    state = arch.model.initial_state()
+    state.write_reg(arch.model.pc_reg, case.pc)
+    for name, value in arch.pins.items():
+        state.write_reg(Reg.parse(name), value)
+    for name, value in case.regs.items():
+        state.write_reg(Reg.parse(name), value)
+    for addr, byte in case.mem.items():
+        state.write_mem(addr, byte, 1)
+    for i, word in enumerate(case.words):
+        state.load_bytes(case.pc + 4 * i, word.to_bytes(4, "little"))
+    return state
+
+
+def snapshot_state(state: MachineState) -> dict:
+    """A hashable-ish plain snapshot (for journaling divergences)."""
+    return {
+        "regs": {str(reg): value for reg, value in sorted(
+            state.regs.items(), key=lambda kv: str(kv[0])
+        )},
+        "mem": dict(sorted(state.mem.items())),
+    }
+
+
+def diff_states(
+    a: MachineState,
+    b: MachineState,
+    labels_a: list | None = None,
+    labels_b: list | None = None,
+    a_name: str = "interp",
+    b_name: str = "itl",
+) -> list[str]:
+    """All observable differences between two machine states.
+
+    Returns human-readable difference lines, one per diverging register,
+    memory byte, or label stream; empty means the states agree.  The first
+    line's *shape* (``register R3``, ``memory 0x5008``, ``labels``) is the
+    divergence signature the shrinker preserves.
+    """
+    out: list[str] = []
+    for reg in sorted(set(a.regs) | set(b.regs), key=str):
+        va, vb = a.read_reg(reg), b.read_reg(reg)
+        if va != vb:
+            out.append(
+                f"register {reg} diverges: {a_name}={va!r} vs {b_name}={vb!r}"
+            )
+    for addr in sorted(set(a.mem) | set(b.mem)):
+        va, vb = a.mem.get(addr), b.mem.get(addr)
+        if va != vb:
+            out.append(
+                f"memory 0x{addr:x} diverges: {a_name}={va!r} vs {b_name}={vb!r}"
+            )
+    if labels_a is not None and labels_b is not None and labels_a != labels_b:
+        out.append(
+            f"labels diverge: {a_name}={labels_a} vs {b_name}={labels_b}"
+        )
+    return out

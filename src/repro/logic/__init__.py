@@ -13,6 +13,14 @@ from .assertions import (
 )
 from .automation import EngineConfig, ProofEngine, verify_program
 from .context import Context, ProofError
+from .incorrectness import (
+    BadStatePred,
+    RefutationCertificate,
+    RefutationCheckFailure,
+    RefutationError,
+    check_refutation,
+    reaches_bad_state,
+)
 from .proof import Proof, ProofStep, SideCondition
 from .spec import (
     LabelSpec,
@@ -26,9 +34,11 @@ from .spec import (
 )
 
 __all__ = [
-    "Context", "EngineConfig", "InstrPre", "LabelSpec", "MMIO", "MemArray",
-    "MemPointsTo", "Pred", "PredBuilder", "Proof", "ProofEngine",
-    "ProofError", "ProofStep", "RegCol", "RegPointsTo", "SAnything",
-    "SChoice", "SideCondition", "SpecAssertion", "SRead", "SRec", "SStop",
-    "SWrite", "spec_allows", "verify_program",
+    "BadStatePred", "Context", "EngineConfig", "InstrPre", "LabelSpec",
+    "MMIO", "MemArray", "MemPointsTo", "Pred", "PredBuilder", "Proof",
+    "ProofEngine", "ProofError", "ProofStep", "RefutationCertificate",
+    "RefutationCheckFailure", "RefutationError", "RegCol", "RegPointsTo",
+    "SAnything", "SChoice", "SideCondition", "SpecAssertion", "SRead",
+    "SRec", "SStop", "SWrite", "check_refutation", "reaches_bad_state",
+    "spec_allows", "verify_program",
 ]

@@ -87,6 +87,9 @@ class JobRunner:
     # -- one job --------------------------------------------------------------
 
     def run_job(self, job: JobRecord) -> None:
+        if job.request.case.startswith("cosim:"):
+            self.run_cosim_job(job)
+            return
         from ..logic.checker import CheckFailure, check_proof
         from ..parallel.scheduler import verify_case_parallel
 
@@ -167,10 +170,65 @@ class JobRunner:
                 "disk_smt_hits", service.cache.stats.smt_hits
             )
         job.mark_done(result)
+        if job.latency_s is not None:
+            telemetry.observe_queue_latency(job.latency_s, job.request.priority)
         telemetry.log(
             "job-done",
             job=job.id,
             case=job.request.case,
             outcome=report.outcome,
+            seconds=round(elapsed, 3),
+        )
+
+    # -- co-simulation jobs ---------------------------------------------------
+
+    def run_cosim_job(self, job: JobRecord) -> None:
+        """One differential co-simulation batch (``cosim:<arch>``).
+
+        These are bulk soak work: no SMT pipeline, no proof checker — just
+        the generator + lockstep driver.  Divergence counts feed the
+        standing correctness ratchet; the per-priority latency reservoirs
+        are what the starvation tests read.
+        """
+        from ..cosim.driver import run_service_batch
+
+        service = self.service
+        telemetry = service.telemetry
+        telemetry.inc("jobs_started")
+        telemetry.gauge("queue_depth", service.queue.depth)
+        telemetry.log(
+            "job-started", job=job.id, case=job.request.case, runner=self.name
+        )
+        job.mark_running()
+        t0 = time.perf_counter()
+        try:
+            arch_name = job.request.case.split(":", 1)[1]
+            payload = run_service_batch(arch_name, **dict(job.request.kwargs))
+        except Exception as exc:  # noqa: BLE001 — runner must survive any job
+            detail = f"{type(exc).__name__}: {exc}"
+            job.mark_failed(detail)
+            telemetry.inc("jobs_failed")
+            telemetry.log(
+                "job-failed",
+                job=job.id,
+                error=detail,
+                trace=traceback.format_exc(limit=4),
+            )
+            return
+        elapsed = time.perf_counter() - t0
+        telemetry.observe_latency(elapsed)
+        telemetry.inc("jobs_completed")
+        telemetry.inc(f"outcome_{payload['outcome']}")
+        telemetry.inc("cosim_cases", payload["cases"])
+        telemetry.inc("cosim_instructions", payload["instructions"])
+        telemetry.inc("cosim_divergences", len(payload["divergences"]))
+        job.mark_done(payload)
+        if job.latency_s is not None:
+            telemetry.observe_queue_latency(job.latency_s, job.request.priority)
+        telemetry.log(
+            "job-done",
+            job=job.id,
+            case=job.request.case,
+            outcome=payload["outcome"],
             seconds=round(elapsed, 3),
         )

@@ -143,7 +143,13 @@ class VerificationService:
     def submit(self, request: SubmitRequest) -> JobRecord:
         from .. import casestudies
 
-        if getattr(casestudies, request.case, None) is None or (
+        if request.case.startswith("cosim:"):
+            from ..cosim.archs import COSIM_ARCHS
+
+            arch_name = request.case.split(":", 1)[1]
+            if arch_name not in COSIM_ARCHS:
+                raise AdmissionError(f"unknown case study {request.case!r}")
+        elif getattr(casestudies, request.case, None) is None or (
             request.case not in casestudies.__all__
         ):
             raise AdmissionError(f"unknown case study {request.case!r}")

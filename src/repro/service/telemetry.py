@@ -31,6 +31,7 @@ class Telemetry:
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}
         self._latencies: list[float] = []
+        self._latencies_by_priority: dict[str, list[float]] = {}
         self._started = time.time()
         self._log_stream = log_stream
         self._service = service
@@ -74,11 +75,25 @@ class Telemetry:
 
     def observe_latency(self, seconds: float) -> None:
         with self._lock:
-            self._latencies.append(seconds)
-            if len(self._latencies) > self.RESERVOIR:
-                # Drop the oldest half: keeps the reservoir recent-biased
-                # without per-observation randomness.
-                del self._latencies[: self.RESERVOIR // 2]
+            self._observe(self._latencies, seconds)
+
+    def observe_queue_latency(self, seconds: float, priority: str) -> None:
+        """Record end-to-end (submit→done) latency for one priority class.
+
+        Kept separate from :meth:`observe_latency` — the global reservoir
+        tracks pure *run* time, while the per-priority reservoirs track
+        queue + run time, which is the metric that exposes starvation.
+        """
+        with self._lock:
+            reservoir = self._latencies_by_priority.setdefault(priority, [])
+            self._observe(reservoir, seconds)
+
+    def _observe(self, reservoir: list[float], seconds: float) -> None:
+        reservoir.append(seconds)
+        if len(reservoir) > self.RESERVOIR:
+            # Drop the oldest half: keeps the reservoir recent-biased
+            # without per-observation randomness.
+            del reservoir[: self.RESERVOIR // 2]
 
     # -- views ---------------------------------------------------------------
 
@@ -91,19 +106,29 @@ class Telemetry:
         )
         return sorted_values[index]
 
+    @classmethod
+    def _latency_block(cls, latencies: list[float]) -> dict:
+        latencies = sorted(latencies)
+        return {
+            "count": len(latencies),
+            "p50_s": cls._percentile(latencies, 0.50),
+            "p95_s": cls._percentile(latencies, 0.95),
+            "p99_s": cls._percentile(latencies, 0.99),
+            "max_s": latencies[-1] if latencies else 0.0,
+        }
+
     def snapshot(self) -> dict:
         with self._lock:
-            latencies = sorted(self._latencies)
             return {
                 "uptime_s": round(time.time() - self._started, 3),
                 "counters": dict(sorted(self._counters.items())),
                 "gauges": dict(sorted(self._gauges.items())),
-                "latency": {
-                    "count": len(latencies),
-                    "p50_s": self._percentile(latencies, 0.50),
-                    "p95_s": self._percentile(latencies, 0.95),
-                    "p99_s": self._percentile(latencies, 0.99),
-                    "max_s": latencies[-1] if latencies else 0.0,
+                "latency": self._latency_block(self._latencies),
+                "latency_by_priority": {
+                    priority: self._latency_block(reservoir)
+                    for priority, reservoir in sorted(
+                        self._latencies_by_priority.items()
+                    )
                 },
             }
 

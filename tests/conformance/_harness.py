@@ -209,14 +209,42 @@ def run_case(arch: Arch, opcode: int, trace, case: CaseState) -> str | None:
     return None
 
 
-def shrink_case(arch: Arch, opcode: int, trace, case: CaseState) -> CaseState:
-    """Greedy minimisation of a failing case: drop memory, zero registers."""
+def failure_signature(reason: str | None) -> str | None:
+    """The shape of a failure, without the concrete values.
+
+    ``opcode 0x…: register R3 diverges: model=1 vs ITL=2`` and
+    ``… model=7 vs ITL=9`` are the *same* divergence for shrinking
+    purposes; ``register R4 diverges`` or ``memory 0x5008 diverges``
+    are different ones.
+    """
+    if reason is None:
+        return None
+    return reason.split(": model=", 1)[0]
+
+
+def shrink_case(
+    arch: Arch, opcode: int, trace, case: CaseState, reason: str | None = None
+) -> CaseState:
+    """Greedy minimisation of a failing case: drop memory, zero registers.
+
+    Every reduction step re-verifies that the *original* divergence (by
+    :func:`failure_signature`) still reproduces — a candidate that fails
+    for a different reason is rejected, so the recorded reproducer always
+    witnesses the divergence that was actually found, not whichever
+    failure the reduction happened to wander onto.  Passing ``reason=None``
+    falls back to accepting any failure (pre-fix behaviour, kept for
+    callers that have no original reason to preserve).
+    """
+    target = failure_signature(reason)
 
     def still_fails(candidate: CaseState) -> bool:
         try:
-            return run_case(arch, opcode, trace, candidate) is not None
+            got = run_case(arch, opcode, trace, candidate)
         except ModelError:
             return False
+        if got is None:
+            return False
+        return target is None or failure_signature(got) == target
 
     current = case
     without_mem = CaseState(regs=dict(current.regs), mem={}, pc=current.pc)
@@ -259,7 +287,7 @@ def load_corpus(arch_name: str) -> list[dict]:
 
 def record_failure(arch: Arch, opcode: int, trace, case: CaseState, reason: str) -> CaseState:
     """Shrink a failing case and append it to the corpus; returns the shrunk case."""
-    shrunk = shrink_case(arch, opcode, trace, case)
+    shrunk = shrink_case(arch, opcode, trace, case, reason=reason)
     entry = {
         "kind": "differential",
         "opcode": hex(opcode),

@@ -1,0 +1,81 @@
+"""Shrinking must re-verify the *original* divergence after every reduction.
+
+Regression test for a real shrinker bug: ``shrink_case`` accepted any
+failing candidate, so a reduction step could mask the original divergence
+and swap in a different one — the recorded "minimized reproducer" then
+witnessed a failure nobody ever observed.  The fix threads the original
+failure reason through and compares :func:`failure_signature` after every
+reduction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from . import _harness
+from ._harness import ARCHS, CaseState, failure_signature, shrink_case
+
+ARCH = ARCHS["riscv"]
+
+#: The divergence originally observed: present only while x5 == 5.
+ORIGINAL = "opcode 0x00000000: register x5 diverges: model=5 vs ITL=6"
+#: A *different* divergence every other state exhibits.
+DECOY = "opcode 0x00000000: memory 0x5000 diverges: model=0 vs ITL=1"
+
+
+def _fake_run_case(arch, opcode, trace, case):
+    """Divergence oracle: the original failure needs x5 == 5; anything
+    else still fails, but differently."""
+    if case.regs.get("x5") == 5:
+        return ORIGINAL
+    return DECOY
+
+
+@pytest.fixture()
+def patched_run_case(monkeypatch):
+    monkeypatch.setattr(_harness, "run_case", _fake_run_case)
+
+
+class TestFailureSignature:
+    def test_values_are_stripped(self):
+        a = "opcode 0x1: register R3 diverges: model=1 vs ITL=2"
+        b = "opcode 0x1: register R3 diverges: model=7 vs ITL=9"
+        assert failure_signature(a) == failure_signature(b)
+
+    def test_different_subjects_differ(self):
+        a = "opcode 0x1: register R3 diverges: model=1 vs ITL=2"
+        b = "opcode 0x1: register R4 diverges: model=1 vs ITL=2"
+        c = "opcode 0x1: memory 0x5008 diverges: model=1 vs ITL=2"
+        assert failure_signature(a) != failure_signature(b)
+        assert failure_signature(a) != failure_signature(c)
+
+    def test_bottom_messages_keep_their_text(self):
+        reason = "opcode 0x1: ITL run reached ⊥ (partially mapped read)"
+        assert failure_signature(reason) == reason
+
+    def test_none_passes_through(self):
+        assert failure_signature(None) is None
+
+
+class TestShrinkPreservesDivergence:
+    def test_shrink_keeps_the_original_signature(self, patched_run_case):
+        case = CaseState(regs={"x5": 5, "x6": 77, "x7": 3}, mem={0x5000: 1})
+        shrunk = shrink_case(ARCH, 0, None, case, reason=ORIGINAL)
+        # The load-bearing register survived with its load-bearing value...
+        assert shrunk.regs.get("x5") == 5
+        # ...and the final case still reproduces the original divergence.
+        assert failure_signature(
+            _fake_run_case(ARCH, 0, None, shrunk)
+        ) == failure_signature(ORIGINAL)
+        # The irrelevant state was still reduced.
+        assert shrunk.mem == {}
+        assert set(shrunk.regs) < set(case.regs) | {"x5"}
+
+    def test_unfixed_behaviour_would_mask_the_divergence(self, patched_run_case):
+        """Without a reason, any failure is accepted (the pre-fix
+        behaviour) — and the shrunk case indeed no longer reproduces the
+        original divergence.  This documents exactly the bug the
+        signature check closes."""
+        case = CaseState(regs={"x5": 5, "x6": 77}, mem={0x5000: 1})
+        shrunk = shrink_case(ARCH, 0, None, case, reason=None)
+        assert _fake_run_case(ARCH, 0, None, shrunk) == DECOY

@@ -1,0 +1,282 @@
+"""The fast interpreters against the authoritative concrete model.
+
+The co-sim driver's oracle pair is interpreter-vs-ITL; here the
+interpreter is checked against the *other* authoritative executor — the
+concrete mini-Sail model (``step_concrete``) — one instruction at a time.
+The two tests triangulate: if both agree everywhere, interp/ITL
+divergences found by the driver implicate the ITL pipeline, and
+vice versa.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cosim.archs import COSIM_ARCHS
+from repro.cosim.interp import (
+    DEFECTS,
+    CosimDomainError,
+    CosimUnsupported,
+    interp_for,
+)
+from repro.cosim.state import build_machine_state, diff_states, random_case
+from repro.sail.iface import ModelError
+
+ARM_LINES = [
+    "add x1, x2, #4093",
+    "adds x3, x4, #1, lsl #12",
+    "subs x1, x2, #4095",
+    "cmp x5, #0",
+    "add x1, sp, #56",
+    "sub sp, sp, #16",
+    "add x1, x2, x3, lsl #7",
+    "subs x1, x2, x3, asr #63",
+    "adds w1, w2, w3, lsr #9",
+    "and x1, x2, x3, ror #13",
+    "bics x1, x2, x3",
+    "orn x1, x2, x3, lsl #1",
+    "eor x1, x2, x3",
+    "and x1, x2, #0xff00ff00ff00ff00",
+    "ands x1, x2, #0x3ffc",
+    "orr x1, x2, #0x1",
+    "movn x1, #4660, lsl #32",
+    "movz x9, #65535, lsl #48",
+    "movk x9, #43981, lsl #16",
+    "ubfm x1, x2, #7, #3",
+    "sbfm x1, x2, #3, #40",
+    "lsl x1, x2, #17",
+    "asr x1, x2, #2",
+    "csel x1, x2, x3, eq",
+    "csinc x1, x2, x3, lt",
+    "csinv x1, x2, x3, hi",
+    "csneg x1, x2, x3, vs",
+    "ccmp x1, #30, #10, ne",
+    "ccmn x1, x2, #5, ge",
+    "sdiv x1, x2, x3",
+    "udiv x1, x2, x3",
+    "rbit x1, x2",
+    "rbit w1, w2",
+    "madd x1, x2, x3, x4",
+    "msub x1, x2, x3, x4",
+    "mul w1, w2, w3",
+    "adr x1, #-52",
+    "adrp x1, #-8192",
+    "ldr x1, [x2, #8]",
+    "str x1, [x2, #16]",
+    "ldrb w1, [x2, #3]",
+    "strb w1, [x2, #5]",
+    "ldrh w1, [x2, #6]",
+    "ldrsb x1, [x2, #1]",
+    "ldrsh x1, [x2, #2]",
+    "ldrsw x1, [x2, #4]",
+    "ldr x1, [x2, x3]",
+    "str x1, [x2, x3, lsl #3]",
+    "ldr w1, [x2, w3, uxtw #2]",
+    "str w1, [x2, w3, sxtw]",
+    "ldur x1, [x2, #-9]",
+    "stur x1, [x2, #-1]",
+    "ldr x1, [x2], #8",
+    "str x1, [x2, #-8]!",
+    "ldp x1, x3, [x2, #16]",
+    "stp x1, x3, [x2], #-16",
+    "ldp x1, x3, [x2, #8]!",
+    "stp w1, w3, [x2, #4]",
+    "cbz x1, #8",
+    "cbnz w1, #-4",
+    "tbz x1, #33, #12",
+    "tbnz x1, #5, #-8",
+    "b.eq #16",
+    "b.lt #-16",
+    "b #20",
+    "bl #-24",
+    "br x3",
+    "blr x4",
+    "ret",
+    "nop",
+    "hint #11",
+    "mrs x1, elr_el2",
+    "msr spsr_el2, x2",
+    "mrs x1, vbar_el2",
+    "hvc #4660",
+    "svc #17",
+    "eret",
+]
+
+RISCV_LINES = [
+    "lui t0, 813",
+    "auipc t1, 1048575",
+    "jal t2, 8",
+    "jalr t0, -4(t1)",
+    "beq t0, t1, 8",
+    "bne t0, t1, -4",
+    "blt t0, t1, 12",
+    "bgeu t0, t1, 8",
+    "lb t0, -3(t1)",
+    "lbu t0, 2(t1)",
+    "lh t0, 2(t1)",
+    "lhu t0, -2(t1)",
+    "lw t0, 4(t1)",
+    "lwu t0, 4(t1)",
+    "ld t0, 8(t1)",
+    "sb t0, 1(t1)",
+    "sh t0, 2(t1)",
+    "sw t0, 4(t1)",
+    "sd t0, -8(t1)",
+    "addi t0, t1, -2048",
+    "slti t0, t1, 5",
+    "sltiu t0, t1, -1",
+    "xori t0, t1, 255",
+    "ori t0, t1, -256",
+    "andi t0, t1, 170",
+    "slli t0, t1, 63",
+    "srli t0, t1, 1",
+    "srai t0, t1, 40",
+    "addiw t0, t1, 100",
+    "slliw t0, t1, 31",
+    "sraiw t0, t1, 7",
+    "add t0, t1, t2",
+    "sub t0, t1, t2",
+    "sll t0, t1, t2",
+    "slt t0, t1, t2",
+    "sltu t0, t1, t2",
+    "xor t0, t1, t2",
+    "srl t0, t1, t2",
+    "sra t0, t1, t2",
+    "or t0, t1, t2",
+    "and t0, t1, t2",
+    "addw t0, t1, t2",
+    "subw t0, t1, t2",
+    "sraw t0, t1, t2",
+    "fence",
+    "ecall",
+    "ebreak",
+    "wfi",
+    "mret",
+    "csrrw t0, mscratch, t1",
+    "csrrs t0, mepc, t1",
+    "csrrc t0, mtvec, zero",
+    "csrrsi t0, mcause, 9",
+    "csrrci t0, mstatus, 5",
+]
+
+_LINES = {"arm": ARM_LINES, "riscv": RISCV_LINES}
+
+
+def _one_step_both_sides(arch, word: int, seed: int):
+    """Run one instruction through interp and concrete model from the same
+    random in-domain state; returns diff lines (empty = agreement)."""
+    rng = random.Random(seed)
+    case = random_case(arch, rng, [word])
+    interp_state = build_machine_state(arch, case)
+    model_state = interp_state.copy()
+    interp = interp_for(arch, interp_state)
+    try:
+        interp.step()
+    except (CosimUnsupported, CosimDomainError):
+        return None  # outside the modelled subset: nothing to compare
+    machine = arch.model.step_concrete(model_state)
+    return diff_states(
+        interp_state, model_state, interp.labels, machine.labels,
+        a_name="interp", b_name="model",
+    )
+
+
+@pytest.mark.parametrize("arch_name", sorted(COSIM_ARCHS))
+class TestDirectedAgainstConcreteModel:
+    def test_every_directed_line_agrees(self, arch_name):
+        arch = COSIM_ARCHS[arch_name]
+        failures = []
+        for line in _LINES[arch_name]:
+            word = arch.asm.assemble_line(line)
+            for seed in (1, 2, 3):
+                try:
+                    diff = _one_step_both_sides(arch, word, seed)
+                except ModelError:
+                    continue  # state outside the model's domain; not a diff
+                if diff:
+                    failures.append((line, seed, diff[:2]))
+        assert not failures, failures
+
+
+@pytest.mark.parametrize("arch_name", sorted(COSIM_ARCHS))
+class TestFuzzAgainstConcreteModel:
+    def test_random_words_agree_or_both_decline(self, arch_name):
+        """If the interpreter executes a word, the concrete model must
+        agree with its result; a word the interpreter declines
+        (unsupported/unreachable) must not silently diverge elsewhere."""
+        arch = COSIM_ARCHS[arch_name]
+        rng = random.Random(20260809)
+        checked = 0
+        failures = []
+        while checked < 150:
+            word = rng.getrandbits(32)
+            try:
+                arch.decode.disassemble(word)
+            except arch.decode.UnknownInstruction:
+                continue
+            case = random_case(arch, rng, [word])
+            interp_state = build_machine_state(arch, case)
+            model_state = interp_state.copy()
+            interp = interp_for(arch, interp_state)
+            try:
+                interp.step()
+            except (CosimUnsupported, CosimDomainError):
+                checked += 1
+                continue
+            try:
+                machine = arch.model.step_concrete(model_state)
+            except ModelError as exc:
+                failures.append((hex(word), f"model declined after interp ran: {exc}"))
+                checked += 1
+                continue
+            diff = diff_states(
+                interp_state, model_state, interp.labels, machine.labels,
+                a_name="interp", b_name="model",
+            )
+            if diff:
+                failures.append((hex(word), diff[:2]))
+            checked += 1
+        assert not failures, failures
+
+
+class TestDefectRegistry:
+    def test_unknown_defect_is_rejected(self):
+        arch = COSIM_ARCHS["arm"]
+        case = random_case(arch, random.Random(0), [0xD503201F])
+        state = build_machine_state(arch, case)
+        with pytest.raises(KeyError):
+            interp_for(arch, state, defect="no-such-defect")
+
+    def test_registry_names_their_architecture(self):
+        for name in DEFECTS:
+            assert name.split("-")[0] in COSIM_ARCHS
+
+    def test_at_least_five_defects_exist(self):
+        assert len(DEFECTS) >= 5
+
+    @pytest.mark.parametrize("defect", sorted(DEFECTS))
+    def test_each_defect_changes_behaviour_somewhere(self, defect):
+        """A defect that never alters any executed result is dead weight;
+        sweep directed lines until one divergence against the clean
+        interpreter shows up."""
+        arch = COSIM_ARCHS[defect.split("-")[0]]
+        rng = random.Random(7)
+        for line in _LINES[arch.name]:
+            word = arch.asm.assemble_line(line)
+            for seed in range(6):
+                case = random_case(arch, random.Random(seed), [word])
+                clean_state = build_machine_state(arch, case)
+                buggy_state = clean_state.copy()
+                clean = interp_for(arch, clean_state)
+                buggy = interp_for(arch, buggy_state, defect=defect)
+                try:
+                    clean.step()
+                    buggy.step()
+                except (CosimUnsupported, CosimDomainError):
+                    continue
+                if diff_states(clean_state, buggy_state, clean.labels, buggy.labels):
+                    return
+        del rng
+        pytest.fail(f"defect {defect} never changed any directed execution")

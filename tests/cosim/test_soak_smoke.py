@@ -1,0 +1,33 @@
+"""Tier-1 soak smoke: the standing zero-divergence / coverage ratchet.
+
+A scaled-down version of CI's nightly ``cosim-soak`` job: 50 generated
+cases per architecture through the daemon's batch entry point must
+produce zero divergences and ≥95% executed decode-arm coverage.  The full
+5,000-case-per-arch gate runs in the dedicated CI job; this keeps every
+local test run honest without the soak's wall-clock cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cosim import COSIM_ARCHS
+from repro.cosim.driver import run_service_batch
+
+SMOKE_SEED = 20260809
+SMOKE_COUNT = 50
+
+
+@pytest.mark.parametrize("arch_name", sorted(COSIM_ARCHS))
+def test_soak_smoke_zero_divergences_and_coverage(arch_name):
+    payload = run_service_batch(arch_name, seed=SMOKE_SEED, count=SMOKE_COUNT)
+    assert payload["outcome"] == "pass", payload["divergences"][:3]
+    assert payload["cases"] == SMOKE_COUNT
+    coverage = payload["coverage"]
+    assert coverage["fraction_hit"] >= 0.95, (
+        f"{arch_name}: executed-arm coverage {coverage['fraction_hit']:.1%} "
+        f"below the 95% ratchet; unhit: {coverage['unhit']}"
+    )
+    # A 50-case batch should execute a healthy number of instructions —
+    # programs that immediately run off the rails would gut the soak's power.
+    assert payload["instructions"] >= 2 * SMOKE_COUNT

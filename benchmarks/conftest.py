@@ -19,11 +19,13 @@ import pytest
 _RECORDS: dict[str, dict] = {}
 _SERVICE_RECORDS: dict[str, dict] = {}
 _COSIM_RECORDS: dict[str, dict] = {}
+_PARAMETRIC_RECORDS: dict[str, dict] = {}
 
 _ROOT = pathlib.Path(__file__).resolve().parent.parent
 BENCH_PATH = _ROOT / "BENCH_smt.json"
 BENCH_SERVICE_PATH = _ROOT / "BENCH_service.json"
 BENCH_COSIM_PATH = _ROOT / "BENCH_cosim.json"
+BENCH_PARAMETRIC_PATH = _ROOT / "BENCH_parametric.json"
 
 
 @pytest.fixture
@@ -56,6 +58,17 @@ def bench_cosim_record():
     return record
 
 
+@pytest.fixture
+def bench_parametric_record():
+    """Record one named family-execution benchmark for
+    ``BENCH_parametric.json``."""
+
+    def record(name: str, **data) -> None:
+        _PARAMETRIC_RECORDS[name] = data
+
+    return record
+
+
 def _merge_into(path: pathlib.Path, records: dict[str, dict]) -> None:
     merged: dict[str, dict] = {}
     if path.exists():
@@ -74,3 +87,5 @@ def pytest_sessionfinish(session, exitstatus):
         _merge_into(BENCH_SERVICE_PATH, _SERVICE_RECORDS)
     if _COSIM_RECORDS:
         _merge_into(BENCH_COSIM_PATH, _COSIM_RECORDS)
+    if _PARAMETRIC_RECORDS:
+        _merge_into(BENCH_PARAMETRIC_PATH, _PARAMETRIC_RECORDS)

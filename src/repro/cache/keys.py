@@ -29,6 +29,7 @@ _SEMANTIC_MODULES = (
     "repro.sail.iface",
     "repro.isla.executor",
     "repro.isla.footprint",
+    "repro.isla.parametric",
     "repro.isla.assumptions",
     "repro.smt.builder",
     "repro.smt.rewriter",
@@ -109,6 +110,14 @@ def assumptions_fingerprint(model, assumptions) -> str:
 
     if assumptions is None:
         return "none"
+    # Pin-only fingerprints are model-independent, so they memoize on the
+    # object (the hot path: family keys recompute this per served opcode).
+    # The length token catches callers that grow the dicts directly instead
+    # of through ``pin``/``constrain`` (which also invalidate).
+    token = (len(assumptions.pinned), len(assumptions.constrained))
+    cached = getattr(assumptions, "_fingerprint_cache", None)
+    if cached is not None and cached[0] == token:
+        return cached[1]
     parts: list[str] = []
     for reg in sorted(assumptions.pinned, key=str):
         value = assumptions.pinned[reg]
@@ -120,7 +129,10 @@ def assumptions_fingerprint(model, assumptions) -> str:
         parts.append(
             f"constrain {reg} {term_to_sexpr(applied)}{_var_signature(applied)}"
         )
-    return "\n".join(parts)
+    out = "\n".join(parts)
+    if not assumptions.constrained:  # constraint probes depend on the model
+        assumptions._fingerprint_cache = (token, out)
+    return out
 
 
 def trace_key(model, opcode, assumptions, name_prefix: str = "v") -> str:
@@ -191,6 +203,39 @@ def coarse_trace_key(
             opcode_signature(opcode, model.instr_bytes * 8),
             "readset=" + ",".join(sorted(str(r) for r in read_regs)),
             assumptions_fingerprint(model, restricted),
+            f"prefix={name_prefix}",
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# -- parametric family keys --------------------------------------------------
+
+
+def family_trace_key(
+    model,
+    arch: str,
+    arm: str,
+    field_summary: str,
+    assumptions,
+    name_prefix: str = "v",
+) -> str:
+    """Cache key for one parametric instruction-family execution.
+
+    ``field_summary`` is the profile's canonical rendering of the arm's bit
+    fields: concrete values for structural fields, equality-class labels for
+    register operands, ``?`` for free immediates (see
+    :meth:`repro.isla.parametric.ParametricEngine._family_info`).  Two
+    opcodes share a family exactly when they share the arm, the structural
+    bits, and the register aliasing pattern.
+    """
+    payload = "\n".join(
+        (
+            "family-v1",
+            model_fingerprint(model),
+            f"{arch}/{arm}",
+            field_summary,
+            assumptions_fingerprint(model, assumptions),
             f"prefix={name_prefix}",
         )
     )

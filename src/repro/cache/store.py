@@ -120,6 +120,10 @@ class CacheStats:
     #: corrupt_entries); each is evicted on sight.
     wellformed_rejects: int = 0
     fp_index_writes: int = 0
+    #: Parametric family-trace entries (see ``repro.isla.parametric``).
+    family_hits: int = 0
+    family_misses: int = 0
+    family_writes: int = 0
 
     def snapshot(self) -> dict[str, int]:
         return dict(self.__dict__)
@@ -152,6 +156,7 @@ class DiskCache:
         self.root = Path(self.root)
         self._base = self.root / f"v{CACHE_FORMAT_VERSION}"
         self._traces = self._base / "traces"
+        self._families = self._base / "families"
         self._smt_path = self._base / "smt" / "verdicts.jsonl"
         self._traces.mkdir(parents=True, exist_ok=True)
         self._smt_path.parent.mkdir(parents=True, exist_ok=True)
@@ -172,25 +177,22 @@ class DiskCache:
     def _trace_path(self, key: str) -> Path:
         return self._traces / key[:2] / f"{key}.itl"
 
-    def load_trace(self, key: str, coarse: bool = False):
-        """Return ``(trace, meta)`` for a cached Isla result, or ``None``.
+    def _family_path(self, key: str) -> Path:
+        return self._families / key[:2] / f"{key}.itl"
 
-        ``meta`` carries the stored execution metrics (``paths``,
-        ``model_calls``, ``model_steps``, ``solver_checks``).  An entry
-        that parses but fails the well-formedness checker is treated
-        exactly like a torn write: counted, *evicted*, and reported as a
-        miss — a cache must never be able to feed the proof pipeline an
-        ill-formed trace (hand-edited file, version-skewed grammar, bit
-        rot past the length check).
+    def _read_entry(self, path: Path):
+        """Parse one self-delimiting trace entry.
+
+        Returns ``("miss", None)`` when the file is absent, ``("corrupt",
+        None)`` for any malformed entry (torn write, hand-edited file,
+        stale format), or ``("ok", (trace, meta))``.
         """
         from ..itl.parser import parse_trace
 
-        path = self._trace_path(key)
         try:
             text = path.read_text()
         except OSError:
-            self.stats.trace_misses += 1
-            return None
+            return "miss", None
         try:
             header, _, body = text.partition("\n")
             meta = json.loads(header)
@@ -204,33 +206,11 @@ class DiskCache:
             }
             trace = parse_trace(body, env=env)
         except Exception:
-            # Any malformed entry — torn write, hand-edited file, stale
-            # format — is a miss, never an error.
-            self.stats.corrupt_entries += 1
-            self.stats.trace_misses += 1
-            return None
-        from ..analysis.wellformed import is_wellformed
+            return "corrupt", None
+        return "ok", (trace, meta)
 
-        if not is_wellformed(trace):
-            self.stats.wellformed_rejects += 1
-            self.stats.corrupt_entries += 1
-            self.stats.trace_misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            return None
-        self.stats.trace_hits += 1
-        if coarse:
-            self.stats.trace_coarse_hits += 1
-        return trace, meta
-
-    def store_trace(self, key: str, trace, meta: dict, coarse: bool = False) -> None:
-        """Persist a *complete* Isla result atomically.
-
-        ``meta`` must already carry the metrics; the external-variable
-        signature is computed here from the trace itself.
-        """
+    def _write_entry(self, path: Path, trace, meta: dict) -> bool:
+        """Atomically persist one trace entry; ``False`` on OS failure."""
         from ..itl.printer import trace_to_sexpr
 
         body = trace_to_sexpr(trace)
@@ -247,7 +227,6 @@ class DiskCache:
             if placeholder["end"] == total:
                 break
             placeholder["end"] = total
-        path = self._trace_path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
@@ -270,11 +249,86 @@ class DiskCache:
                 os.unlink(tmp)
             except OSError:
                 pass
-            return  # a full disk must not fail the run
+            return False  # a full disk must not fail the run
+        return True
+
+    def load_trace(self, key: str, coarse: bool = False):
+        """Return ``(trace, meta)`` for a cached Isla result, or ``None``.
+
+        ``meta`` carries the stored execution metrics (``paths``,
+        ``model_calls``, ``model_steps``, ``solver_checks``).  An entry
+        that parses but fails the well-formedness checker is treated
+        exactly like a torn write: counted, *evicted*, and reported as a
+        miss — a cache must never be able to feed the proof pipeline an
+        ill-formed trace (hand-edited file, version-skewed grammar, bit
+        rot past the length check).
+        """
+        path = self._trace_path(key)
+        status, hit = self._read_entry(path)
+        if status == "miss":
+            self.stats.trace_misses += 1
+            return None
+        if status == "corrupt":
+            self.stats.corrupt_entries += 1
+            self.stats.trace_misses += 1
+            return None
+        trace, meta = hit
+        from ..analysis.wellformed import is_wellformed
+
+        if not is_wellformed(trace):
+            self.stats.wellformed_rejects += 1
+            self.stats.corrupt_entries += 1
+            self.stats.trace_misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.trace_hits += 1
+        if coarse:
+            self.stats.trace_coarse_hits += 1
+        return trace, meta
+
+    def store_trace(self, key: str, trace, meta: dict, coarse: bool = False) -> None:
+        """Persist a *complete* Isla result atomically.
+
+        ``meta`` must already carry the metrics; the external-variable
+        signature is computed here from the trace itself.
+        """
+        if not self._write_entry(self._trace_path(key), trace, meta):
+            return
         if coarse:
             self.stats.trace_coarse_writes += 1
         else:
             self.stats.trace_writes += 1
+
+    # -- parametric family store --------------------------------------------
+    #
+    # Same entry format as the trace store, in a sibling ``families/`` tree:
+    # the stored trace is a *raw* (pre-simplification) parametric tree whose
+    # free operand variables (``?f_imm12`` and friends) ride in the extern
+    # signature, and the meta carries the family's instantiation contract
+    # (placeholder register bases, fixed registers, operand dependence).
+    # The well-formedness checker is not consulted on load: it judges
+    # finalised traces, and a family is instantiated — then simplified and
+    # checked — before anything downstream sees it.  A corrupt entry is a
+    # miss; the family simply rebuilds.
+
+    def load_family(self, key: str):
+        """Return ``(raw_trace, meta)`` for a cached family, or ``None``."""
+        status, hit = self._read_entry(self._family_path(key))
+        if status == "ok":
+            self.stats.family_hits += 1
+            return hit
+        if status == "corrupt":
+            self.stats.corrupt_entries += 1
+        self.stats.family_misses += 1
+        return None
+
+    def store_family(self, key: str, trace, meta: dict) -> None:
+        """Persist one parametric family entry atomically."""
+        if self._write_entry(self._family_path(key), trace, meta):
+            self.stats.family_writes += 1
 
     # -- footprint (read-set) index -----------------------------------------
     #

@@ -63,6 +63,9 @@ class FrontendResult:
 
     traces: dict[int, Trace]
     results: dict[int, IslaResult]
+    #: Parametric family counters attributable to this map's generation
+    #: (summed across trace workers on the parallel path).
+    parametric_stats: dict[str, int] = field(default_factory=dict)
 
     @property
     def total_events(self) -> int:
@@ -124,9 +127,12 @@ def generate_instruction_map(
             cache=cache,
             pool=config.pool,
         )
+    from ..isla.parametric import engine
+
     per_address = per_address or {}
     traces: dict[int, Trace] = {}
     results: dict[int, IslaResult] = {}
+    parametric_before = engine().stats.snapshot()
     for addr in sorted(image.opcodes):
         opcode = image.opcodes[addr]
         assumptions = (default_assumptions or Assumptions()).merged_with(
@@ -135,7 +141,13 @@ def generate_instruction_map(
         result = trace_for_opcode(model, opcode, assumptions, cache=cache)
         traces[addr] = result.trace
         results[addr] = result
-    return FrontendResult(traces, results)
+    return FrontendResult(
+        traces,
+        results,
+        parametric_stats=engine().stats.delta(
+            parametric_before, engine().stats.snapshot()
+        ),
+    )
 
 
 def load_image_into_state(image: ProgramImage, state: MachineState) -> None:

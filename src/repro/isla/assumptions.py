@@ -34,11 +34,13 @@ class Assumptions:
     def pin(self, reg: str, value: int, width: int) -> "Assumptions":
         """Pin a register (or field) to a concrete value."""
         self.pinned[Reg.parse(reg)] = B.bv(value, width)
+        self._fingerprint_cache = None  # see cache.keys.assumptions_fingerprint
         return self
 
     def constrain(self, reg: str, predicate: RegPredicate) -> "Assumptions":
         """Attach a symbolic constraint to the value read from a register."""
         self.constrained[Reg.parse(reg)] = predicate
+        self._fingerprint_cache = None
         return self
 
     def copy(self) -> "Assumptions":

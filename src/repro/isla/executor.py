@@ -253,6 +253,12 @@ class IslaResult:
     #: True when the result was served from an on-disk cache (the metrics
     #: then describe the original, cached run).
     cached: bool = False
+    #: True when the trace was instantiated from a parametric family
+    #: (``repro.isla.parametric``) instead of executed directly.  The trace
+    #: itself is term-for-term identical either way; ``model_calls`` and
+    #: ``model_steps`` are 0 and ``solver_checks`` counts only the
+    #: instantiation guard.
+    parametric: bool = False
 
 
 #: How many times one forced path prefix is re-executed after a transient
@@ -359,6 +365,118 @@ def trace_for_opcode(
                 cached=True,
             )
 
+    if active_injector() is None and opcode.is_value():
+        from .parametric import engine
+
+        para = engine().try_parametric(
+            model, opcode, assumptions, max_paths, name_prefix, budget, cache
+        )
+        if para is not None:
+            trace, read_regs, paths, guard_checks = para
+            result = IslaResult(
+                trace,
+                paths,
+                model_calls=0,
+                model_steps=0,
+                solver_checks=guard_checks,
+                parametric=True,
+            )
+            if key is not None:
+                meta = {
+                    "paths": result.paths,
+                    "model_calls": 0,
+                    "model_steps": 0,
+                    "solver_checks": guard_checks,
+                    "checks_skipped": 0,
+                    "read_regs": sorted(str(r) for r in read_regs),
+                }
+                cache.store_trace(key, trace, meta)
+                _coarse_store(
+                    cache, model, opcode, assumptions, name_prefix,
+                    read_regs, trace, meta,
+                )
+            return result
+
+    raw, metrics, exhausted = _enumerate_raw(
+        model, opcode, assumptions, max_paths, name_prefix, budget
+    )
+
+    partial: IslaResult | None = None
+    if raw is not None:
+        trace, read_regs = _finish_raw(raw, model, opcode)
+        result = IslaResult(
+            trace,
+            metrics["paths"],
+            metrics["model_calls"],
+            metrics["model_steps"],
+            metrics["solver_checks"],
+            checks_skipped=metrics["checks_skipped"],
+            exhausted=exhausted,
+        )
+        if exhausted is None:
+            if key is not None:
+                meta = {
+                    "paths": result.paths,
+                    "model_calls": result.model_calls,
+                    "model_steps": result.model_steps,
+                    "solver_checks": result.solver_checks,
+                    "checks_skipped": result.checks_skipped,
+                    "read_regs": sorted(str(r) for r in read_regs),
+                }
+                cache.store_trace(key, trace, meta)
+                _coarse_store(
+                    cache, model, opcode, assumptions, name_prefix,
+                    read_regs, trace, meta,
+                )
+            return result
+        partial = result
+    if partial_on_exhaustion and partial is not None:
+        return partial
+    if exhausted == "paths":
+        raise PathBudgetExceeded(
+            f"more than {metrics['path_limit']} symbolic paths", partial
+        )
+    raise PathBudgetExceeded(f"budget exhausted: {exhausted}", partial)
+
+
+def _finish_raw(raw: Trace, model: IsaModel, opcode: Term):
+    """The raw-to-final pipeline shared by direct and parametric paths.
+
+    The read set must come from the *raw* tree: simplification drops dead
+    ReadRegs whose register the model nonetheless consulted, and the coarse
+    cache key is only sound over the full read set.
+    """
+    from ..analysis.footprint import trace_read_regs
+    from ..analysis.wellformed import maybe_assert_wellformed
+    from .footprint import simplify_trace
+
+    read_regs = trace_read_regs(raw)
+    trace = simplify_trace(raw)
+    maybe_assert_wellformed(
+        trace,
+        model.regfile,
+        where=f"trace_for_opcode({opcode!r})",
+    )
+    return trace, read_regs
+
+
+def _enumerate_raw(
+    model: IsaModel,
+    opcode: Term,
+    assumptions: Assumptions,
+    max_paths: int = 64,
+    name_prefix: str = "v",
+    budget: Budget | None = None,
+) -> tuple[Trace | None, dict, str | None]:
+    """Enumerate every symbolic path and reassemble the raw Cases tree.
+
+    Returns ``(raw, metrics, exhausted)``: the unsimplified trace tree (or
+    ``None`` if no path completed), the execution counters, and the name of
+    the budget resource that ran out (``None`` for a complete enumeration).
+    This is the model-execution core of :func:`trace_for_opcode`, also
+    driven by :mod:`repro.isla.parametric` to build instruction families
+    from partially-symbolic opcodes.
+    """
     path_limit = max_paths if budget is None else budget.path_limit(max_paths)
     runs: list[_Run] = []
     worklist: list[tuple[bool, ...]] = [()]
@@ -432,57 +550,16 @@ def trace_for_opcode(
             if sibling not in explored:
                 worklist.append(sibling)
 
-    partial: IslaResult | None = None
-    if runs:
-        raw = _build_tree(runs, 0)
-        from ..analysis.footprint import trace_read_regs
-        from .footprint import simplify_trace
-
-        # The read set must come from the *raw* tree: simplification drops
-        # dead ReadRegs whose register the model nonetheless consulted, and
-        # the coarse cache key is only sound over the full read set.
-        read_regs = trace_read_regs(raw)
-        trace = simplify_trace(raw)
-        from ..analysis.wellformed import maybe_assert_wellformed
-
-        maybe_assert_wellformed(
-            trace,
-            model.regfile,
-            where=f"trace_for_opcode({opcode!r})",
-        )
-        result = IslaResult(
-            trace,
-            len(runs),
-            total_calls,
-            total_steps,
-            total_checks,
-            checks_skipped=total_skipped,
-            exhausted=exhausted,
-        )
-        if exhausted is None:
-            if key is not None:
-                meta = {
-                    "paths": result.paths,
-                    "model_calls": result.model_calls,
-                    "model_steps": result.model_steps,
-                    "solver_checks": result.solver_checks,
-                    "checks_skipped": result.checks_skipped,
-                    "read_regs": sorted(str(r) for r in read_regs),
-                }
-                cache.store_trace(key, trace, meta)
-                _coarse_store(
-                    cache, model, opcode, assumptions, name_prefix,
-                    read_regs, trace, meta,
-                )
-            return result
-        partial = result
-    if partial_on_exhaustion and partial is not None:
-        return partial
-    if exhausted == "paths":
-        raise PathBudgetExceeded(
-            f"more than {path_limit} symbolic paths", partial
-        )
-    raise PathBudgetExceeded(f"budget exhausted: {exhausted}", partial)
+    raw = _build_tree(runs, 0) if runs else None
+    metrics = {
+        "paths": len(runs),
+        "model_calls": total_calls,
+        "model_steps": total_steps,
+        "solver_checks": total_checks,
+        "checks_skipped": total_skipped,
+        "path_limit": path_limit,
+    }
+    return raw, metrics, exhausted
 
 
 def _build_tree(runs: list[_Run], depth: int) -> Trace:

@@ -366,6 +366,7 @@ class WorkerPool:
 def _trace_worker(payload: dict) -> dict:
     from ..cache.store import _sort_text, _undeclared_vars
     from ..isla.executor import trace_for_opcode
+    from ..isla.parametric import engine
     from ..itl.printer import trace_to_sexpr
     from ..smt.solver import install_persistent_check_store
 
@@ -375,6 +376,7 @@ def _trace_worker(payload: dict) -> dict:
     cache = _process_cache(payload["cache_dir"])
     previous = install_persistent_check_store(cache)
     previous_mode = _apply_solver_mode(payload.get("solver_mode"))
+    parametric_before = engine().stats.snapshot()
     try:
         result = trace_for_opcode(model, opcode, assumptions, cache=cache)
     finally:
@@ -395,6 +397,10 @@ def _trace_worker(payload: dict) -> dict:
         "solver_checks": result.solver_checks,
         "checks_skipped": result.checks_skipped,
         "cached": result.cached,
+        "parametric": result.parametric,
+        "parametric_stats": engine().stats.delta(
+            parametric_before, engine().stats.snapshot()
+        ),
     }
 
 
@@ -447,6 +453,7 @@ def generate_traces_parallel(
             pool.close()
     traces = {}
     results = {}
+    parametric_stats: dict[str, int] = {}
     for item in sorted(raw, key=lambda r: r["addr"]):
         env = {
             name: B.var(name, _sort_from_text(sort_text))
@@ -464,8 +471,11 @@ def generate_traces_parallel(
             checks_skipped=item.get("checks_skipped", 0),
             exhausted=None,
             cached=item["cached"],
+            parametric=item.get("parametric", False),
         )
-    return FrontendResult(traces, results)
+        for stat, value in item.get("parametric_stats", {}).items():
+            parametric_stats[stat] = parametric_stats.get(stat, 0) + value
+    return FrontendResult(traces, results, parametric_stats=parametric_stats)
 
 
 # -- block-proof fan-out ----------------------------------------------------
@@ -518,11 +528,14 @@ def _verify_block_worker(payload: dict) -> dict:
     from ..smt.solver import install_persistent_check_store
     from .config import configured
 
+    from ..isla.parametric import engine
+
     module = getattr(casestudies, payload["case"])
     cache = _process_cache(payload["cache_dir"])
     addr = payload["addr"]
     previous = install_persistent_check_store(cache)
     previous_mode = _apply_solver_mode(payload.get("solver_mode"))
+    parametric_before = engine().stats.snapshot()
     try:
         # Rebuild the case in-process (traces come warm from the shared
         # disk cache).  The build runs fault-free, matching the serial
@@ -579,6 +592,11 @@ def _verify_block_worker(payload: dict) -> dict:
         "proof": report.proof.to_json(),
         "solver_stats": report.solver_stats,
         "cache_stats": report.cache_stats,
+        # Build + verify both run in this worker, so the engine delta covers
+        # family activity triggered by this block's case rebuild.
+        "parametric_stats": engine().stats.delta(
+            parametric_before, engine().stats.snapshot()
+        ),
         "budget": budget.snapshot() if budget is not None else None,
         "faults": len(report.faults),
     }
@@ -703,6 +721,12 @@ def verify_case_parallel(
     report = RunReport(proof=merged_proof, budget=run_budget)
     solver_totals: dict[str, int] = {}
     cache_totals: dict[str, int] = {}
+    # Seed with the build phase's family activity (summed from the trace
+    # workers, or measured in-process on the serial path); block workers
+    # contribute whatever their case rebuilds triggered on top.
+    parametric_totals: dict[str, int] = dict(
+        getattr(case.frontend, "parametric_stats", None) or {}
+    )
     fault_count = 0
     # Failures carry no result payload: recover the block address from the
     # payload the task was given, then merge everything in address order.
@@ -732,11 +756,14 @@ def verify_case_parallel(
         for key, value in item["cache_stats"].items():
             if key not in ("entries", "capacity"):
                 cache_totals[key] = cache_totals.get(key, 0) + value
+        for key, value in item.get("parametric_stats", {}).items():
+            parametric_totals[key] = parametric_totals.get(key, 0) + value
         if run_budget is not None and item["budget"] is not None:
             run_budget.absorb(item["budget"])
         fault_count += item["faults"]
     report.solver_stats = solver_totals
     report.cache_stats = cache_totals
+    report.parametric_stats = parametric_totals
     report.schedule_groups = tuple(tuple(group) for group in groups)
     if fault_count:
         report.faults = tuple(range(fault_count))  # count only; events stay

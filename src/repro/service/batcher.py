@@ -219,6 +219,11 @@ class TraceBatcher:
 
         traces = {}
         results = {}
+        parametric_stats: dict[str, int] = {}
+        # Family counters are summed once per *distinct* leader future:
+        # followers share the leader's result object, and double-counting a
+        # deduplicated computation would inflate the hit rate.
+        counted: set[int] = set()
         for addr, future in subscriptions:
             item = future.result()
             with self._parse_lock:
@@ -237,8 +242,13 @@ class TraceBatcher:
                 checks_skipped=item.get("checks_skipped", 0),
                 exhausted=None,
                 cached=item["cached"],
+                parametric=item.get("parametric", False),
             )
-        return FrontendResult(traces, results)
+            if id(future) not in counted:
+                counted.add(id(future))
+                for stat, value in item.get("parametric_stats", {}).items():
+                    parametric_stats[stat] = parametric_stats.get(stat, 0) + value
+        return FrontendResult(traces, results, parametric_stats=parametric_stats)
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -162,6 +162,8 @@ class JobRunner:
         telemetry.inc(f"outcome_{report.outcome}")
         telemetry.merge("solver", report.solver_stats)
         telemetry.merge("cache", report.cache_stats)
+        if report.parametric_stats:
+            telemetry.merge("parametric", report.parametric_stats)
         if service.cache is not None:
             telemetry.gauge(
                 "disk_trace_hits", service.cache.stats.trace_hits

@@ -642,16 +642,22 @@ def bvsge(a: Term, b: Term) -> Term:
 # Substitution
 # ---------------------------------------------------------------------------
 
-def substitute(term: Term, mapping: dict[Term, Term]) -> Term:
+def substitute(term: Term, mapping: dict[Term, Term], memo: dict | None = None) -> Term:
     """Simultaneously substitute variables in ``term`` (DAG-aware).
 
     Substitution goes through the smart constructors, so folding re-fires
     when variables become concrete — this is exactly the mechanism by which
     ``DefineConst``/``DeclareConst`` substitution simplifies later ITL events.
+
+    ``memo`` lets a caller substituting the *same* mapping into many terms
+    share one result cache across calls (terms are interned, so shared
+    subterms resolve once).  Sharing a memo across different mappings is
+    unsound — results would leak between them.
     """
     if not mapping:
         return term
-    cache: dict[Term, Term] = {}
+    cache: dict[Term, Term] = {} if memo is None else memo
+    keys = mapping.keys()
 
     def go(t: Term) -> Term:
         hit = cache.get(t)
@@ -659,14 +665,17 @@ def substitute(term: Term, mapping: dict[Term, Term]) -> Term:
             return hit
         if t.op == T.VAR:
             out = mapping.get(t, t)
-        elif not t.args:
-            out = t
+        elif not t.args or keys.isdisjoint(t.free_vars()):
+            out = t  # ground or untouched subtree: nothing to substitute
         else:
-            new_args = tuple(go(a) for a in t.args)
-            if all(n is o for n, o in zip(new_args, t.args)):
-                out = t
-            else:
-                out = rebuild(t.op, new_args, t.attrs)
+            changed = False
+            new_args = []
+            for a in t.args:
+                na = go(a)
+                if na is not a:
+                    changed = True
+                new_args.append(na)
+            out = rebuild(t.op, tuple(new_args), t.attrs) if changed else t
         cache[t] = out
         return out
 

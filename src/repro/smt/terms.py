@@ -70,6 +70,10 @@ BV_CMPS = frozenset({BVULT, BVULE, BVSLT, BVSLE})
 BOOL_NARY = frozenset({AND, OR, XOR_BOOL})
 
 
+#: shared empty free-variable set for ground terms (literals etc.)
+_NO_VARS: frozenset = frozenset()
+
+
 class Term:
     """An interned SMT term.
 
@@ -80,7 +84,7 @@ class Term:
         sort: the sort of the term.
     """
 
-    __slots__ = ("op", "args", "attrs", "sort", "uid", "_hash")
+    __slots__ = ("op", "args", "attrs", "sort", "uid", "_hash", "_fvs")
 
     op: str
     args: tuple["Term", ...]
@@ -95,6 +99,7 @@ class Term:
         object.__setattr__(self, "sort", sort)
         object.__setattr__(self, "uid", uid)
         object.__setattr__(self, "_hash", hash((op, args, attrs)))
+        object.__setattr__(self, "_fvs", None)
 
     def __setattr__(self, name, value):  # pragma: no cover - defensive
         raise AttributeError("Term is immutable")
@@ -144,20 +149,39 @@ class Term:
         raise TypeError(f"term {self!r} is not a literal")
 
     def free_vars(self) -> frozenset["Term"]:
-        """The set of free variables of the term (cached per call via DAG walk)."""
-        seen: set[Term] = set()
-        out: set[Term] = set()
+        """The set of free variables of the term.
+
+        Cached on the (interned, immutable) node, so repeated queries — the
+        trace simplifier, well-formedness checks, parametric instantiation —
+        cost one dict-slot read after the first walk.  The walk is iterative
+        (term DAGs can be deeper than the recursion limit) and single-child
+        nodes alias their child's frozenset, so extract/extend chains share
+        one set object.
+        """
+        cached = self._fvs
+        if cached is not None:
+            return cached
         stack = [self]
         while stack:
-            t = stack.pop()
-            if t in seen:
+            t = stack[-1]
+            if t._fvs is not None:
+                stack.pop()
                 continue
-            seen.add(t)
+            pending = [a for a in t.args if a._fvs is None]
+            if pending:
+                stack.extend(pending)
+                continue
             if t.op == VAR:
-                out.add(t)
+                fvs = frozenset((t,))
+            elif not t.args:
+                fvs = _NO_VARS
+            elif len(t.args) == 1:
+                fvs = t.args[0]._fvs
             else:
-                stack.extend(t.args)
-        return frozenset(out)
+                fvs = frozenset().union(*(a._fvs for a in t.args))
+            object.__setattr__(t, "_fvs", fvs)
+            stack.pop()
+        return self._fvs
 
     def iter_subterms(self) -> Iterator["Term"]:
         """Iterate over all distinct subterms (DAG nodes), children first order

@@ -72,6 +72,7 @@ def _render_cache_line(cache) -> str:
 def _run_serial(module, name, kwargs, args, cache):
     from contextlib import nullcontext
 
+    from ..isla.parametric import engine
     from ..logic.automation import verify_program
     from ..parallel.config import configured
     from ..parallel.scheduler import _block_groups, pc_for
@@ -85,6 +86,9 @@ def _run_serial(module, name, kwargs, args, cache):
         else nullcontext()
     )
     previous = install_persistent_check_store(cache)
+    # Trace generation — where parametric families are built and hit —
+    # happens during the case *build*, so the delta spans build + verify.
+    parametric_before = engine().stats.snapshot()
     try:
         t0 = time.perf_counter()
         with configured(jobs=1, cache=cache):
@@ -100,6 +104,9 @@ def _run_serial(module, name, kwargs, args, cache):
         install_persistent_check_store(previous)
         if cache is not None:
             cache.flush()
+    report.parametric_stats = engine().stats.delta(
+        parametric_before, engine().stats.snapshot()
+    )
     # Mirror the parallel driver: report the footprint grouping even though
     # the serial path does not act on it (stats stay jobs-invariant).
     report.schedule_groups = tuple(
@@ -133,6 +140,7 @@ def _executor_stats(case) -> dict[str, int]:
     totals = {
         "paths": 0, "model_calls": 0, "model_steps": 0,
         "solver_checks": 0, "checks_skipped": 0, "cached_traces": 0,
+        "parametric_traces": 0,
     }
     for result in case.frontend.results.values():
         totals["paths"] += result.paths
@@ -141,6 +149,7 @@ def _executor_stats(case) -> dict[str, int]:
         totals["solver_checks"] += result.solver_checks
         totals["checks_skipped"] += result.checks_skipped
         totals["cached_traces"] += bool(result.cached)
+        totals["parametric_traces"] += bool(result.parametric)
     return totals
 
 
@@ -151,6 +160,7 @@ def _case_stats(case, report) -> dict:
         "blocks": len(report.blocks),
         "solver": dict(report.solver_stats),
         "cache": dict(report.cache_stats),
+        "parametric": dict(report.parametric_stats),
         "executor": _executor_stats(case),
         "schedule_groups": [list(g) for g in report.schedule_groups],
     }
@@ -257,6 +267,11 @@ def main(argv: list[str] | None = None) -> int:
              "$REPRO_NO_SLICE",
     )
     parser.add_argument(
+        "--no-parametric", action="store_true",
+        help="disable parametric family execution (every opcode runs the "
+             "direct symbolic path); also via $REPRO_NO_PARAMETRIC",
+    )
+    parser.add_argument(
         "--cert-dir", default=None, metavar="DIR",
         help="write each case's proof certificate to DIR/<case>.cert.json "
              "(byte-identical across --jobs settings and against the daemon)",
@@ -290,6 +305,11 @@ def main(argv: list[str] | None = None) -> int:
             slicing=base_mode.slicing and not args.no_slice,
         )
     )
+    # The parametric kill switch travels by environment so worker processes
+    # (forked after this point) and the family engine see the same setting.
+    previous_parametric = os.environ.get("REPRO_NO_PARAMETRIC")
+    if args.no_parametric:
+        os.environ["REPRO_NO_PARAMETRIC"] = "1"
     cache = _resolve_cache(args)
     pool = None
     if args.jobs > 1:
@@ -315,6 +335,11 @@ def main(argv: list[str] | None = None) -> int:
                       file=sys.stderr)
     finally:
         set_default_solver_mode(previous_mode)
+        if args.no_parametric:
+            if previous_parametric is None:
+                os.environ.pop("REPRO_NO_PARAMETRIC", None)
+            else:
+                os.environ["REPRO_NO_PARAMETRIC"] = previous_parametric
         if pool is not None:
             pool.close()
         if cache is not None:
@@ -326,7 +351,7 @@ def main(argv: list[str] | None = None) -> int:
 
         totals: dict[str, dict[str, int]] = {}
         for entry in stats.values():
-            for group in ("solver", "cache", "executor"):
+            for group in ("solver", "cache", "parametric", "executor"):
                 bucket = totals.setdefault(group, {})
                 for key, value in entry[group].items():
                     bucket[key] = bucket.get(key, 0) + value

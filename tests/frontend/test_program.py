@@ -56,7 +56,10 @@ class TestInstructionMapGeneration:
         assert fe.traces[0x1000].cases is not None
         assert fe.traces[0x1004].cases is None
 
-    def test_metrics_aggregate(self):
+    def test_metrics_aggregate(self, monkeypatch):
+        # Pin the direct symbolic path: a parametric instantiation honestly
+        # reports zero model steps (the model never ran for it).
+        monkeypatch.setenv("REPRO_NO_PARAMETRIC", "1")
         image = ProgramImage().place(0x1000, [A.nop(), A.nop()])
         fe = generate_instruction_map(ArmModel(), image, Assumptions())
         assert fe.total_events == sum(t.num_events() for t in fe.traces.values())

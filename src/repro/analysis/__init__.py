@@ -9,18 +9,23 @@ Three passes plus a lint driver (:mod:`repro.tools.lint`):
   scheduler and the coarse trace-cache keys;
 - :mod:`repro.analysis.framelint` — diffs case-study pre/postconditions
   against inferred footprints (unframed writes are errors, dead spec
-  clauses are warnings).
+  clauses are warnings);
+- :mod:`repro.analysis.isaspec` — solver-backed ISA-specification
+  validator: encoding overlap, decode coverage, and encoder/decoder
+  agreement proved exhaustively over the word space (``ISA*`` codes).
 
 Findings share a small severity lattice with stable codes
 (:mod:`repro.analysis.findings`).
 """
 
 from .findings import (
+    CODE_CATALOG,
     ERROR,
     INFO,
     WARNING,
     Finding,
     max_severity,
+    merge_findings,
     render_findings,
     worst_severity,
 )
@@ -34,6 +39,18 @@ from .footprint import (
     trace_read_regs,
 )
 from .framelint import lint_case, lint_specs
+from .isaspec import (
+    ArmSpec,
+    EncoderSpec,
+    InvalidRegion,
+    IsaSpec,
+    SpecError,
+    available_archs,
+    isaspec_stats,
+    load_spec,
+    validate_arch,
+    validate_spec,
+)
 from .wellformed import (
     WellFormednessError,
     assert_wellformed,
@@ -43,25 +60,37 @@ from .wellformed import (
 )
 
 __all__ = [
+    "CODE_CATALOG",
     "ERROR",
     "INFO",
     "WARNING",
+    "ArmSpec",
+    "EncoderSpec",
     "Finding",
     "Footprint",
+    "InvalidRegion",
+    "IsaSpec",
     "MemRegion",
+    "SpecError",
     "WellFormednessError",
     "assert_wellformed",
+    "available_archs",
     "block_footprints",
     "check_trace",
     "debug_checks_enabled",
     "footprint_of_trace",
     "interference_groups",
     "is_wellformed",
+    "isaspec_stats",
     "lint_case",
     "lint_specs",
+    "load_spec",
     "max_severity",
     "may_interfere",
+    "merge_findings",
     "render_findings",
     "trace_read_regs",
+    "validate_arch",
+    "validate_spec",
     "worst_severity",
 ]

@@ -7,7 +7,9 @@ silently lower it.  Codes are stable identifiers (``WF*`` well-formedness,
 suite, and downstream tooling match on — change a code's meaning, mint a
 new code.
 
-Code inventory:
+The full catalog lives in :data:`CODE_CATALOG`; the table below is its
+rendered form.  Uniqueness is enforced at import time — two passes can
+never mint the same code.
 
 ===== ======== ==================================================
 code  severity meaning
@@ -24,6 +26,17 @@ WF009 error    undeclared external variable (strict mode only)
 FP001 info     memory access with no base-register ± offset shape
 FL001 error    instruction writes a register no spec mentions
 FL002 warning  spec constrains a register outside the footprint
+ISA001 error   operand field layout malformed (overlap / gap / range)
+ISA002 error   register field width disagrees with the register file
+ISA003 error   two decode arms claim the same word (encoding overlap)
+ISA004 error   decode-coverage hole: word neither claimed nor invalid
+ISA005 error   arm claims a word outside its declared region
+ISA006 error   encoder/decoder disagreement (symbolic round-trip)
+ISA007 error   spec and implementation disagree on a witness word
+ISA008 error   defined-invalid space overlaps an arm's claim
+ISA009 error   decode arm has no family profile and no exemption
+ISA010 error   malformed constraint clause in the ISA spec itself
+ISA011 error   encoder packing malformed (fixed/places don't tile)
 ===== ======== ==================================================
 """
 
@@ -39,6 +52,50 @@ SEVERITIES = (ERROR, WARNING, INFO)
 
 #: Lattice rank; higher is more severe.
 _RANK = {ERROR: 2, WARNING: 1, INFO: 0}
+
+#: Every stable finding code with its default severity and one-line meaning.
+#: Passes look their codes up here instead of re-declaring them; the builder
+#: below guarantees no two checks share a code.
+_CATALOG_ENTRIES = (
+    ("WF001", ERROR, "ill-sorted SMT term (width/sort mismatch in the DAG)"),
+    ("WF002", ERROR, "variable used before its definition (SSA violation)"),
+    ("WF003", ERROR, "variable defined twice (SSA violation)"),
+    ("WF004", ERROR, "register event width differs from the declaration"),
+    ("WF005", ERROR, "memory event data width differs from 8 * size"),
+    ("WF006", ERROR, "Assert/Assume body is not Bool"),
+    ("WF007", ERROR, "DeclareConst/DefineConst var/expr sort mismatch"),
+    ("WF008", ERROR, "memory address is not a bitvector"),
+    ("WF009", ERROR, "undeclared external variable (strict mode only)"),
+    ("FP001", INFO, "memory access with no base-register ± offset shape"),
+    ("FL001", ERROR, "instruction writes a register no spec mentions"),
+    ("FL002", WARNING, "spec constrains a register outside the footprint"),
+    ("ISA001", ERROR, "operand field layout malformed (overlap / gap / range)"),
+    ("ISA002", ERROR, "register field width disagrees with the register file"),
+    ("ISA003", ERROR, "two decode arms claim the same word (encoding overlap)"),
+    ("ISA004", ERROR, "decode-coverage hole: word neither claimed nor invalid"),
+    ("ISA005", ERROR, "arm claims a word outside its declared region"),
+    ("ISA006", ERROR, "encoder/decoder disagreement (symbolic round-trip)"),
+    ("ISA007", ERROR, "spec and implementation disagree on a witness word"),
+    ("ISA008", ERROR, "defined-invalid space overlaps an arm's claim"),
+    ("ISA009", ERROR, "decode arm has no family profile and no exemption"),
+    ("ISA010", ERROR, "malformed constraint clause in the ISA spec itself"),
+    ("ISA011", ERROR, "encoder packing malformed (fixed/places don't tile)"),
+)
+
+
+def _build_catalog() -> dict:
+    catalog: dict[str, tuple[str, str]] = {}
+    for code, severity, meaning in _CATALOG_ENTRIES:
+        if code in catalog:
+            raise ValueError(f"finding code {code} registered twice")
+        if severity not in _RANK:
+            raise ValueError(f"finding code {code} has unknown severity {severity!r}")
+        catalog[code] = (severity, meaning)
+    return catalog
+
+
+#: code -> (default severity, one-line meaning).  Import-time uniqueness.
+CODE_CATALOG = _build_catalog()
 
 
 def max_severity(*severities: str) -> str:
@@ -102,6 +159,28 @@ class Finding:
         if self.detail:
             out["detail"] = self.detail
         return out
+
+
+def merge_findings(*groups) -> list:
+    """Merge findings from several workers into one deduplicated list.
+
+    Order-insensitive: equal findings (``detail`` excluded — it does not
+    participate in equality) collapse to one, and the result is sorted most
+    severe first with a stable (code, case, addr, where) tiebreak, so any
+    shard-to-worker assignment yields the same report.
+    """
+    seen = set()
+    merged = []
+    for group in groups:
+        for finding in group:
+            if finding in seen:
+                continue
+            seen.add(finding)
+            merged.append(finding)
+    merged.sort(
+        key=lambda f: (-_RANK[f.severity], f.code, f.case or "", f.addr or 0, f.where)
+    )
+    return merged
 
 
 def render_findings(findings) -> str:

@@ -1,0 +1,459 @@
+"""Declarative ISA specification for the modelled AArch64 subset.
+
+Input to :mod:`repro.analysis.isaspec`: each of the 24 decode arms of
+:mod:`repro.arch.arm.decode` restated as an exact bitvector *claim* inside a
+coarse ISA-manual *region*, plus hand-authored defined-invalid carve-outs
+(SIMD/FP, unallocated op0 rows, reserved minor encodings) that complete the
+32-bit word space.  The validator proves pairwise disjointness and joint
+coverage, round-trips each encoder packing symbolically, and grounds the
+tables against the real Python decoder/encoder on witness and probe words.
+
+The one genuinely non-structural claim is ``logical_imm``'s bitmask
+canonicality (ASL ``DecodeBitMasks``): the leading-one pattern of
+``immN:NOT(imms)`` picks the element size, the rotation must stay below it,
+and the run length must not fill the element.  That predicate is expressed
+directly over the word with a :class:`Raw` clause so the solver reasons
+about the *exact* accepted set, not an approximation.
+"""
+
+from __future__ import annotations
+
+from ...analysis.isaspec import ArmSpec, EncoderSpec, InvalidRegion, IsaSpec, Raw
+from ...smt import builder as B
+from . import decode, encode
+from .regs import SYSREG_ENCODINGS
+
+
+def _bitmask_canonical(word):
+    """The decoder's ``DecodeBitMasks`` acceptance, bit-exactly.
+
+    With ``combined = immN:NOT(imms)`` (7 bits), the highest set bit k picks
+    ``esize = 2**k``; accepted iff ``k >= 1``, ``immr < esize`` and the low
+    ``k`` bits of ``imms`` are not all ones (``s == levels`` is reserved).
+    """
+    immn = B.extract(22, 22, word)
+    immr = B.extract(21, 16, word)
+    imms = B.extract(15, 10, word)
+    combined = B.concat(immn, B.bvnot(imms))
+    cases = []
+    for k in range(1, 7):
+        parts = [B.eq(B.extract(6, k, combined), B.bv(1, 7 - k))]
+        if k < 6:  # k == 6 -> esize 64; a 6-bit immr is always < 64
+            parts.append(B.bvult(immr, B.bv(1 << k, 6)))
+        parts.append(B.not_(B.eq(B.extract(k - 1, 0, imms), B.bv((1 << k) - 1, k))))
+        cases.append(B.and_(*parts))
+    return B.or_(*cases)
+
+
+#: (size, opc) pairs with a load/store mnemonic (``_LDST_NAMES``): opc<2
+#: always, opc==2 except for the 64-bit row (no ldrsw of 64-bit data).
+_LDST_SIZED = ("or", ("lt", 23, 22, 2),
+               ("and", ("eq", 23, 22, 2), ("ne", 31, 30, 3)))
+
+
+def _arms() -> tuple:
+    return (
+        ArmSpec(
+            name="addsub_imm",
+            match=(("eq", 28, 23, 0b100010),),
+            encoder=EncoderSpec(
+                fixed=0b100010 << 23, fixed_mask=0b111111 << 23,
+                places=(("sf", 31, 1), ("op", 30, 1), ("s", 29, 1),
+                        ("sh", 22, 1), ("imm12", 10, 12),
+                        ("rn", 5, 5), ("rd", 0, 5)),
+            ),
+        ),
+        ArmSpec(
+            name="addsub_reg",
+            match=(("eq", 28, 24, 0b01011), ("eq", 21, 21, 0),
+                   ("ne", 23, 22, 0b11)),
+            region=(("eq", 28, 24, 0b01011), ("eq", 21, 21, 0)),
+            encoder=EncoderSpec(
+                fixed=0b01011 << 24, fixed_mask=(0b11111 << 24) | (1 << 21),
+                places=(("sf", 31, 1), ("op", 30, 1), ("s", 29, 1),
+                        ("shift", 22, 2), ("rm", 16, 5), ("imm6", 10, 6),
+                        ("rn", 5, 5), ("rd", 0, 5)),
+            ),
+        ),
+        ArmSpec(
+            name="logical_reg",
+            match=(("eq", 28, 24, 0b01010),),
+            encoder=EncoderSpec(
+                fixed=0b01010 << 24, fixed_mask=0b11111 << 24,
+                places=(("sf", 31, 1), ("opc", 29, 2), ("shift", 22, 2),
+                        ("n", 21, 1), ("rm", 16, 5), ("imm6", 10, 6),
+                        ("rn", 5, 5), ("rd", 0, 5)),
+            ),
+        ),
+        ArmSpec(
+            name="logical_imm",
+            match=(("eq", 28, 23, 0b100100),
+                   ("not", ("and", ("eq", 31, 31, 0), ("eq", 22, 22, 1))),
+                   Raw("bitmask_canonical", _bitmask_canonical)),
+            region=(("eq", 28, 23, 0b100100),),
+            encoder=EncoderSpec(
+                fixed=0b100100 << 23, fixed_mask=0b111111 << 23,
+                places=(("sf", 31, 1), ("opc", 29, 2), ("n", 22, 1),
+                        ("immr", 16, 6), ("imms", 10, 6),
+                        ("rn", 5, 5), ("rd", 0, 5)),
+            ),
+        ),
+        ArmSpec(
+            name="movewide",
+            match=(("eq", 28, 23, 0b100101), ("in", 30, 29, (0b00, 0b10, 0b11))),
+            region=(("eq", 28, 23, 0b100101),),
+            encoder=EncoderSpec(
+                fixed=0b100101 << 23, fixed_mask=0b111111 << 23,
+                places=(("sf", 31, 1), ("opc", 29, 2), ("hw", 21, 2),
+                        ("imm16", 5, 16), ("rd", 0, 5)),
+            ),
+        ),
+        ArmSpec(
+            name="bitfield",
+            match=(("eq", 28, 23, 0b100110), ("in", 30, 29, (0b00, 0b10)),
+                   Raw("n_eq_sf", lambda w: B.eq(
+                       B.extract(22, 22, w), B.extract(31, 31, w))),
+                   ("or", ("eq", 31, 31, 1),
+                    ("and", ("lt", 21, 16, 32), ("lt", 15, 10, 32)))),
+            region=(("eq", 28, 23, 0b100110),),
+            encoder=EncoderSpec(
+                fixed=0b100110 << 23, fixed_mask=0b111111 << 23,
+                places=(("sf", 31, 1), ("opc", 29, 2), ("n", 22, 1),
+                        ("immr", 16, 6), ("imms", 10, 6),
+                        ("rn", 5, 5), ("rd", 0, 5)),
+            ),
+        ),
+        ArmSpec(
+            name="csel",
+            match=(("eq", 28, 21, 0b11010100), ("eq", 29, 29, 0),
+                   ("eq", 11, 11, 0)),
+            region=(("eq", 28, 21, 0b11010100), ("eq", 29, 29, 0)),
+            encoder=EncoderSpec(
+                fixed=0b11010100 << 21,
+                fixed_mask=(1 << 29) | (0xFF << 21) | (1 << 11),
+                places=(("sf", 31, 1), ("neg", 30, 1), ("rm", 16, 5),
+                        ("cond", 12, 4), ("o2", 10, 1),
+                        ("rn", 5, 5), ("rd", 0, 5)),
+            ),
+        ),
+        ArmSpec(
+            name="ccmp",
+            match=(("eq", 29, 21, 0b111010010), ("eq", 10, 10, 0),
+                   ("eq", 4, 4, 0)),
+            region=(("eq", 29, 21, 0b111010010),),
+            encoder=EncoderSpec(
+                fixed=0b111010010 << 21,
+                fixed_mask=(0x1FF << 21) | (1 << 10) | (1 << 4),
+                places=(("sf", 31, 1), ("op", 30, 1), ("rm_or_imm", 16, 5),
+                        ("cond", 12, 4), ("e", 11, 1),
+                        ("rn", 5, 5), ("nzcv", 0, 4)),
+            ),
+        ),
+        ArmSpec(
+            name="div",
+            match=(("eq", 30, 21, 0b0011010110), ("eq", 15, 11, 0b00001)),
+            region=(("eq", 30, 21, 0b0011010110),),
+            encoder=EncoderSpec(
+                fixed=(0b0011010110 << 21) | (0b00001 << 11),
+                fixed_mask=(0x3FF << 21) | (0x1F << 11),
+                places=(("sf", 31, 1), ("rm", 16, 5), ("o1", 10, 1),
+                        ("rn", 5, 5), ("rd", 0, 5)),
+            ),
+        ),
+        ArmSpec(
+            name="rbit",
+            match=(("eq", 30, 10, 0b1_0_11010110_00000_000000),),
+            region=(("eq", 30, 29, 0b10), ("eq", 28, 21, 0b11010110)),
+            encoder=EncoderSpec(
+                fixed=0b1_0_11010110_00000_000000 << 10,
+                fixed_mask=((1 << 21) - 1) << 10,
+                places=(("sf", 31, 1), ("rn", 5, 5), ("rd", 0, 5)),
+            ),
+        ),
+        ArmSpec(
+            name="ldst_imm",
+            match=(("eq", 29, 24, 0b111001), _LDST_SIZED),
+            region=(("eq", 29, 24, 0b111001),),
+            encoder=EncoderSpec(
+                fixed=0b111001 << 24, fixed_mask=0b111111 << 24,
+                places=(("size", 30, 2), ("opc", 22, 2), ("imm12", 10, 12),
+                        ("rn", 5, 5), ("rt", 0, 5)),
+            ),
+        ),
+        ArmSpec(
+            name="ldst_reg",
+            match=(("eq", 29, 24, 0b111000), ("eq", 21, 21, 1),
+                   ("eq", 11, 10, 0b10), _LDST_SIZED,
+                   ("in", 15, 13, (0b011, 0b010, 0b110))),
+            region=(("eq", 29, 24, 0b111000), ("eq", 21, 21, 1),
+                    ("eq", 11, 10, 0b10)),
+            encoder=EncoderSpec(
+                fixed=(0b111000 << 24) | (1 << 21) | (0b10 << 10),
+                fixed_mask=(0b111111 << 24) | (1 << 21) | (0b11 << 10),
+                places=(("size", 30, 2), ("opc", 22, 2), ("rm", 16, 5),
+                        ("option", 13, 3), ("s", 12, 1),
+                        ("rn", 5, 5), ("rt", 0, 5)),
+            ),
+        ),
+        ArmSpec(
+            name="ldst_imm9",
+            match=(("eq", 29, 24, 0b111000), ("eq", 21, 21, 0),
+                   ("ne", 11, 10, 0b10), _LDST_SIZED),
+            region=(("eq", 29, 24, 0b111000), ("eq", 21, 21, 0)),
+            encoder=EncoderSpec(
+                fixed=0b111000 << 24,
+                fixed_mask=(0b111111 << 24) | (1 << 21),
+                places=(("size", 30, 2), ("opc", 22, 2), ("imm9", 12, 9),
+                        ("mode", 10, 2), ("rn", 5, 5), ("rt", 0, 5)),
+            ),
+        ),
+        ArmSpec(
+            name="ldst_pair",
+            match=(("eq", 29, 26, 0b1010), ("in", 31, 30, (0b00, 0b10)),
+                   ("in", 25, 23, (0b001, 0b010, 0b011))),
+            region=(("eq", 29, 26, 0b1010), ("eq", 25, 25, 0)),
+            encoder=EncoderSpec(
+                fixed=0b1010 << 26, fixed_mask=0b1111 << 26,
+                places=(("opc", 30, 2), ("mode", 23, 3), ("l", 22, 1),
+                        ("imm7", 15, 7), ("rt2", 10, 5),
+                        ("rn", 5, 5), ("rt", 0, 5)),
+            ),
+        ),
+        ArmSpec(
+            name="adr",
+            match=(("eq", 28, 24, 0b10000),),
+            encoder=EncoderSpec(
+                fixed=0b10000 << 24, fixed_mask=0b11111 << 24,
+                places=(("page", 31, 1), ("immlo", 29, 2), ("immhi", 5, 19),
+                        ("rd", 0, 5)),
+            ),
+        ),
+        ArmSpec(
+            name="madd",
+            match=(("eq", 30, 21, 0b0011011000),),
+            encoder=EncoderSpec(
+                fixed=0b0011011000 << 21, fixed_mask=0x3FF << 21,
+                places=(("sf", 31, 1), ("rm", 16, 5), ("o0", 15, 1),
+                        ("ra", 10, 5), ("rn", 5, 5), ("rd", 0, 5)),
+            ),
+        ),
+        ArmSpec(
+            name="cbz",
+            match=(("eq", 30, 25, 0b011010),),
+            encoder=EncoderSpec(
+                fixed=0b011010 << 25, fixed_mask=0b111111 << 25,
+                places=(("sf", 31, 1), ("op", 24, 1), ("imm19", 5, 19),
+                        ("rt", 0, 5)),
+            ),
+        ),
+        ArmSpec(
+            name="tbz",
+            match=(("eq", 30, 25, 0b011011),),
+            encoder=EncoderSpec(
+                fixed=0b011011 << 25, fixed_mask=0b111111 << 25,
+                places=(("b5", 31, 1), ("op", 24, 1), ("b40", 19, 5),
+                        ("imm14", 5, 14), ("rt", 0, 5)),
+            ),
+        ),
+        ArmSpec(
+            name="bcond",
+            match=(("eq", 31, 24, 0b01010100), ("eq", 4, 4, 0)),
+            region=(("eq", 31, 24, 0b01010100),),
+            encoder=EncoderSpec(
+                fixed=0b01010100 << 24, fixed_mask=(0xFF << 24) | (1 << 4),
+                places=(("imm19", 5, 19), ("cond", 0, 4)),
+            ),
+        ),
+        ArmSpec(
+            name="b_bl",
+            match=(("eq", 30, 26, 0b00101),),
+            encoder=EncoderSpec(
+                fixed=0b00101 << 26, fixed_mask=0b11111 << 26,
+                places=(("op", 31, 1), ("imm26", 0, 26)),
+            ),
+        ),
+        ArmSpec(
+            name="br_blr_ret",
+            match=(("eq", 31, 25, 0b1101011),
+                   ("eq", 20, 10, 0b11111_000000), ("eq", 4, 0, 0),
+                   ("or", ("in", 24, 21, (0b0000, 0b0001, 0b0010)),
+                    ("and", ("eq", 24, 21, 0b0100), ("eq", 9, 5, 31)))),
+            region=(("eq", 31, 25, 0b1101011),),
+            encoder=EncoderSpec(
+                fixed=(0b1101011 << 25) | (0b11111_000000 << 10),
+                fixed_mask=(0x7F << 25) | (0x7FF << 10) | 0x1F,
+                places=(("opc", 21, 4), ("rn", 5, 5)),
+            ),
+        ),
+        ArmSpec(
+            name="hint",
+            match=(("eq", 31, 12, 0b11010101000000110010),
+                   ("eq", 4, 0, 0b11111)),
+            region=(("eq", 31, 22, 0b1101010100), ("eq", 20, 20, 0)),
+            encoder=EncoderSpec(
+                fixed=(0b11010101000000110010 << 12) | 0b11111,
+                fixed_mask=(0xFFFFF << 12) | 0x1F,
+                places=(("crm_op2", 5, 7),),
+            ),
+        ),
+        ArmSpec(
+            name="sysreg",
+            match=(("eq", 31, 22, 0b1101010100), ("eq", 20, 20, 1)),
+            encoder=EncoderSpec(
+                fixed=(0b1101010100 << 22) | (1 << 20),
+                fixed_mask=(0x3FF << 22) | (1 << 20),
+                places=(("l", 21, 1), ("enc", 5, 15), ("rt", 0, 5)),
+            ),
+        ),
+        ArmSpec(
+            name="hvc",
+            match=(("eq", 31, 21, 0b11010100_000),
+                   ("in", 4, 0, (0b00001, 0b00010))),
+            region=(("eq", 31, 21, 0b11010100_000),),
+            encoder=EncoderSpec(
+                fixed=0b11010100_000 << 21, fixed_mask=0x7FF << 21,
+                places=(("imm16", 5, 16), ("low", 0, 5)),
+            ),
+        ),
+    )
+
+
+#: Reserved/unmodelled space, hand-carved to complete coverage.  Each carve
+#: is proved disjoint from every claim (ISA008) and its enumerated words are
+#: checked to raise ``UnknownInstruction`` (ISA007).
+_INVALID = (
+    # op0 = 00xx: sve/sme/unallocated top rows.
+    InvalidRegion("unalloc_op0_00xx", (("eq", 28, 27, 0b00),)),
+    # Data-processing immediate rows with no modelled arm.
+    InvalidRegion("dp_imm_unalloc", (("in", 28, 23, (0b100011, 0b100111)),)),
+    # b.cond space with bit 25/24 set (unallocated + reserved).
+    InvalidRegion("bcond_unalloc", (("eq", 31, 26, 0b010101),
+                                    ("ne", 25, 24, 0b00))),
+    # Branch op0 rows 011/111.
+    InvalidRegion("branches_unalloc", (("eq", 30, 29, 0b11),
+                                       ("eq", 28, 26, 0b101))),
+    # Exception-generation space beyond hvc/svc's [23:21] = 000 column.
+    InvalidRegion("exception_unalloc", (("eq", 31, 25, 0b1101010),
+                                        ("eq", 24, 24, 0),
+                                        ("ne", 23, 21, 0b000))),
+    # System space beyond the hint/sysreg [23:22] = 00 column.
+    InvalidRegion("system_unalloc", (("eq", 31, 25, 0b1101010),
+                                     ("eq", 24, 24, 1),
+                                     ("ne", 23, 22, 0b00))),
+    # Load/store rows other than the pair box and the main 111000/111001 box.
+    InvalidRegion("ldst_unmodelled", (("eq", 27, 27, 1), ("eq", 25, 25, 0),
+                                      ("ne", 29, 26, 0b1010),
+                                      ("ne", 29, 25, 0b11100))),
+    # Register-offset box with reserved low bits ([11:10] != 10).
+    InvalidRegion("ldst_reg_residual", (("eq", 29, 24, 0b111000),
+                                        ("eq", 21, 21, 1),
+                                        ("ne", 11, 10, 0b10))),
+    # Add/sub extended-register (bit 21 set) is not modelled.
+    InvalidRegion("addsub_ext", (("eq", 28, 24, 0b01011), ("eq", 21, 21, 1))),
+    # The whole SIMD/FP plane.
+    InvalidRegion("simd_fp", (("eq", 27, 25, 0b111),)),
+    # Data-processing register plane 1101: everything outside the five
+    # modelled boxes (csel / ccmp / div / rbit / madd).
+    InvalidRegion("dp_1101_unalloc", (
+        ("eq", 28, 25, 0b1101),
+        ("not", ("or",
+                 ("and", ("eq", 24, 21, 0b0100), ("eq", 29, 29, 0)),
+                 ("and", ("eq", 24, 21, 0b0010), ("eq", 29, 29, 1)),
+                 ("and", ("eq", 24, 21, 0b0110), ("eq", 30, 29, 0b00)),
+                 ("and", ("eq", 24, 21, 0b0110), ("eq", 30, 29, 0b10)),
+                 ("and", ("eq", 24, 21, 0b1000), ("eq", 30, 29, 0b00)))),
+    )),
+)
+
+
+def _layouts() -> dict:
+    layouts = {arm: (table,) for arm, table in decode._FIELD_TABLES.items()}
+    # ccmp's [20:16] is a register only in the register form (bit 11 clear).
+    layouts["ccmp"] = (decode._ccmp_fields(0), decode._ccmp_fields(1 << 11))
+    return layouts
+
+
+def _probes() -> dict:
+    e = encode
+    sysreg_name = next(iter(SYSREG_ENCODINGS))
+    return {
+        "addsub_imm": (
+            e.add_imm(0, 1, 42), e.add_imm(2, 3, 1, shift12=True),
+            e.sub_imm(4, 5, 7, sf=0), e.adds_imm(6, 7, 0),
+            e.subs_imm(8, 9, 4095), e.cmp_imm(10, 3),
+        ),
+        "addsub_reg": (
+            e.add_reg(0, 1, 2), e.add_reg(3, 4, 5, shift=2, amount=7),
+            e.sub_reg(6, 7, 8, sf=0), e.subs_reg(9, 10, 11),
+            e.adds_reg(12, 13, 14), e.cmp_reg(15, 16),
+        ),
+        "logical_reg": (
+            e.and_reg(0, 1, 2), e.orr_reg(3, 4, 5, amount=3, shift=1),
+            e.eor_reg(6, 7, 8), e.ands_reg(9, 10, 11, sf=0),
+            e.tst_reg(12, 13), e.mov_reg(14, 15),
+        ),
+        "logical_imm": (
+            e.and_imm(0, 1, 0xFF), e.ands_imm(2, 3, 0x0F0F0F0F0F0F0F0F),
+            e.tst_imm(4, 0x7), e.and_imm(5, 6, 0xFF00FF00, sf=0),
+        ),
+        "movewide": (
+            e.movz(0, 0x1234), e.movn(1, 7, hw=1), e.movk(2, 0xFFFF, hw=3),
+            e.mov_imm(3, 99), e.movz(4, 5, sf=0),
+        ),
+        "bitfield": (
+            e.ubfm(0, 1, 3, 5), e.lsr_imm(2, 3, 17), e.lsl_imm(4, 5, 8),
+            e.uxtb(6, 7), e.lsr_imm(8, 9, 3, sf=0),
+        ),
+        "csel": (
+            e.csel(0, 1, 2, "eq"), e.csinc(3, 4, 5, "ne"),
+            e.cset(6, "lt"), e.csel(7, 8, 9, "hi", sf=0),
+        ),
+        "ccmp": (
+            e.ccmp_reg(0, 1, 0b0100, "eq"), e.ccmp_imm(2, 17, 0b0010, "ne"),
+            e.ccmn_reg(3, 4, 0b1000, "ge", sf=0),
+        ),
+        "div": (e.udiv(0, 1, 2), e.sdiv(3, 4, 5, sf=0)),
+        "rbit": (e.rbit(0, 1), e.rbit(2, 3, sf=0)),
+        "ldst_imm": (
+            e.strb_imm(0, 1, 3), e.ldrb_imm(2, 3), e.str32_imm(4, 5, 8),
+            e.ldr32_imm(6, 7, 4), e.str64_imm(8, 9, 16), e.ldr64_imm(10, 11, 8),
+        ),
+        "ldst_reg": (
+            e.ldrb_reg(0, 1, 2), e.strb_reg(3, 4, 5),
+            e.ldr64_reg(6, 7, 8), e.str64_reg(9, 10, 11, scaled=False),
+        ),
+        "ldst_imm9": (
+            e.str64_pre(0, 1, -16), e.str64_post(2, 3, 8),
+            e.ldr64_pre(4, 5, 16), e.ldr64_post(6, 7, -8),
+            e.stur64(8, 9, 1), e.ldur64(10, 11, -1),
+        ),
+        "ldst_pair": (
+            e.stp64(0, 1, 2, 16), e.ldp64(3, 4, 5),
+            e.stp64_pre(6, 7, 8, -32), e.ldp64_post(9, 10, 11, 48),
+        ),
+        "adr": (e.adr(0, 12), e.adr(1, -12), e.adrp(2, 3)),
+        "madd": (e.madd(0, 1, 2, 3), e.msub(4, 5, 6, 7), e.mul(8, 9, 10)),
+        "cbz": (e.cbz(0, 8), e.cbnz(1, -8, sf=0)),
+        "tbz": (e.tbz(0, 5, 8), e.tbnz(1, 40, -8)),
+        "bcond": (e.b_cond("eq", 8), e.b_cond("le", -64)),
+        "b_bl": (e.b(16), e.bl(-16)),
+        "br_blr_ret": (e.br(0), e.blr(1), e.ret(), e.eret()),
+        "hint": (e.nop(),),
+        "sysreg": (e.msr(sysreg_name, 0), e.mrs(1, sysreg_name)),
+        "hvc": (e.hvc(1), e.svc(0x42)),
+    }
+
+
+def build_spec() -> IsaSpec:
+    return IsaSpec(
+        arch="arm",
+        arms=_arms(),
+        invalid=_INVALID,
+        layouts=_layouts(),
+        reg_count=32,
+        decode_arm=decode.decode_arm,
+        decode_fields=decode.decode_fields,
+        invalid_exc=decode.UnknownInstruction,
+        probes=_probes(),
+        coverage_shard=(28, 25),
+    )

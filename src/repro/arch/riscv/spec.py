@@ -1,0 +1,271 @@
+"""Declarative ISA specification for the modelled RV64I subset.
+
+This is the input to :mod:`repro.analysis.isaspec`: every decode arm of
+:mod:`repro.arch.riscv.decode` restated as an exact bitvector claim, plus
+the defined-invalid space (unallocated major opcodes; reserved minor
+encodings fall out as region residuals).  The validator proves the claims
+pairwise disjoint and jointly covering, round-trips the encoder packing
+symbolically, and grounds everything against the real Python
+decoder/encoder on witness and probe words.
+
+The tables here are deliberately *independent* re-derivations from the ISA
+manual's shapes — agreement with ``decode.py``/``encode.py`` is proved, not
+assumed.
+"""
+
+from __future__ import annotations
+
+from ...analysis.isaspec import ArmSpec, EncoderSpec, InvalidRegion, IsaSpec
+from . import decode, encode
+
+# Major opcodes (bits [6:0]) of the modelled subset.
+_MAJORS = {
+    "lui": 0b0110111, "auipc": 0b0010111, "jal": 0b1101111,
+    "jalr": 0b1100111, "branch": 0b1100011, "load": 0b0000011,
+    "store": 0b0100011, "op_imm": 0b0010011, "op_imm32": 0b0011011,
+    "op": 0b0110011, "op32": 0b0111011, "fence": 0b0001111,
+    "system": 0b1110011,
+}
+
+
+def _major(name: str) -> tuple:
+    return ("eq", 6, 0, _MAJORS[name])
+
+
+_U_PLACES = (("imm20", 12, 20), ("rd", 7, 5))
+_I_PLACES = (("imm12", 20, 12), ("rs1", 15, 5), ("rd", 7, 5))
+_SB_PLACES = (
+    ("imm_hi", 25, 7), ("rs2", 20, 5), ("rs1", 15, 5),
+    ("funct3", 12, 3), ("imm_lo", 7, 5),
+)
+_R_PLACES = (
+    ("funct7", 25, 7), ("rs2", 20, 5), ("rs1", 15, 5),
+    ("funct3", 12, 3), ("rd", 7, 5),
+)
+
+
+def _u_encoder(name: str) -> EncoderSpec:
+    return EncoderSpec(fixed=_MAJORS[name], fixed_mask=0x7F, places=_U_PLACES)
+
+
+def _i_encoder(name: str, funct3: int | None = None) -> EncoderSpec:
+    if funct3 is None:
+        return EncoderSpec(
+            fixed=_MAJORS[name], fixed_mask=0x7F,
+            places=_I_PLACES + (("funct3", 12, 3),),
+        )
+    return EncoderSpec(
+        fixed=_MAJORS[name] | (funct3 << 12), fixed_mask=0x7F | (0b111 << 12),
+        places=_I_PLACES,
+    )
+
+
+def _arms() -> tuple:
+    arms = [
+        ArmSpec(
+            name="lui", match=(_major("lui"),), encoder=_u_encoder("lui"),
+        ),
+        ArmSpec(
+            name="auipc", match=(_major("auipc"),), encoder=_u_encoder("auipc"),
+        ),
+        ArmSpec(
+            name="jal", match=(_major("jal"),), encoder=_u_encoder("jal"),
+        ),
+        ArmSpec(
+            name="jalr",
+            match=(_major("jalr"), ("eq", 14, 12, 0)),
+            region=(_major("jalr"),),
+            encoder=_i_encoder("jalr", funct3=0),
+        ),
+        ArmSpec(
+            name="branch",
+            match=(_major("branch"), ("in", 14, 12, (0, 1, 4, 5, 6, 7))),
+            region=(_major("branch"),),
+            encoder=EncoderSpec(
+                fixed=_MAJORS["branch"], fixed_mask=0x7F, places=_SB_PLACES,
+            ),
+        ),
+        ArmSpec(
+            name="load",
+            match=(_major("load"), ("lt", 14, 12, 7)),
+            region=(_major("load"),),
+            encoder=_i_encoder("load"),
+        ),
+        ArmSpec(
+            name="store",
+            match=(_major("store"), ("lt", 14, 12, 4)),
+            region=(_major("store"),),
+            encoder=EncoderSpec(
+                fixed=_MAJORS["store"], fixed_mask=0x7F, places=_SB_PLACES,
+            ),
+        ),
+        ArmSpec(
+            name="op_imm",
+            match=(
+                _major("op_imm"),
+                ("or",
+                 ("notin", 14, 12, (1, 5)),
+                 ("and", ("eq", 14, 12, 1), ("eq", 31, 26, 0)),
+                 ("and", ("eq", 14, 12, 5),
+                  ("in", 31, 26, (0b000000, 0b010000)))),
+            ),
+            region=(_major("op_imm"),),
+            encoder=_i_encoder("op_imm"),
+        ),
+        ArmSpec(
+            name="op_imm32",
+            match=(
+                _major("op_imm32"),
+                ("or",
+                 ("eq", 14, 12, 0),
+                 ("and", ("eq", 14, 12, 1), ("eq", 31, 25, 0)),
+                 ("and", ("eq", 14, 12, 5),
+                  ("in", 31, 25, (0b0000000, 0b0100000)))),
+            ),
+            region=(_major("op_imm32"),),
+            encoder=_i_encoder("op_imm32"),
+        ),
+        ArmSpec(
+            name="op",
+            match=(
+                _major("op"),
+                ("or",
+                 ("eq", 31, 25, 0),
+                 ("and", ("eq", 31, 25, 0b0100000), ("in", 14, 12, (0, 5)))),
+            ),
+            region=(_major("op"),),
+            encoder=EncoderSpec(
+                fixed=_MAJORS["op"], fixed_mask=0x7F, places=_R_PLACES,
+            ),
+        ),
+        ArmSpec(
+            name="op32",
+            match=(
+                _major("op32"),
+                ("or",
+                 ("and", ("eq", 31, 25, 0), ("in", 14, 12, (0, 1, 5))),
+                 ("and", ("eq", 31, 25, 0b0100000), ("in", 14, 12, (0, 5)))),
+            ),
+            region=(_major("op32"),),
+            encoder=EncoderSpec(
+                fixed=_MAJORS["op32"], fixed_mask=0x7F, places=_R_PLACES,
+            ),
+        ),
+        ArmSpec(
+            name="fence",
+            # Only the canonical full fence word is modelled.
+            match=(("eq", 31, 0, 0x0FF0000F),),
+            region=(_major("fence"),),
+            encoder=EncoderSpec(
+                fixed=_MAJORS["fence"], fixed_mask=0x7F,
+                places=(
+                    ("fm_pred_succ", 20, 12), ("rs1", 15, 5),
+                    ("funct3", 12, 3), ("rd", 7, 5),
+                ),
+            ),
+        ),
+        ArmSpec(
+            name="system",
+            match=(
+                _major("system"),
+                ("or",
+                 ("in", 14, 12, (1, 2, 3, 5, 6, 7)),
+                 ("and", ("eq", 14, 12, 0), ("eq", 19, 7, 0),
+                  ("in", 31, 20, (0, 1, 0x302, 0x105)))),
+            ),
+            region=(_major("system"),),
+            encoder=EncoderSpec(
+                fixed=_MAJORS["system"], fixed_mask=0x7F,
+                places=(
+                    ("funct12", 20, 12), ("rs1", 15, 5),
+                    ("funct3", 12, 3), ("rd", 7, 5),
+                ),
+            ),
+        ),
+    ]
+    return tuple(arms)
+
+
+def _layouts() -> dict:
+    i_imm = decode._i_type("imm")
+    i_struct = decode._i_type("struct")
+    sb = decode._s_or_b_type("imm")
+    fence = decode._riscv_fields(0x0FF0000F)
+    # system layout variants by funct3 class: csr-reg / csr-imm / ecall-class.
+    sys_reg = decode._riscv_fields(encode.csrrw(1, "mstatus", 2))
+    sys_imm = decode._riscv_fields(encode.csrrwi(1, "mstatus", 3))
+    sys_bare = decode._riscv_fields(encode.ecall())
+    return {
+        "lui": (decode._U_TYPE,),
+        "auipc": (decode._U_TYPE,),
+        "jal": (decode._U_TYPE,),
+        "jalr": (i_imm,),
+        "branch": (sb,),
+        "load": (i_imm,),
+        "store": (sb,),
+        "op_imm": (i_imm, i_struct),
+        "op_imm32": (i_imm, i_struct),
+        "op": (decode._R_TYPE,),
+        "op32": (decode._R_TYPE,),
+        "fence": (fence,),
+        "system": (sys_reg, sys_imm, sys_bare),
+    }
+
+
+def _probes() -> dict:
+    e = encode
+    return {
+        "lui": (e.lui(5, 0x12345), e.lui(0, 0xFFFFF)),
+        "auipc": (e.auipc(3, 1), e.auipc(31, 0)),
+        "jal": (e.jal(1, 2048), e.jal(0, -4)),
+        "jalr": (e.jalr(0, 1, 0), e.jalr(5, 6, -8), e.ret()),
+        "branch": (
+            e.beq(1, 2, 8), e.bne(3, 4, -8), e.blt(5, 6, 16),
+            e.bge(7, 8, -16), e.bltu(9, 10, 32), e.bgeu(11, 12, -64),
+        ),
+        "load": (
+            e.lb(1, 2, 0), e.lh(3, 4, 2), e.lw(5, 6, -4), e.ld(7, 8, 8),
+            e.lbu(9, 10, 1), e.lhu(11, 12, -2), e.lwu(13, 14, 4),
+        ),
+        "store": (e.sb(1, 2, 0), e.sh(3, 4, 2), e.sw(5, 6, -4), e.sd(7, 8, 8)),
+        "op_imm": (
+            e.addi(1, 2, 3), e.slti(3, 4, -5), e.sltiu(5, 6, 7),
+            e.xori(7, 8, -1), e.ori(9, 10, 0xF), e.andi(11, 12, -16),
+            e.slli(13, 14, 5), e.srli(15, 16, 6), e.srai(17, 18, 7),
+        ),
+        "op_imm32": (e.addiw(1, 2, 3), e.srliw(4, 5, 6)),
+        "op": (
+            e.add(1, 2, 3), e.sub(4, 5, 6), e.sll(7, 8, 9), e.slt(10, 11, 12),
+            e.sltu(13, 14, 15), e.xor(16, 17, 18), e.srl(19, 20, 21),
+            e.sra(22, 23, 24), e.or_(25, 26, 27), e.and_(28, 29, 30),
+        ),
+        "op32": (e.addw(1, 2, 3),),
+        "fence": (0x0FF0000F,),
+        "system": (
+            e.csrrw(1, "mstatus", 2), e.csrrs(3, "mepc", 4),
+            e.csrrc(5, "mcause", 6), e.csrrwi(7, "mtvec", 8),
+            e.csrrsi(9, "mie", 10), e.csrrci(11, "mip", 12),
+            e.csrr(13, "mhartid"), e.csrw("mscratch", 14),
+            e.ecall(), e.ebreak(), e.mret(), e.wfi(),
+        ),
+    }
+
+
+def build_spec() -> IsaSpec:
+    return IsaSpec(
+        arch="riscv",
+        arms=_arms(),
+        invalid=(
+            InvalidRegion(
+                name="unallocated_major",
+                clauses=(("notin", 6, 0, tuple(sorted(_MAJORS.values()))),),
+            ),
+        ),
+        layouts=_layouts(),
+        reg_count=32,
+        decode_arm=decode.decode_arm,
+        decode_fields=decode.decode_fields,
+        invalid_exc=decode.UnknownInstruction,
+        probes=_probes(),
+        coverage_shard=None,
+    )

@@ -86,7 +86,6 @@ def build_specs(n: int, base: int = BASE) -> tuple[dict[int, Pred], dict[str, ob
     d = B.bv_var("d", 64)
     s = B.bv_var("s", 64)
     r = B.bv_var("r", 64)
-    m = B.bv_var("m", 64)
     bs = [B.bv_var(f"Bs{i}", 8) for i in range(n)]
     bd = [B.bv_var(f"Bd{i}", 8) for i in range(n)]
     post = _post(d, s, bs)

@@ -58,7 +58,6 @@ def build_specs(base: int = BASE) -> dict[int, Pred]:
     a = B.bv_var("a", 64)  # the misaligned address
     v = B.bv_var("v", 64)  # the vector base
     n, z, c, vf = (B.bv_var(f"flag_{x}", 1) for x in "nzcv")
-    one = B.bv(1, 1)
 
     # What PSTATE must be saved as: flags at fault time, EL2, SP=1.
     saved_spsr = pack_spsr(

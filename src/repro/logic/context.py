@@ -24,7 +24,6 @@ from .assertions import (
     MemArray,
     MemPointsTo,
     MMIO,
-    Pred,
     RegCol,
     RegPointsTo,
     SpecAssertion,
@@ -223,7 +222,6 @@ class Context:
         if isinstance(index, int):
             return arr.values[index]
         # ite-chain select (no theory of arrays in the solver).
-        width = 8 * arr.elem_bytes
         result = arr.values[-1]
         for j in range(len(arr.values) - 2, -1, -1):
             result = B.ite(B.eq(index, B.bv(j, 64)), arr.values[j], result)

@@ -165,12 +165,11 @@ class JobRunner:
         if report.parametric_stats:
             telemetry.merge("parametric", report.parametric_stats)
         if service.cache is not None:
-            telemetry.gauge(
-                "disk_trace_hits", service.cache.stats.trace_hits
-            )
-            telemetry.gauge(
-                "disk_smt_hits", service.cache.stats.smt_hits
-            )
+            # The full CacheStats snapshot, not just the hit counters:
+            # wellformed_rejects / corrupt_entries make static-analysis
+            # evictions observable in the fleet.
+            for key, value in service.cache.stats.snapshot().items():
+                telemetry.gauge(f"disk_{key}", value)
         job.mark_done(result)
         if job.latency_s is not None:
             telemetry.observe_queue_latency(job.latency_s, job.request.priority)

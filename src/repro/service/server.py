@@ -254,6 +254,23 @@ class VerificationService:
                 pass
         self._shutdown_event.set()
 
+    def refresh_gauges(self) -> None:
+        """Re-derive observability gauges from resident state.
+
+        Called on every /metrics render so static-analysis rejections are
+        visible even between jobs: the full :class:`CacheStats` snapshot
+        (including ``wellformed_rejects`` and ``corrupt_entries`` — the
+        ill-formed-entry evictions) becomes ``disk_*`` gauges, and the
+        process-global ISA-spec validator counters become ``isaspec_*``.
+        """
+        from ..analysis.isaspec import isaspec_stats
+
+        if self.cache is not None:
+            for key, value in self.cache.stats.snapshot().items():
+                self.telemetry.gauge(f"disk_{key}", value)
+        for key, value in isaspec_stats().items():
+            self.telemetry.gauge(f"isaspec_{key}", value)
+
     # -- request plumbing ------------------------------------------------------
 
     async def _handle(self, reader, writer) -> None:
@@ -333,11 +350,13 @@ class VerificationService:
             elif len(parts) >= 2 and parts[0] == "jobs":
                 await self._job_route(writer, method, parts[1], parts[2:], query)
             elif method == "GET" and parts == ["metrics"]:
+                self.refresh_gauges()
                 await self._respond(
                     writer, 200, self.telemetry.render_prometheus(),
                     content_type="text/plain; version=0.0.4",
                 )
             elif method == "GET" and parts == ["metrics.json"]:
+                self.refresh_gauges()
                 await self._respond(writer, 200, self.telemetry.snapshot())
             elif method == "POST" and parts == ["shutdown"]:
                 mode = "drain"

@@ -581,7 +581,7 @@ def truncate(width: int, a: Term) -> Term:
 # ---------------------------------------------------------------------------
 
 def bvult(a: Term, b: Term) -> Term:
-    w = check_same_width(a, b, "bvult")
+    check_same_width(a, b, "bvult")
     if a.is_value() and b.is_value():
         return bool_val(a.value < b.value)
     if b.is_value() and b.value == 0:

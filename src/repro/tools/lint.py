@@ -1,23 +1,49 @@
-"""CLI: static analysis over case studies — no SMT solving, no proofs.
+"""CLI: static analysis over case studies and ISA specifications.
 
-Runs the :mod:`repro.analysis` passes over one case study (or all of
-them): every generated ITL trace goes through the well-sortedness / SSA
-checker (``WF*`` codes, widths checked against the architecture's register
-file), and the case's specs are diffed against the inferred per-opcode
-footprints (``FL001`` unframed write, ``FL002`` dead spec clause,
-``FP001`` unknown memory shape).
+Two modes:
 
-The exit status is non-zero iff any *error*-severity finding was reported;
-warnings and infos are advisory.  Building a case runs the symbolic
-executor, so pointing ``--cache-dir`` (or ``$REPRO_CACHE_DIR``) at the
-same cache the verifier uses makes linting near-instant.
+- **case mode** (default): build one case study (or all of them) and run
+  the :mod:`repro.analysis` passes — every generated ITL trace goes through
+  the well-sortedness / SSA checker (``WF*`` codes, widths checked against
+  the architecture's register file), and the case's specs are diffed
+  against the inferred per-opcode footprints (``FL001`` unframed write,
+  ``FL002`` dead spec clause, ``FP001`` unknown memory shape).
+- **ISA mode** (``--isa``): validate each architecture's declarative ISA
+  specification (``arch/<name>/spec.py``) with the solver-backed
+  :mod:`repro.analysis.isaspec` pass — field layouts, encoding overlap,
+  decode coverage, encoder/decoder agreement, family audit (``ISA*``
+  codes), proved exhaustively over the full word space.
+
+Exit-code contract (both modes): **0** no error-severity findings, **1**
+at least one error finding, **2** usage error.  Warnings and infos are
+advisory and never affect the exit status.
+
+``--json`` emits the stable ``repro.lint/2`` schema::
+
+    {
+      "schema": "repro.lint/2",
+      "mode": "cases" | "isa",
+      "targets": {"<name>": {"findings": [{code, severity, message,
+                                           where, ...}, ...],
+                             "errors": N, "warnings": N, "infos": N}},
+      "totals": {"errors": N, "warnings": N, "infos": N},
+      "ok": true | false
+    }
+
+``targets`` is keyed by case-study name in case mode and by architecture
+in ISA mode; each finding is :meth:`repro.analysis.Finding.to_json`.
+
+Building a case runs the symbolic executor, so pointing ``--cache-dir``
+(or ``$REPRO_CACHE_DIR``) at the same cache the verifier uses makes case
+linting near-instant.  ISA mode needs no cache — it is solver-only.
 
 Examples::
 
     python -m repro.tools.lint rbit
     python -m repro.tools.lint --all
+    python -m repro.tools.lint --isa
+    python -m repro.tools.lint --isa --arch riscv --json -
     python -m repro.tools.lint memcpy_arm --json report.json
-    python -m repro.tools.lint --all --json -        # JSON to stdout
 """
 
 from __future__ import annotations
@@ -26,6 +52,9 @@ import argparse
 import json
 import os
 import sys
+
+#: JSON schema identifier; bump only with a documented migration.
+SCHEMA = "repro.lint/2"
 
 
 def _resolve_cache(args):
@@ -71,6 +100,58 @@ def _counts(findings) -> dict[str, int]:
     return out
 
 
+def _payload(mode: str) -> dict:
+    return {
+        "schema": SCHEMA,
+        "mode": mode,
+        "targets": {},
+        "totals": {"errors": 0, "warnings": 0, "infos": 0},
+        "ok": True,
+    }
+
+
+def _report(payload: dict, name: str, findings, quiet: bool,
+            to_stdout: bool) -> None:
+    from ..analysis.findings import render_findings
+
+    counts = _counts(findings)
+    payload["targets"][name] = {
+        "findings": [f.to_json() for f in findings],
+        **counts,
+    }
+    for key, value in counts.items():
+        payload["totals"][key] += value
+    if to_stdout:
+        return
+    print(
+        f"{name}: {counts['errors']} error(s), "
+        f"{counts['warnings']} warning(s), {counts['infos']} info(s)"
+    )
+    if findings and not quiet:
+        for line in render_findings(findings).splitlines():
+            print(f"  {line}")
+
+
+def _run_cases(args, names, payload) -> None:
+    cache = _resolve_cache(args)
+    try:
+        for name in names:
+            findings = lint_one(name, args.n, cache=cache)
+            _report(payload, name, findings, args.quiet, args.json == "-")
+    finally:
+        if cache is not None:
+            cache.flush()
+
+
+def _run_isa(args, payload) -> None:
+    from ..analysis.isaspec import available_archs, validate_arch
+
+    archs = [args.arch] if args.arch else list(available_archs())
+    for arch in archs:
+        findings = validate_arch(arch)
+        _report(payload, arch, findings, args.quiet, args.json == "-")
+
+
 def main(argv: list[str] | None = None) -> int:
     from .. import casestudies
 
@@ -78,6 +159,14 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro.tools.lint", description=__doc__)
     parser.add_argument("case", nargs="?", choices=all_names)
     parser.add_argument("--all", action="store_true", help="lint every case study")
+    parser.add_argument(
+        "--isa", action="store_true",
+        help="validate the declarative ISA specs instead of case studies",
+    )
+    parser.add_argument(
+        "--arch", default=None,
+        help="restrict --isa to one architecture (default: all)",
+    )
     parser.add_argument(
         "--n", type=int, default=None, help="array length where applicable"
     )
@@ -97,37 +186,30 @@ def main(argv: list[str] | None = None) -> int:
         help="suppress per-finding output (summary lines only)",
     )
     args = parser.parse_args(argv)
-    if not args.all and not args.case:
-        parser.error("give a case study name or --all")
-    names = all_names if args.all else [args.case]
 
-    from ..analysis.findings import render_findings
+    if args.isa:
+        if args.case or args.all:
+            parser.error("--isa does not take a case study")
+        if args.arch:
+            from ..analysis.isaspec import available_archs
 
-    cache = _resolve_cache(args)
-    payload: dict = {"cases": {}, "ok": True}
-    total_errors = 0
-    try:
-        for name in names:
-            findings = lint_one(name, args.n, cache=cache)
-            counts = _counts(findings)
-            total_errors += counts["errors"]
-            payload["cases"][name] = {
-                "findings": [f.to_json() for f in findings],
-                **counts,
-            }
-            summary = (
-                f"{name}: {counts['errors']} error(s), "
-                f"{counts['warnings']} warning(s), {counts['infos']} info(s)"
-            )
-            if args.json != "-":
-                print(summary)
-                if findings and not args.quiet:
-                    for line in render_findings(findings).splitlines():
-                        print(f"  {line}")
-    finally:
-        if cache is not None:
-            cache.flush()
-    payload["ok"] = total_errors == 0
+            if args.arch not in available_archs():
+                parser.error(
+                    f"unknown architecture {args.arch!r}"
+                    f" (choose from {', '.join(available_archs())})"
+                )
+        payload = _payload("isa")
+        _run_isa(args, payload)
+    else:
+        if args.arch:
+            parser.error("--arch only applies to --isa")
+        if not args.all and not args.case:
+            parser.error("give a case study name, --all, or --isa")
+        names = all_names if args.all else [args.case]
+        payload = _payload("cases")
+        _run_cases(args, names, payload)
+
+    payload["ok"] = payload["totals"]["errors"] == 0
 
     if args.json == "-":
         json.dump(payload, sys.stdout, indent=2, sort_keys=True)
@@ -136,7 +218,7 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
         print(f"wrote {args.json}")
-    return 0 if total_errors == 0 else 1
+    return 0 if payload["ok"] else 1
 
 
 if __name__ == "__main__":

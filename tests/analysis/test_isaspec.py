@@ -1,0 +1,123 @@
+"""Unit tests for the ISA-spec constraint language and pruning arithmetic.
+
+The mutation suite (:mod:`tests.analysis.test_isaspec_mutations`) proves
+each *check* catches its defect class; these tests pin down the building
+blocks underneath — the clause mini-language's compilation and concrete
+folding, the fixed-bit under-approximation that discharges overlap pairs
+before the solver, and the spec loader registry.
+"""
+
+import pytest
+
+from repro.analysis.isaspec import (
+    Raw,
+    SpecError,
+    available_archs,
+    compile_clause,
+    compile_clauses,
+    eval_clauses,
+    fixed_bits_of,
+    load_spec,
+)
+from repro.smt import builder as B
+from repro.smt.solver import SAT, UNSAT, Solver
+from repro.smt.terms import FALSE, TRUE
+
+WORD = B.bv_var("unit_w", 32)
+
+
+def _sat(term):
+    return Solver().check(term)
+
+
+class TestClauseLanguage:
+    def test_field_ops_fold_on_concrete_words(self):
+        assert eval_clauses((("eq", 6, 0, 0x37),), 0x123B7)
+        assert not eval_clauses((("eq", 6, 0, 0x37),), 0x123B6)
+        assert eval_clauses((("ne", 14, 12, 3),), 0)
+        assert eval_clauses((("in", 14, 12, (1, 2)),), 2 << 12)
+        assert not eval_clauses((("notin", 14, 12, (1, 2)),), 2 << 12)
+        assert eval_clauses((("lt", 14, 12, 4),), 3 << 12)
+        assert not eval_clauses((("lt", 14, 12, 4),), 4 << 12)
+        assert eval_clauses((("ge", 14, 12, 4),), 4 << 12)
+
+    def test_connectives_compose(self):
+        clause = ("or", ("eq", 1, 0, 3), ("not", ("and", ("eq", 3, 2, 0),
+                                                  ("eq", 5, 4, 0))))
+        assert eval_clauses((clause,), 0b11)
+        assert eval_clauses((clause,), 0b0100)
+        assert not eval_clauses((clause,), 0b0000)
+
+    def test_empty_clause_list_is_true(self):
+        assert compile_clauses((), WORD) is TRUE
+        assert eval_clauses((), 0xDEADBEEF)
+
+    def test_raw_predicate_participates(self):
+        parity = Raw("lsb_set", lambda w: B.eq(B.extract(0, 0, w), B.bv(1, 1)))
+        assert eval_clauses((parity,), 1)
+        assert not eval_clauses((parity,), 2)
+        assert _sat(compile_clause(parity, WORD)) == SAT
+
+    @pytest.mark.parametrize("bad", [
+        ("between", 6, 0, 3),          # unknown op
+        ("eq", 6, 0),                  # arity
+        ("eq", 6, 0, 1 << 7),          # value does not fit the field
+        ("eq", 0, 6, 1),               # hi < lo
+        ("eq", 32, 0, 0),              # out of word range
+        ("in", 6, 0, ()),              # empty value tuple
+        ("and",),                      # empty connective
+        ("not", ("eq", 1, 0, 0), ("eq", 1, 0, 1)),  # 'not' arity
+        (),                            # empty tuple
+        "eq 6 0 3",                    # not a tuple at all
+    ])
+    def test_malformed_clauses_raise_specerror(self, bad):
+        with pytest.raises(SpecError):
+            compile_clause(bad, WORD)
+
+    def test_raw_must_build_bool(self):
+        with pytest.raises(SpecError):
+            compile_clause(Raw("bad", lambda w: w), WORD)
+
+    def test_nonfolding_concrete_eval_is_an_error(self):
+        free = Raw("free", lambda w: B.eq(B.bv_var("unit_free", 1), B.bv(1, 1)))
+        with pytest.raises(SpecError):
+            eval_clauses((free,), 0)
+
+
+class TestFixedBitPruning:
+    def test_eq_and_singleton_in_contribute(self):
+        mask, value = fixed_bits_of(
+            (("eq", 6, 0, 0x37), ("in", 14, 12, (5,)), ("lt", 24, 20, 9))
+        )
+        assert mask == 0x7F | (0b111 << 12)
+        assert value == 0x37 | (5 << 12)
+
+    def test_non_fixed_clauses_are_soundly_ignored(self):
+        mask, value = fixed_bits_of(
+            (("in", 6, 0, (1, 2)), ("ne", 14, 12, 0), Raw("r", lambda w: TRUE))
+        )
+        assert (mask, value) == (0, 0)
+
+    def test_underapproximation_is_sound(self):
+        """Any word satisfying the clauses carries the computed fixed bits —
+        so conflicting fixed bits really do prove claim disjointness."""
+        clauses = (("eq", 6, 0, 0x17), ("in", 31, 28, (0xA,)), ("lt", 14, 12, 3))
+        mask, value = fixed_bits_of(clauses)
+        claim = compile_clauses(clauses, WORD)
+        fixed = B.eq(B.bvand(WORD, B.bv(mask, 32)), B.bv(value, 32))
+        assert Solver().check(claim, B.not_(fixed)) == UNSAT
+
+
+class TestLoaderRegistry:
+    def test_both_architectures_are_registered(self):
+        assert set(available_archs()) == {"arm", "riscv"}
+
+    def test_load_spec_round_trips(self):
+        spec = load_spec("riscv")
+        assert spec.arch == "riscv"
+        assert spec.word_width == 32
+        assert {a.name for a in spec.arms} >= {"lui", "jalr", "system"}
+
+    def test_unknown_arch_is_rejected(self):
+        with pytest.raises(SpecError, match="mips"):
+            load_spec("mips")

@@ -1,0 +1,212 @@
+"""Mutation detection: every seeded ISA-spec defect trips its finding code.
+
+Each test plants one defect in the (clean) RISC-V specification via
+``dataclasses.replace`` and asserts :func:`validate_spec` reports the
+exact stable code the catalog promises for that defect class.  This is
+the calibration suite for the solver-backed pass: a check that cannot
+catch its own seeded mutant is decoration, not analysis.
+
+A planted defect may legitimately trip *secondary* codes too (widening a
+claim breaks probes as well as overlap), so tests assert membership, not
+exact equality.
+"""
+
+from dataclasses import replace
+
+from repro.analysis.findings import ERROR, INFO
+from repro.analysis.isaspec import (
+    ArmSpec,
+    EncoderSpec,
+    InvalidRegion,
+    isaspec_stats,
+    validate_spec,
+)
+from repro.arch.riscv.spec import _MAJORS, build_spec
+
+
+def _mutate_arm(spec, name, **changes):
+    arms = tuple(
+        replace(a, **changes) if a.name == name else a for a in spec.arms
+    )
+    return replace(spec, arms=arms)
+
+
+def _codes(spec):
+    return {f.code for f in validate_spec(spec, witnesses=2)}
+
+
+def _findings(spec):
+    return validate_spec(spec, witnesses=2)
+
+
+class TestBaseline:
+    def test_unmutated_spec_is_clean(self):
+        """The detector is calibrated against a genuinely clean baseline."""
+        before = isaspec_stats()
+        assert _findings(build_spec()) == []
+        after = isaspec_stats()
+        assert after["specs_validated"] > before.get("specs_validated", 0)
+        assert after["solver_checks"] > before.get("solver_checks", 0)
+
+
+class TestStructuralMutations:
+    def test_layout_gap_trips_isa001(self):
+        spec = build_spec()
+        layouts = dict(spec.layouts)
+        layouts["lui"] = ((
+            ("imm20", 31, 12, "imm"), ("rd", 10, 7, "reg"),
+            ("major", 6, 0, "struct"),
+        ),)
+        assert "ISA001" in _codes(replace(spec, layouts=layouts))
+
+    def test_narrow_reg_field_trips_isa002(self):
+        spec = build_spec()
+        layouts = dict(spec.layouts)
+        # Still tiles the word, but rd is 4 bits against 32 registers.
+        layouts["lui"] = ((
+            ("imm20", 31, 12, "imm"), ("rd", 11, 8, "reg"),
+            ("pad", 7, 7, "imm"), ("major", 6, 0, "struct"),
+        ),)
+        findings = _findings(replace(spec, layouts=layouts))
+        assert "ISA002" in {f.code for f in findings}
+        assert "ISA001" not in {f.code for f in findings}
+
+    def test_unknown_family_trips_isa009(self):
+        spec = _mutate_arm(build_spec(), "lui", family="experimental")
+        findings = _findings(spec)
+        assert any(
+            f.code == "ISA009" and f.severity == ERROR for f in findings
+        )
+
+    def test_recorded_exemption_is_audited_not_flagged(self):
+        spec = _mutate_arm(
+            build_spec(), "lui", family="exempt:no semantics modelled yet"
+        )
+        isa009 = [f for f in _findings(spec) if f.code == "ISA009"]
+        assert isa009 and all(f.severity == INFO for f in isa009)
+
+    def test_malformed_clause_trips_isa010(self):
+        spec = _mutate_arm(
+            build_spec(), "lui", match=(("between", 6, 0, 3),)
+        )
+        assert "ISA010" in _codes(spec)
+
+
+class TestSolverProvedMutations:
+    def test_claim_collision_trips_isa003_with_counterexample(self):
+        # Point lui's match at auipc's major: two arms, one word set.
+        spec = _mutate_arm(
+            build_spec(), "lui", match=(("eq", 6, 0, _MAJORS["auipc"]),)
+        )
+        overlaps = [f for f in _findings(spec) if f.code == "ISA003"]
+        assert overlaps
+        word = overlaps[0].detail["counterexample"]
+        assert word & 0x7F == _MAJORS["auipc"]
+
+    def test_dropped_carve_trips_isa004_with_witness_word(self):
+        spec = replace(build_spec(), invalid=())
+        holes = [f for f in _findings(spec) if f.code == "ISA004"]
+        assert holes
+        # Every reported hole lies in the space the carve used to define.
+        assert all(
+            f.detail["witness"] & 0x7F not in _MAJORS.values() for f in holes
+        )
+
+    def test_claim_escaping_region_trips_isa005(self):
+        spec = _mutate_arm(
+            build_spec(), "jalr",
+            match=(("eq", 6, 0, _MAJORS["lui"]), ("eq", 14, 12, 0)),
+        )
+        assert "ISA005" in _codes(spec)
+
+    def test_carve_over_claimed_words_trips_isa008(self):
+        spec = build_spec()
+        rogue = InvalidRegion(
+            name="rogue", clauses=(("eq", 6, 0, _MAJORS["lui"]),)
+        )
+        assert "ISA008" in _codes(replace(spec, invalid=spec.invalid + (rogue,)))
+
+
+class TestImplementationAgreementMutations:
+    def test_swapped_operand_places_trip_isa006(self):
+        spec = build_spec()
+        op = next(a for a in spec.arms if a.name == "op")
+        swapped = tuple(
+            (
+                {"rs1": "rs2", "rs2": "rs1"}.get(name, name),
+                lo, width,
+            )
+            for name, lo, width in op.encoder.places
+        )
+        spec = _mutate_arm(
+            spec, "op", encoder=replace(op.encoder, places=swapped)
+        )
+        assert "ISA006" in _codes(spec)
+
+    def test_overlapping_places_trip_isa011(self):
+        spec = build_spec()
+        lui = next(a for a in spec.arms if a.name == "lui")
+        spec = _mutate_arm(
+            spec, "lui",
+            encoder=replace(
+                lui.encoder, places=(("imm20", 12, 20), ("rd", 11, 5))
+            ),
+        )
+        assert "ISA011" in _codes(spec)
+
+    def test_claiming_rejected_words_trips_isa007(self):
+        # The decoder rejects branch funct3 2/3; claim exactly those.
+        spec = _mutate_arm(
+            build_spec(), "branch",
+            match=(("eq", 6, 0, _MAJORS["branch"]), ("in", 14, 12, (2, 3))),
+        )
+        witnesses = [f for f in _findings(spec) if f.code == "ISA007"]
+        assert witnesses
+        assert any("decoder rejects" in f.message for f in witnesses)
+
+    def test_probe_outside_claim_trips_isa007(self):
+        from repro.arch.riscv import encode
+
+        spec = build_spec()
+        probes = dict(spec.probes)
+        probes["lui"] = probes["lui"] + (encode.auipc(1, 2),)
+        findings = _findings(replace(spec, probes=probes))
+        assert any(
+            f.code == "ISA007" and "outside" in f.message for f in findings
+        )
+
+
+class TestRegressions:
+    def test_arm_rbit_region_closes_its_coverage_box(self):
+        """ISA004 regression: authoring the ARM spec with ``rbit`` declaring
+        no region left its ISA-manual box (data-processing 1-source,
+        ``[30:29]=10 ∧ [28:21]=0b11010110``) with nonzero ``[20:10]``
+        neither claimed nor carved — the coverage proof reported the hole
+        with witness ``0x5ac06000``.  Re-seeding the defect must still
+        trip ISA004 with a witness inside that box, and the shipped spec
+        must keep the box closed."""
+        from repro.arch.arm.spec import build_spec as build_arm_spec
+
+        spec = build_arm_spec()
+        assert next(a for a in spec.arms if a.name == "rbit").region
+        mutant = _mutate_arm(spec, "rbit", region=())
+        holes = [f for f in validate_spec(mutant, witnesses=2)
+                 if f.code == "ISA004"]
+        assert holes
+        in_box = [
+            f.detail["witness"] for f in holes
+            if (f.detail["witness"] >> 29) & 0b11 == 0b10
+            and (f.detail["witness"] >> 21) & 0xFF == 0b11010110
+        ]
+        assert in_box, [hex(f.detail["witness"]) for f in holes]
+
+
+def test_every_isa_code_is_covered_by_a_mutation():
+    """The suite's reach matches the catalog: ISA001..ISA011, no gaps."""
+    import inspect
+    import sys
+
+    module = sys.modules[__name__]
+    source = inspect.getsource(module)
+    for n in range(1, 12):
+        assert f"ISA{n:03d}" in source

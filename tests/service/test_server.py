@@ -164,6 +164,35 @@ class TestTelemetryEndpoints:
         assert "repro_service_jobs_submitted_total" in text
         assert "repro_service_job_latency_seconds" in text
 
+    def test_metrics_surface_isaspec_counters(self, daemon):
+        # The daemon thread shares this process, so an in-process validator
+        # run must show up on the next /metrics render.
+        from repro.analysis.isaspec import validate_arch
+
+        _service, client = daemon
+        assert validate_arch("riscv") == []
+        snap = client.metrics()
+        assert snap["gauges"]["isaspec_specs_validated"] >= 1
+        assert snap["gauges"]["isaspec_solver_checks"] >= 1
+        assert "repro_service_isaspec_specs_validated" in client.metrics_text()
+
+    def test_disk_gauges_include_wellformed_rejects(self, tmp_path):
+        # The full CacheStats snapshot is surfaced, not just the hit
+        # counters — ill-formed-entry evictions (PR 4) are fleet-visible.
+        service = VerificationService(
+            cache_dir=str(tmp_path), pool_jobs=1, runners=1
+        )
+        try:
+            service.refresh_gauges()
+            gauges = service.telemetry.snapshot()["gauges"]
+            assert gauges["disk_wellformed_rejects"] == 0
+            assert gauges["disk_corrupt_entries"] == 0
+            assert "disk_trace_hits" in gauges
+            assert "disk_smt_hits" in gauges
+        finally:
+            service.batcher.close()
+            service.pool.close()
+
 
 class TestTransportsAndShutdown:
     def test_unix_socket_transport(self, tmp_path):

@@ -161,13 +161,32 @@ class Finding:
         return out
 
 
+def _sort_key(f: Finding):
+    """Total order over distinct findings: most severe first, then every
+    compare-participating field.  ``None`` sorts before a present value so
+    ``case=None`` / ``addr=None`` never tie with ``case=""`` / ``addr=0``;
+    with ``message`` included, findings that compare unequal never share a
+    key, so sorting is insensitive to arrival order.
+    """
+    return (
+        -_RANK[f.severity],
+        f.code,
+        f.case is not None,
+        f.case or "",
+        f.addr is not None,
+        f.addr or 0,
+        f.where,
+        f.message,
+    )
+
+
 def merge_findings(*groups) -> list:
     """Merge findings from several workers into one deduplicated list.
 
     Order-insensitive: equal findings (``detail`` excluded — it does not
-    participate in equality) collapse to one, and the result is sorted most
-    severe first with a stable (code, case, addr, where) tiebreak, so any
-    shard-to-worker assignment yields the same report.
+    participate in equality) collapse to one, and the sort key covers every
+    compare-participating field (severity, code, case, addr, where,
+    message), so any shard-to-worker assignment yields the same report.
     """
     seen = set()
     merged = []
@@ -177,15 +196,10 @@ def merge_findings(*groups) -> list:
                 continue
             seen.add(finding)
             merged.append(finding)
-    merged.sort(
-        key=lambda f: (-_RANK[f.severity], f.code, f.case or "", f.addr or 0, f.where)
-    )
+    merged.sort(key=_sort_key)
     return merged
 
 
 def render_findings(findings) -> str:
     """Human-readable multi-line rendering, most severe first."""
-    ordered = sorted(
-        findings, key=lambda f: (-_RANK[f.severity], f.code, f.case or "", f.addr or 0)
-    )
-    return "\n".join(f.render() for f in ordered)
+    return "\n".join(f.render() for f in sorted(findings, key=_sort_key))

@@ -603,36 +603,42 @@ class _Validator:
                     " the decode claim (fixed-bit clash)", where,
                 )
                 continue
-            # decode(encode(fields)) == fields, per field, proved.
-            layouts = self.spec.layouts.get(arm.name, ())
-            layout = layouts[0] if layouts else ()
+            # decode(encode(fields)) == fields, per field, proved — against
+            # every layout variant (e.g. ccmp's register vs immediate forms),
+            # deduplicating spans the variants share so each distinct
+            # (name, hi, lo) is discharged once.
             names_seen = set()
-            for name, hi, lo, kind in layout:
-                names_seen.add(name)
-                v = vars_by_name.get(name)
-                if v is None:
-                    fmask = ((1 << (hi - lo + 1)) - 1) << lo
-                    if fmask & enc.fixed_mask != fmask:
+            spans_proved = set()
+            for layout in self.spec.layouts.get(arm.name, ()):
+                for name, hi, lo, kind in layout:
+                    names_seen.add(name)
+                    if (name, hi, lo) in spans_proved:
+                        continue
+                    spans_proved.add((name, hi, lo))
+                    v = vars_by_name.get(name)
+                    if v is None:
+                        fmask = ((1 << (hi - lo + 1)) - 1) << lo
+                        if fmask & enc.fixed_mask != fmask:
+                            self.emit(
+                                "ISA006",
+                                f"field {name} [{hi}:{lo}] is neither an encoder"
+                                " place nor fully fixed", where, field=name,
+                            )
+                        continue
+                    if v.sort.width != hi - lo + 1:
                         self.emit(
                             "ISA006",
-                            f"field {name} [{hi}:{lo}] is neither an encoder"
-                            " place nor fully fixed", where, field=name,
+                            f"encoder packs {name} as {v.sort.width} bits;"
+                            f" decoder reads [{hi}:{lo}]", where, field=name,
                         )
-                    continue
-                if v.sort.width != hi - lo + 1:
-                    self.emit(
-                        "ISA006",
-                        f"encoder packs {name} as {v.sort.width} bits;"
-                        f" decoder reads [{hi}:{lo}]", where, field=name,
-                    )
-                    continue
-                roundtrip = B.eq(B.extract(hi, lo, word_enc), v)
-                if roundtrip is not TRUE and self._check(B.not_(roundtrip)) != UNSAT:
-                    self.emit(
-                        "ISA006",
-                        f"decode(encode(fields)).{name} != fields.{name}"
-                        " (misplaced operand)", where, field=name,
-                    )
+                        continue
+                    roundtrip = B.eq(B.extract(hi, lo, word_enc), v)
+                    if roundtrip is not TRUE and self._check(B.not_(roundtrip)) != UNSAT:
+                        self.emit(
+                            "ISA006",
+                            f"decode(encode(fields)).{name} != fields.{name}"
+                            " (misplaced operand)", where, field=name,
+                        )
             for name in vars_by_name:
                 if name not in names_seen:
                     self.emit(

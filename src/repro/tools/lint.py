@@ -144,11 +144,23 @@ def _run_cases(args, names, payload) -> None:
 
 
 def _run_isa(args, payload) -> None:
-    from ..analysis.isaspec import available_archs, validate_arch
+    from ..analysis.findings import ERROR, Finding
+    from ..analysis.isaspec import SpecError, available_archs, validate_arch
 
     archs = [args.arch] if args.arch else list(available_archs())
     for arch in archs:
-        findings = validate_arch(arch)
+        # A spec module that fails to load (or a decoder that crashes while
+        # grounding witnesses) is itself a spec defect: report it as a
+        # synthetic ISA010 error finding so the documented 0/1 exit-code
+        # contract holds, reserving exit 2 for usage errors.
+        try:
+            findings = validate_arch(arch)
+        except SpecError as exc:
+            findings = [Finding("ISA010", ERROR,
+                                f"spec failed to load: {exc}", where=arch)]
+        except Exception as exc:
+            findings = [Finding("ISA010", ERROR,
+                                f"validator crashed: {exc!r}", where=arch)]
         _report(payload, arch, findings, args.quiet, args.json == "-")
 
 

@@ -772,30 +772,21 @@ def validate_spec(spec: IsaSpec, witnesses: int = 3) -> list[Finding]:
     return _Validator(spec, witnesses=witnesses).run()
 
 
-_SPEC_LOADERS = {
-    "arm": lambda: _load("arm"),
-    "riscv": lambda: _load("riscv"),
-}
-
-
-def _load(arch: str) -> IsaSpec:
-    import importlib
-
-    module = importlib.import_module(f"repro.arch.{arch}.spec")
-    return module.build_spec()
-
-
 def available_archs() -> tuple[str, ...]:
-    return tuple(sorted(_SPEC_LOADERS))
+    from ..arch import registry
+
+    return registry.names()
 
 
 def load_spec(arch: str) -> IsaSpec:
-    """The declarative :class:`IsaSpec` for ``arch`` (``arm`` / ``riscv``)."""
+    """The declarative :class:`IsaSpec` for a registered architecture."""
+    from ..arch import registry
+
     try:
-        loader = _SPEC_LOADERS[arch]
+        info = registry.get(arch)
     except KeyError:
         raise SpecError(f"no ISA spec for architecture {arch!r}") from None
-    return loader()
+    return info.spec()
 
 
 def validate_arch(arch: str, witnesses: int = 3) -> list[Finding]:

@@ -1,1 +1,2 @@
-"""Architecture models: Armv8-A (AArch64) and RISC-V (RV64I)."""
+"""Architecture models: Armv8-A (AArch64), RISC-V (RV64I), and OpenPOWER
+(ppc64 fixed-point subset), wired up through :mod:`repro.arch.registry`."""

@@ -435,6 +435,10 @@ _DECODERS = [
     _adr, _madd, _cbz, _tbz, _bcond, _b_bl, _br_blr_ret, _hint, _sysreg, _hvc,
 ]
 
+#: Every decode-arm name, in decoder priority order.  The architecture
+#: registry exposes this as the authoritative arm list for coverage maps.
+DECODE_ARMS = tuple(fn.__name__.lstrip("_") for fn in _DECODERS)
+
 
 # -- structured operand fields ------------------------------------------------
 #

@@ -1,0 +1,155 @@
+"""Directed instruction templates for Armv8-A test generation.
+
+Two consumers share this module through the architecture registry:
+
+- :func:`cosim_templates` — one random-assembly-line factory per decode
+  arm, used by the co-sim :class:`~repro.cosim.generate.ProgramGenerator`
+  to bias program slots toward low-coverage arms;
+- :data:`CONFORMANCE_TEMPLATES` — directed single lines for the
+  differential conformance suite, covering encodings random word sampling
+  is unlikely to reach.
+
+``slot`` is duck-typed: any object with ``branch_offset(rng, scale=4)``
+(see :class:`repro.cosim.generate._Slot`) works.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: Condition names for b.cond / csel templates.
+_CONDS = ["eq", "ne", "hs", "lo", "mi", "pl", "vs", "vc", "hi", "ls", "ge", "lt", "gt", "le"]
+
+#: Known-good system registers for mrs/msr templates (always encodable,
+#: never pinned by the co-sim domain).
+_SYSREGS = ["elr_el2", "spsr_el2", "far_el2", "esr_el2", "vbar_el2", "tpidr_el2"]
+
+
+def _xr(rng: random.Random) -> str:
+    return f"x{rng.randrange(31)}"
+
+
+def _wr_(rng: random.Random) -> str:
+    return f"w{rng.randrange(31)}"
+
+
+def _bitmask_imm(rng: random.Random) -> int:
+    """A random encodable 64-bit logical immediate: a rotated run of ones."""
+    ones = rng.randrange(1, 64)
+    rot = rng.randrange(64)
+    run = (1 << ones) - 1
+    return ((run >> rot) | (run << (64 - rot))) & ((1 << 64) - 1)
+
+
+def cosim_templates(rng: random.Random, slot) -> dict:
+    """One random assembly line per ARM decode arm."""
+    mem_off = 8 * rng.randrange(8)
+    return {
+        "addsub_imm": lambda: (
+            f"{rng.choice(['add', 'adds', 'sub', 'subs'])} {_xr(rng)}, {_xr(rng)}, "
+            f"#{rng.randrange(1 << 12)}"
+        ),
+        "addsub_reg": lambda: (
+            f"{rng.choice(['add', 'adds', 'sub', 'subs'])} {_xr(rng)}, {_xr(rng)}, "
+            f"{_xr(rng)}, {rng.choice(['lsl', 'lsr', 'asr'])} #{rng.randrange(64)}"
+        ),
+        "logical_reg": lambda: (
+            f"{rng.choice(['and', 'orr', 'eor', 'ands', 'bic', 'orn', 'eon', 'bics'])} "
+            f"{_xr(rng)}, {_xr(rng)}, {_xr(rng)}, "
+            f"{rng.choice(['lsl', 'lsr', 'asr', 'ror'])} #{rng.randrange(64)}"
+        ),
+        "logical_imm": lambda: (
+            f"{rng.choice(['and', 'orr', 'eor', 'ands'])} {_xr(rng)}, {_xr(rng)}, "
+            f"#{_bitmask_imm(rng):#x}"
+        ),
+        "movewide": lambda: (
+            f"{rng.choice(['movn', 'movz', 'movk'])} {_xr(rng)}, "
+            f"#{rng.randrange(1 << 16)}, lsl #{16 * rng.randrange(4)}"
+        ),
+        "bitfield": lambda: (
+            f"{rng.choice(['ubfm', 'sbfm'])} {_xr(rng)}, {_xr(rng)}, "
+            f"#{rng.randrange(64)}, #{rng.randrange(64)}"
+        ),
+        "csel": lambda: (
+            f"{rng.choice(['csel', 'csinc', 'csinv', 'csneg'])} {_xr(rng)}, "
+            f"{_xr(rng)}, {_xr(rng)}, {rng.choice(_CONDS)}"
+        ),
+        "ccmp": lambda: (
+            f"{rng.choice(['ccmp', 'ccmn'])} {_xr(rng)}, "
+            f"{rng.choice([f'#{rng.randrange(32)}', _xr(rng)])}, "
+            f"#{rng.randrange(16)}, {rng.choice(_CONDS)}"
+        ),
+        "div": lambda: f"{rng.choice(['sdiv', 'udiv'])} {_xr(rng)}, {_xr(rng)}, {_xr(rng)}",
+        "rbit": lambda: f"rbit {_xr(rng)}, {_xr(rng)}",
+        "ldst_imm": lambda: rng.choice([
+            f"ldr {_xr(rng)}, [{_xr(rng)}, #{mem_off}]",
+            f"str {_xr(rng)}, [{_xr(rng)}, #{mem_off}]",
+            f"ldrb {_wr_(rng)}, [{_xr(rng)}, #{rng.randrange(16)}]",
+            f"strb {_wr_(rng)}, [{_xr(rng)}, #{rng.randrange(16)}]",
+            f"ldrh {_wr_(rng)}, [{_xr(rng)}, #{2 * rng.randrange(8)}]",
+            f"ldrsw {_xr(rng)}, [{_xr(rng)}, #{4 * rng.randrange(8)}]",
+        ]),
+        "ldst_reg": lambda: rng.choice([
+            f"ldr {_xr(rng)}, [{_xr(rng)}, {_xr(rng)}]",
+            f"str {_xr(rng)}, [{_xr(rng)}, {_xr(rng)}, lsl #3]",
+            f"ldr {_wr_(rng)}, [{_xr(rng)}, {_wr_(rng)}, uxtw #2]",
+            f"str {_wr_(rng)}, [{_xr(rng)}, {_wr_(rng)}, sxtw]",
+        ]),
+        "ldst_imm9": lambda: rng.choice([
+            f"ldur {_xr(rng)}, [{_xr(rng)}, #{rng.randrange(-16, 16)}]",
+            f"stur {_xr(rng)}, [{_xr(rng)}, #{rng.randrange(-16, 16)}]",
+            f"ldr {_xr(rng)}, [{_xr(rng)}], #{8 * rng.randrange(-2, 3)}",
+            f"str {_xr(rng)}, [{_xr(rng)}, #{8 * rng.randrange(-2, 3)}]!",
+        ]),
+        "ldst_pair": lambda: rng.choice([
+            f"ldp {_xr(rng)}, {_xr(rng)}, [{_xr(rng)}, #{mem_off}]",
+            f"stp {_xr(rng)}, {_xr(rng)}, [{_xr(rng)}, #{mem_off}]",
+            f"ldp {_xr(rng)}, {_xr(rng)}, [{_xr(rng)}], #{8 * rng.randrange(-2, 3)}",
+            f"stp {_xr(rng)}, {_xr(rng)}, [{_xr(rng)}, #{mem_off}]!",
+        ]),
+        "adr": lambda: rng.choice([
+            f"adr {_xr(rng)}, #{4 * rng.randrange(-64, 64)}",
+            f"adrp {_xr(rng)}, #{4096 * rng.randrange(-8, 8)}",
+        ]),
+        "madd": lambda: (
+            f"{rng.choice(['madd', 'msub'])} {_xr(rng)}, {_xr(rng)}, "
+            f"{_xr(rng)}, {_xr(rng)}"
+        ),
+        "cbz": lambda: (
+            f"{rng.choice(['cbz', 'cbnz'])} {_xr(rng)}, #{slot.branch_offset(rng)}"
+        ),
+        "tbz": lambda: (
+            f"{rng.choice(['tbz', 'tbnz'])} {_xr(rng)}, #{rng.randrange(64)}, "
+            f"#{slot.branch_offset(rng)}"
+        ),
+        "bcond": lambda: f"b.{rng.choice(_CONDS)} #{slot.branch_offset(rng)}",
+        "b_bl": lambda: f"{rng.choice(['b', 'bl'])} #{slot.branch_offset(rng)}",
+        "br_blr_ret": lambda: rng.choice([f"br {_xr(rng)}", f"blr {_xr(rng)}", "ret"]),
+        "hint": lambda: rng.choice(["nop", f"hint #{rng.randrange(32)}"]),
+        "sysreg": lambda: rng.choice([
+            f"mrs {_xr(rng)}, {rng.choice(_SYSREGS)}",
+            f"msr {rng.choice(_SYSREGS)}, {_xr(rng)}",
+        ]),
+        "hvc": lambda: (
+            f"{rng.choice(['hvc', 'svc'])} #{rng.randrange(1 << 16)}"
+        ),
+    }
+
+
+# Directed templates: assembly lines whose encodings random sampling is
+# unlikely to reach (near-constant words), with {r}/{n} filled per draw.
+CONFORMANCE_TEMPLATES = [
+    "rbit x{r}, x{n}", "rbit w{r}, w{n}",
+    "br x{r}", "blr x{r}", "ret", "ret x{r}", "eret",
+    "nop", "hint #{h}",
+    "mrs x{r}, esr_el2", "mrs x{r}, vbar_el2", "msr elr_el2, x{r}",
+    "hvc #{h}", "svc #{h}",
+    "ldp x{r}, x{n}, [x{m}]", "stp x{r}, x{n}, [x{m}, #16]",
+    "stp x{r}, x{n}, [sp, #-16]!", "ldp x{r}, x{n}, [sp], #16",
+    "tbz x{r}, #{h}, #8", "tbnz x{r}, #{h}, #-8",
+    "sdiv x{r}, x{n}, x{m}", "udiv w{r}, w{n}, w{m}",
+    "ldur x{r}, [x{n}, #-8]", "stur w{r}, [x{n}, #3]",
+    "ldursw x{r}, [x{n}, #4]", "sturh w{r}, [x{n}, #-2]",
+    "ccmp x{r}, #{h}, #5, ne", "ccmn w{r}, w{n}, #3, lt",
+    "tst x{r}, #0xff0", "uxtb w{r}, w{n}",
+]

@@ -1,0 +1,6 @@
+"""OpenPOWER (ppc64, little-endian) fixed-point subset."""
+
+from .model import PpcModel
+from . import encode
+
+__all__ = ["PpcModel", "encode"]

@@ -1,0 +1,29 @@
+"""OpenPOWER ELFv2 calling convention (the ABI roles used by specifications).
+
+The §2.7 point again: an Islaris specification for ppc64 differs from the
+Arm and RISC-V ones mostly in this table — plus the link register living
+in a branch-facility SPR instead of a GPR.
+"""
+
+from __future__ import annotations
+
+#: argument / return registers r3-r10
+ARG_REGS = [f"r{i}" for i in range(3, 11)]
+
+#: return-address register: the branch-facility LR SPR (not a GPR)
+LINK_REG = "LR"
+
+#: stack pointer
+STACK_REG = "r1"
+
+#: TOC pointer (ELFv2)
+TOC_REG = "r2"
+
+#: callee-saved registers r14-r31
+CALLEE_SAVED = [f"r{i}" for i in range(14, 32)]
+
+#: caller-saved temporaries (volatile beyond the argument registers)
+TEMP_REGS = ["r0", "r11", "r12"]
+
+#: volatile CR fields (CR0, CR1, CR5-CR7); CR2-CR4 are callee-saved
+VOLATILE_CR_FIELDS = ["CR0", "CR1", "CR5", "CR6", "CR7"]

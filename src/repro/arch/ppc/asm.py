@@ -1,0 +1,233 @@
+"""OpenPOWER single-line assembler: the inverse of :mod:`repro.arch.ppc.decode`.
+
+``assemble_line`` parses exactly the grammar the disassembler emits (plus
+its extended-mnemonic aliases) and returns the 32-bit word, so
+``assemble_line(disassemble(op)) == op`` for every word the decoder
+accepts.  Kept independent of both :mod:`repro.arch.ppc.encode` and the
+decoder tables so round-trip tests exercise separate implementations.
+"""
+
+from __future__ import annotations
+
+
+class AsmError(Exception):
+    """The line is not in the disassembler's output grammar."""
+
+
+def _reg(tok: str) -> int:
+    if not tok.startswith("r"):
+        raise AsmError(f"bad register {tok!r}")
+    try:
+        n = int(tok[1:])
+    except ValueError:
+        raise AsmError(f"bad register {tok!r}") from None
+    if not 0 <= n <= 31:
+        raise AsmError(f"bad register {tok!r}")
+    return n
+
+
+def _crf(tok: str) -> int:
+    if not tok.startswith("cr"):
+        raise AsmError(f"bad CR field {tok!r}")
+    try:
+        n = int(tok[2:])
+    except ValueError:
+        raise AsmError(f"bad CR field {tok!r}") from None
+    if not 0 <= n <= 7:
+        raise AsmError(f"bad CR field {tok!r}")
+    return n
+
+
+def _int(tok: str) -> int:
+    try:
+        return int(tok, 0)
+    except ValueError:
+        raise AsmError(f"bad integer {tok!r}") from None
+
+
+def _mem(tok: str) -> tuple[int, int]:
+    """Parse ``disp(reg)`` to ``(disp, reg)``."""
+    if not tok.endswith(")") or "(" not in tok:
+        raise AsmError(f"bad memory operand {tok!r}")
+    disp, _, reg = tok[:-1].partition("(")
+    return _int(disp), _reg(reg)
+
+
+def _signed(value: int, bits: int, what: str) -> int:
+    if not -(1 << (bits - 1)) <= value < (1 << (bits - 1)):
+        raise AsmError(f"{what} {value} does not fit in {bits} signed bits")
+    return value & ((1 << bits) - 1)
+
+
+def _unsigned(value: int, bits: int, what: str) -> int:
+    if not 0 <= value < (1 << bits):
+        raise AsmError(f"{what} {value} does not fit in {bits} unsigned bits")
+    return value
+
+
+def _offset(value: int, bits: int, what: str) -> int:
+    if value % 4:
+        raise AsmError(f"{what} {value} is not a multiple of 4")
+    return _signed(value, bits, what)
+
+
+def _d_form(major: int, top: int, ra: int, imm16: int) -> int:
+    return (major << 26) | (top << 21) | (ra << 16) | imm16
+
+
+def _xl_form(bo: int, bi: int, xo: int, lk: int) -> int:
+    return (
+        (19 << 26) | (_unsigned(bo, 5, "BO") << 21)
+        | (_unsigned(bi, 5, "BI") << 16) | (xo << 1) | lk
+    )
+
+
+def _x_form(major31_xo: int, top: int, ra: int, rb: int) -> int:
+    return (31 << 26) | (top << 21) | (ra << 16) | (rb << 11) | (major31_xo << 1)
+
+
+_D_ARITH = {"addi": 14, "addis": 15}
+_D_LOGIC = {"ori": 24, "oris": 25, "xori": 26, "xoris": 27,
+            "andi.": 28, "andis.": 29}
+#: mnemonic -> (major, L, signed)
+_CMP_IMM = {"cmpdi": (11, 1, True), "cmpwi": (11, 0, True),
+            "cmpldi": (10, 1, False), "cmplwi": (10, 0, False)}
+#: mnemonic -> (xo, L)
+_CMP_REG = {"cmpd": (0, 1), "cmpw": (0, 0), "cmpld": (32, 1), "cmplw": (32, 0)}
+_D_MEM = {"lwz": 32, "lbz": 34, "stw": 36, "stb": 38}
+_DS_MEM = {"ld": 58, "std": 62}
+_XO_ARITH = {"add": 266, "subf": 40}
+_X_LOGIC = {"and": 28, "or": 444, "xor": 316}
+#: extended conditional branches -> (BO, BI low bits)
+_COND_BRANCH = {"blt": (12, 0), "bgt": (12, 1), "beq": (12, 2), "bso": (12, 3),
+                "bge": (4, 0), "ble": (4, 1), "bne": (4, 2), "bns": (4, 3)}
+#: SPR mnemonic suffix -> instruction-field value (swapped-half encoding).
+_SPR_FIELDS = {"xer": 32, "lr": 256, "ctr": 288}
+_BARE_XL = {"blr": (16, 0), "blrl": (16, 1), "bctr": (528, 0), "bctrl": (528, 1)}
+
+
+def assemble_line(text: str) -> int:
+    text = text.strip()
+    mnemonic, _, rest = text.partition(" ")
+    ops = [o.strip() for o in rest.split(",")] if rest.strip() else []
+
+    def arity(n: int) -> None:
+        if len(ops) != n:
+            raise AsmError(f"{mnemonic} expects {n} operand(s): {text!r}")
+
+    if mnemonic == "nop":
+        arity(0)
+        return _d_form(24, 0, 0, 0)
+    if mnemonic in _BARE_XL:
+        arity(0)
+        xo, lk = _BARE_XL[mnemonic]
+        return _xl_form(20, 0, xo, lk)
+
+    if mnemonic in ("li", "lis"):
+        arity(2)
+        major = 14 if mnemonic == "li" else 15
+        return _d_form(major, _reg(ops[0]), 0, _signed(_int(ops[1]), 16, "SI"))
+    if mnemonic in _D_ARITH:
+        arity(3)
+        return _d_form(
+            _D_ARITH[mnemonic], _reg(ops[0]), _reg(ops[1]),
+            _signed(_int(ops[2]), 16, "SI"),
+        )
+    if mnemonic in _D_LOGIC:
+        arity(3)
+        # Assembly order RA, RS; encoding places RS at [25:21].
+        return _d_form(
+            _D_LOGIC[mnemonic], _reg(ops[1]), _reg(ops[0]),
+            _unsigned(_int(ops[2]), 16, "UI"),
+        )
+    if mnemonic == "mr":
+        arity(2)
+        rs = _reg(ops[1])
+        return _x_form(_X_LOGIC["or"], rs, _reg(ops[0]), rs)
+    if mnemonic in _X_LOGIC:
+        arity(3)
+        return _x_form(
+            _X_LOGIC[mnemonic], _reg(ops[1]), _reg(ops[0]), _reg(ops[2])
+        )
+    if mnemonic in _XO_ARITH:
+        arity(3)
+        return _x_form(
+            _XO_ARITH[mnemonic], _reg(ops[0]), _reg(ops[1]), _reg(ops[2])
+        )
+
+    if mnemonic in _CMP_IMM:
+        arity(3)
+        major, ell, signed = _CMP_IMM[mnemonic]
+        imm = _int(ops[2])
+        imm16 = _signed(imm, 16, "SI") if signed else _unsigned(imm, 16, "UI")
+        return (
+            (major << 26) | (_crf(ops[0]) << 23) | (ell << 21)
+            | (_reg(ops[1]) << 16) | imm16
+        )
+    if mnemonic in _CMP_REG:
+        arity(3)
+        xo, ell = _CMP_REG[mnemonic]
+        return (
+            (31 << 26) | (_crf(ops[0]) << 23) | (ell << 21)
+            | (_reg(ops[1]) << 16) | (_reg(ops[2]) << 11) | (xo << 1)
+        )
+
+    if mnemonic in _D_MEM:
+        arity(2)
+        disp, ra = _mem(ops[1])
+        return _d_form(
+            _D_MEM[mnemonic], _reg(ops[0]), ra, _signed(disp, 16, "D")
+        )
+    if mnemonic in _DS_MEM:
+        arity(2)
+        disp, ra = _mem(ops[1])
+        return _d_form(
+            _DS_MEM[mnemonic], _reg(ops[0]), ra, _offset(disp, 16, "DS")
+        )
+
+    if mnemonic in ("b", "bl"):
+        arity(1)
+        lk = 1 if mnemonic == "bl" else 0
+        return (18 << 26) | _offset(_int(ops[0]), 26, "LI") & ~0b11 | lk
+    if mnemonic in ("bc", "bcl"):
+        arity(3)
+        lk = 1 if mnemonic == "bcl" else 0
+        return (
+            (16 << 26) | (_unsigned(_int(ops[0]), 5, "BO") << 21)
+            | (_unsigned(_int(ops[1]), 5, "BI") << 16)
+            | _offset(_int(ops[2]), 16, "BD") & ~0b11 | lk
+        )
+    if mnemonic in ("bdnz", "bdnzl"):
+        arity(1)
+        lk = 1 if mnemonic == "bdnzl" else 0
+        return (16 << 26) | (16 << 21) | _offset(_int(ops[0]), 16, "BD") & ~0b11 | lk
+    lk = 0
+    cond = mnemonic
+    if cond.endswith("l") and cond[:-1] in _COND_BRANCH:
+        cond, lk = cond[:-1], 1
+    if cond in _COND_BRANCH:
+        arity(2)
+        bo, bit = _COND_BRANCH[cond]
+        bi = 4 * _crf(ops[0]) + bit
+        return (
+            (16 << 26) | (bo << 21) | (bi << 16)
+            | _offset(_int(ops[1]), 16, "BD") & ~0b11 | lk
+        )
+    if mnemonic in ("bclr", "bclrl", "bcctr", "bcctrl"):
+        arity(2)
+        lk = 1 if mnemonic.endswith("rl") else 0
+        xo = 16 if mnemonic.startswith("bclr") else 528
+        bo = _int(ops[0])
+        if xo == 528 and not bo & 0b00100:
+            raise AsmError("bcctr must not decrement CTR (BO bit 2 clear)")
+        return _xl_form(bo, _int(ops[1]), xo, lk)
+
+    if mnemonic.startswith(("mt", "mf")) and mnemonic[2:] in _SPR_FIELDS:
+        arity(1)
+        xo = 467 if mnemonic.startswith("mt") else 339
+        return (
+            (31 << 26) | (_reg(ops[0]) << 21)
+            | (_SPR_FIELDS[mnemonic[2:]] << 11) | (xo << 1)
+        )
+
+    raise AsmError(f"unknown mnemonic {mnemonic!r}")

@@ -1,0 +1,345 @@
+"""Instruction encoders for the modelled OpenPOWER fixed-point subset.
+
+Argument order follows the assembly operand order (destination first);
+the packers place them at the architectural field positions.  Range
+errors raise ``ValueError`` early rather than silently truncating.
+Python-keyword clashes follow the usual convention: ``and_``/``or_``,
+and the record forms ``andi.``/``andis.`` are ``andi_``/``andis_``.
+"""
+
+from __future__ import annotations
+
+from .regs import SPR_CTR, SPR_FIELD, SPR_LR, SPR_XER
+
+
+def reg(r) -> int:
+    """A GPR operand: an index 0..31 or a name like ``"r5"``."""
+    if isinstance(r, str):
+        if not r.startswith("r"):
+            raise ValueError(f"bad register {r!r}")
+        r = int(r[1:])
+    if not 0 <= r <= 31:
+        raise ValueError(f"register index {r} out of range")
+    return r
+
+
+def crf(bf) -> int:
+    """A CR-field operand: an index 0..7 or a name like ``"cr3"``."""
+    if isinstance(bf, str):
+        if not bf.startswith("cr"):
+            raise ValueError(f"bad CR field {bf!r}")
+        bf = int(bf[2:])
+    if not 0 <= bf <= 7:
+        raise ValueError(f"CR field {bf} out of range")
+    return bf
+
+
+def _signed(value: int, bits: int, what: str) -> int:
+    if not -(1 << (bits - 1)) <= value < (1 << (bits - 1)):
+        raise ValueError(f"{what} {value} does not fit in {bits} signed bits")
+    return value & ((1 << bits) - 1)
+
+
+def _unsigned(value: int, bits: int, what: str) -> int:
+    if not 0 <= value < (1 << bits):
+        raise ValueError(f"{what} {value} does not fit in {bits} unsigned bits")
+    return value
+
+
+def _d_form(major: int, rt: int, ra: int, imm16: int) -> int:
+    return (major << 26) | (reg(rt) << 21) | (reg(ra) << 16) | imm16
+
+
+# -- D-form arithmetic and logical immediates --------------------------------
+
+
+def addi(rt, ra, si: int) -> int:
+    return _d_form(14, rt, ra, _signed(si, 16, "SI"))
+
+
+def addis(rt, ra, si: int) -> int:
+    return _d_form(15, rt, ra, _signed(si, 16, "SI"))
+
+
+def li(rt, si: int) -> int:
+    return addi(rt, 0, si)
+
+
+def lis(rt, si: int) -> int:
+    return addis(rt, 0, si)
+
+
+def _logic_imm(major: int, ra, rs, ui: int) -> int:
+    # Encoding order is RS, RA even though assembly order is RA, RS.
+    return _d_form(major, rs, ra, _unsigned(ui, 16, "UI"))
+
+
+def ori(ra, rs, ui: int) -> int:
+    return _logic_imm(24, ra, rs, ui)
+
+
+def oris(ra, rs, ui: int) -> int:
+    return _logic_imm(25, ra, rs, ui)
+
+
+def xori(ra, rs, ui: int) -> int:
+    return _logic_imm(26, ra, rs, ui)
+
+
+def xoris(ra, rs, ui: int) -> int:
+    return _logic_imm(27, ra, rs, ui)
+
+
+def andi_(ra, rs, ui: int) -> int:
+    return _logic_imm(28, ra, rs, ui)
+
+
+def andis_(ra, rs, ui: int) -> int:
+    return _logic_imm(29, ra, rs, ui)
+
+
+def nop() -> int:
+    return ori(0, 0, 0)
+
+
+# -- compares ----------------------------------------------------------------
+
+
+def _cmp_imm(major: int, bf, ell: int, ra, imm16: int) -> int:
+    return (major << 26) | (crf(bf) << 23) | (ell << 21) | (reg(ra) << 16) | imm16
+
+
+def cmpdi(bf, ra, si: int) -> int:
+    return _cmp_imm(11, bf, 1, ra, _signed(si, 16, "SI"))
+
+
+def cmpwi(bf, ra, si: int) -> int:
+    return _cmp_imm(11, bf, 0, ra, _signed(si, 16, "SI"))
+
+
+def cmpldi(bf, ra, ui: int) -> int:
+    return _cmp_imm(10, bf, 1, ra, _unsigned(ui, 16, "UI"))
+
+
+def cmplwi(bf, ra, ui: int) -> int:
+    return _cmp_imm(10, bf, 0, ra, _unsigned(ui, 16, "UI"))
+
+
+def _cmp_reg(xo: int, bf, ell: int, ra, rb) -> int:
+    return (
+        (31 << 26) | (crf(bf) << 23) | (ell << 21) | (reg(ra) << 16)
+        | (reg(rb) << 11) | (xo << 1)
+    )
+
+
+def cmpd(bf, ra, rb) -> int:
+    return _cmp_reg(0, bf, 1, ra, rb)
+
+
+def cmpw(bf, ra, rb) -> int:
+    return _cmp_reg(0, bf, 0, ra, rb)
+
+
+def cmpld(bf, ra, rb) -> int:
+    return _cmp_reg(32, bf, 1, ra, rb)
+
+
+def cmplw(bf, ra, rb) -> int:
+    return _cmp_reg(32, bf, 0, ra, rb)
+
+
+# -- loads and stores --------------------------------------------------------
+
+
+def lwz(rt, ra, d: int) -> int:
+    return _d_form(32, rt, ra, _signed(d, 16, "D"))
+
+
+def lbz(rt, ra, d: int) -> int:
+    return _d_form(34, rt, ra, _signed(d, 16, "D"))
+
+
+def stw(rs, ra, d: int) -> int:
+    return _d_form(36, rs, ra, _signed(d, 16, "D"))
+
+
+def stb(rs, ra, d: int) -> int:
+    return _d_form(38, rs, ra, _signed(d, 16, "D"))
+
+
+def _ds_form(major: int, rt, ra, ds: int) -> int:
+    if ds % 4:
+        raise ValueError(f"DS displacement {ds} is not a multiple of 4")
+    return _d_form(major, rt, ra, _signed(ds, 16, "DS"))
+
+
+def ld(rt, ra, ds: int) -> int:
+    return _ds_form(58, rt, ra, ds)
+
+
+def std(rs, ra, ds: int) -> int:
+    return _ds_form(62, rs, ra, ds)
+
+
+# -- branches ----------------------------------------------------------------
+
+
+def _branch_target(offset: int, bits: int, what: str) -> int:
+    if offset % 4:
+        raise ValueError(f"{what} {offset} is not a multiple of 4")
+    return _signed(offset, bits, what)
+
+
+def b(offset: int, lk: int = 0) -> int:
+    return (18 << 26) | _branch_target(offset, 26, "LI") & ~0b11 | lk
+
+
+def bl(offset: int) -> int:
+    return b(offset, lk=1)
+
+
+def bc(bo: int, bi: int, bd: int, lk: int = 0) -> int:
+    return (
+        (16 << 26) | (_unsigned(bo, 5, "BO") << 21)
+        | (_unsigned(bi, 5, "BI") << 16)
+        | _branch_target(bd, 16, "BD") & ~0b11 | lk
+    )
+
+
+def bcl(bo: int, bi: int, bd: int) -> int:
+    return bc(bo, bi, bd, lk=1)
+
+
+def bdnz(bd: int) -> int:
+    return bc(16, 0, bd)
+
+
+def blt(bf, bd: int) -> int:
+    return bc(12, 4 * crf(bf) + 0, bd)
+
+
+def bgt(bf, bd: int) -> int:
+    return bc(12, 4 * crf(bf) + 1, bd)
+
+
+def beq(bf, bd: int) -> int:
+    return bc(12, 4 * crf(bf) + 2, bd)
+
+
+def bge(bf, bd: int) -> int:
+    return bc(4, 4 * crf(bf) + 0, bd)
+
+
+def ble(bf, bd: int) -> int:
+    return bc(4, 4 * crf(bf) + 1, bd)
+
+
+def bne(bf, bd: int) -> int:
+    return bc(4, 4 * crf(bf) + 2, bd)
+
+
+def bclr(bo: int, bi: int, lk: int = 0) -> int:
+    return (
+        (19 << 26) | (_unsigned(bo, 5, "BO") << 21)
+        | (_unsigned(bi, 5, "BI") << 16) | (16 << 1) | lk
+    )
+
+
+def bcctr(bo: int, bi: int, lk: int = 0) -> int:
+    if not bo & 0b00100:
+        raise ValueError("bcctr must not decrement CTR (BO bit 2 clear)")
+    return (
+        (19 << 26) | (_unsigned(bo, 5, "BO") << 21)
+        | (_unsigned(bi, 5, "BI") << 16) | (528 << 1) | lk
+    )
+
+
+def blr() -> int:
+    return bclr(20, 0)
+
+
+def blrl() -> int:
+    return bclr(20, 0, lk=1)
+
+
+def bctr() -> int:
+    return bcctr(20, 0)
+
+
+def bctrl() -> int:
+    return bcctr(20, 0, lk=1)
+
+
+# -- major 31 (X / XO forms) -------------------------------------------------
+
+
+def _xo_arith(xo: int, rt, ra, rb) -> int:
+    return (
+        (31 << 26) | (reg(rt) << 21) | (reg(ra) << 16) | (reg(rb) << 11)
+        | (xo << 1)
+    )
+
+
+def add(rt, ra, rb) -> int:
+    return _xo_arith(266, rt, ra, rb)
+
+
+def subf(rt, ra, rb) -> int:
+    return _xo_arith(40, rt, ra, rb)
+
+
+def _x_logic(xo: int, ra, rs, rb) -> int:
+    # Encoding order is RS, RA, RB even though assembly order is RA, RS, RB.
+    return (
+        (31 << 26) | (reg(rs) << 21) | (reg(ra) << 16) | (reg(rb) << 11)
+        | (xo << 1)
+    )
+
+
+def and_(ra, rs, rb) -> int:
+    return _x_logic(28, ra, rs, rb)
+
+
+def or_(ra, rs, rb) -> int:
+    return _x_logic(444, ra, rs, rb)
+
+
+def xor(ra, rs, rb) -> int:
+    return _x_logic(316, ra, rs, rb)
+
+
+def mr(ra, rs) -> int:
+    return or_(ra, rs, rs)
+
+
+def _spr_form(xo: int, rt, spr: int) -> int:
+    return (31 << 26) | (reg(rt) << 21) | (SPR_FIELD[spr] << 11) | (xo << 1)
+
+
+def mtctr(rs) -> int:
+    return _spr_form(467, rs, SPR_CTR)
+
+
+def mtlr(rs) -> int:
+    return _spr_form(467, rs, SPR_LR)
+
+
+def mtxer(rs) -> int:
+    return _spr_form(467, rs, SPR_XER)
+
+
+def mfctr(rt) -> int:
+    return _spr_form(339, rt, SPR_CTR)
+
+
+def mflr(rt) -> int:
+    return _spr_form(339, rt, SPR_LR)
+
+
+def mfxer(rt) -> int:
+    return _spr_form(339, rt, SPR_XER)
+
+
+def assemble(opcodes: list[int]) -> bytes:
+    """Pack opcodes as little-endian instruction memory (ppc64le)."""
+    return b"".join(op.to_bytes(4, "little") for op in opcodes)

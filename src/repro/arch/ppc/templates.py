@@ -1,0 +1,149 @@
+"""Directed assembly templates for the OpenPOWER co-sim and conformance suites.
+
+``cosim_templates`` yields one random-line generator per decode arm (the
+coverage-biased program generator draws from it); ``CONFORMANCE_TEMPLATES``
+lists near-constant encodings random word sampling is unlikely to reach.
+Both speak the grammar of :mod:`repro.arch.ppc.asm`.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def _gr(rng: random.Random) -> str:
+    return f"r{rng.randrange(32)}"
+
+
+def _cr(rng: random.Random) -> str:
+    return f"cr{rng.randrange(8)}"
+
+
+def _si(rng: random.Random) -> int:
+    return rng.randrange(-(1 << 15), 1 << 15)
+
+
+def _ui(rng: random.Random) -> int:
+    return rng.randrange(1 << 16)
+
+
+#: The co-sim data window (``cosim.archs.MEM_BASE``).  It fits in a signed
+#: 16-bit displacement, so ``(RA|0)`` addressing with ``r0`` as the base
+#: reaches it *absolutely* — the only way a directed template can guarantee
+#: a mapped access without knowing the start state's register values.
+_WINDOW = 0x5000
+
+
+def cosim_templates(rng: random.Random, slot) -> dict:
+    """One random assembly line per OpenPOWER decode arm."""
+    mem_off = 4 * rng.randrange(-4, 8)
+
+    def _cond_branch() -> str:
+        cond = rng.choice(["blt", "bgt", "beq", "bge", "ble", "bne"])
+        return f"{cond} {_cr(rng)}, {slot.branch_offset(rng)}"
+
+    return {
+        "addi": lambda: rng.choice([
+            f"addi {_gr(rng)}, {_gr(rng)}, {_si(rng)}",
+            f"li {_gr(rng)}, {_si(rng)}",
+        ]),
+        "addis": lambda: rng.choice([
+            f"addis {_gr(rng)}, {_gr(rng)}, {_si(rng)}",
+            f"lis {_gr(rng)}, {_si(rng)}",
+        ]),
+        "ori": lambda: rng.choice([
+            f"ori {_gr(rng)}, {_gr(rng)}, {_ui(rng)}", "nop",
+        ]),
+        "oris": lambda: f"oris {_gr(rng)}, {_gr(rng)}, {_ui(rng)}",
+        "xori": lambda: f"xori {_gr(rng)}, {_gr(rng)}, {_ui(rng)}",
+        "xoris": lambda: f"xoris {_gr(rng)}, {_gr(rng)}, {_ui(rng)}",
+        "andi": lambda: f"andi. {_gr(rng)}, {_gr(rng)}, {_ui(rng)}",
+        "andis": lambda: f"andis. {_gr(rng)}, {_gr(rng)}, {_ui(rng)}",
+        "cmpi": lambda: (
+            f"{rng.choice(['cmpdi', 'cmpwi'])} {_cr(rng)}, {_gr(rng)}, {_si(rng)}"
+        ),
+        "cmpli": lambda: (
+            f"{rng.choice(['cmpldi', 'cmplwi'])} {_cr(rng)}, {_gr(rng)}, {_ui(rng)}"
+        ),
+        "cmp": lambda: (
+            f"{rng.choice(['cmpd', 'cmpw'])} {_cr(rng)}, {_gr(rng)}, {_gr(rng)}"
+        ),
+        "cmpl": lambda: (
+            f"{rng.choice(['cmpld', 'cmplw'])} {_cr(rng)}, {_gr(rng)}, {_gr(rng)}"
+        ),
+        "add": lambda: f"add {_gr(rng)}, {_gr(rng)}, {_gr(rng)}",
+        "subf": lambda: f"subf {_gr(rng)}, {_gr(rng)}, {_gr(rng)}",
+        "and": lambda: f"and {_gr(rng)}, {_gr(rng)}, {_gr(rng)}",
+        "or": lambda: rng.choice([
+            f"or {_gr(rng)}, {_gr(rng)}, {_gr(rng)}",
+            f"mr {_gr(rng)}, {_gr(rng)}",
+        ]),
+        "xor": lambda: f"xor {_gr(rng)}, {_gr(rng)}, {_gr(rng)}",
+        "mtspr": lambda: f"{rng.choice(['mtctr', 'mtlr', 'mtxer'])} {_gr(rng)}",
+        "mfspr": lambda: f"{rng.choice(['mfctr', 'mflr', 'mfxer'])} {_gr(rng)}",
+        "lwz": lambda: rng.choice([
+            f"lwz {_gr(rng)}, {mem_off}({_gr(rng)})",
+            f"lwz {_gr(rng)}, {_WINDOW + 4 * rng.randrange(12)}(r0)",
+        ]),
+        "lbz": lambda: rng.choice([
+            f"lbz {_gr(rng)}, {rng.randrange(-16, 16)}({_gr(rng)})",
+            f"lbz {_gr(rng)}, {_WINDOW + rng.randrange(64)}(r0)",
+        ]),
+        "stw": lambda: rng.choice([
+            f"stw {_gr(rng)}, {mem_off}({_gr(rng)})",
+            f"stw {_gr(rng)}, {_WINDOW + 4 * rng.randrange(12)}(r0)",
+        ]),
+        "stb": lambda: rng.choice([
+            f"stb {_gr(rng)}, {rng.randrange(-16, 16)}({_gr(rng)})",
+            f"stb {_gr(rng)}, {_WINDOW + rng.randrange(64)}(r0)",
+        ]),
+        "ld": lambda: rng.choice([
+            f"ld {_gr(rng)}, {mem_off}({_gr(rng)})",
+            f"ld {_gr(rng)}, {_WINDOW + 4 * rng.randrange(12)}(r0)",
+        ]),
+        "std": lambda: rng.choice([
+            f"std {_gr(rng)}, {mem_off}({_gr(rng)})",
+            f"std {_gr(rng)}, {_WINDOW + 4 * rng.randrange(12)}(r0)",
+        ]),
+        "b": lambda: f"{rng.choice(['b', 'bl'])} {slot.branch_offset(rng)}",
+        "bc": lambda: rng.choice([
+            _cond_branch(),
+            f"bdnz {slot.branch_offset(rng)}",
+            f"bc {rng.randrange(32)}, {rng.randrange(32)}, {slot.branch_offset(rng)}",
+        ]),
+        "bclr": lambda: rng.choice([
+            "blr", "blrl",
+            f"bclr {rng.randrange(32)}, {rng.randrange(32)}",
+        ]),
+        "bcctr": lambda: rng.choice([
+            "bctr", "bctrl",
+            f"bcctr {rng.randrange(32) | 0b00100}, {rng.randrange(32)}",
+        ]),
+    }
+
+
+#: Sparse-corner encodings for the conformance fuzzer; slots are filled with
+#: {r}/{n}/{m} in 0..30, {t}/{u} in 0..6, {h} in 1..15.
+CONFORMANCE_TEMPLATES = [
+    "nop", "li r{r}, -{h}", "lis r{r}, {h}",
+    "mr r{r}, r{n}", "andi. r{r}, r{n}, {h}", "andis. r{r}, r{n}, {h}",
+    "cmpdi cr{t}, r{r}, -{h}", "cmpwi cr{t}, r{r}, {h}",
+    "cmpldi cr{t}, r{r}, {h}", "cmplwi cr{t}, r{r}, {h}",
+    "cmpd cr{t}, r{r}, r{n}", "cmplw cr{t}, r{r}, r{n}",
+    "add r{r}, r{n}, r{m}", "subf r{r}, r{n}, r{m}",
+    "and r{r}, r{n}, r{m}", "or r{r}, r{n}, r{m}", "xor r{r}, r{n}, r{m}",
+    "lwz r{r}, 8(r{n})", "lbz r{r}, -{h}(r{n})",
+    "stw r{r}, 4(r{n})", "stb r{r}, {h}(r{n})",
+    "ld r{r}, 8(r{n})", "std r{r}, -8(r{n})",
+    "ld r{r}, 0(r0)", "lwz r{r}, 16(r0)",
+    "lbz r{r}, 20480(r0)", "lbz r{r}, 20512(r0)",
+    "stb r{r}, 20496(r0)", "lwz r{r}, 20484(r0)",
+    "std r{r}, 20488(r0)", "ld r{r}, 20520(r0)",
+    "mtctr r{r}", "mtlr r{r}", "mtxer r{r}",
+    "mfctr r{r}", "mflr r{r}", "mfxer r{r}",
+    "blr", "blrl", "bctr", "bctrl",
+    "bclr 0, {h}", "bclr 8, {h}", "bcctr 20, {h}",
+    "bdnz -4", "bc 16, 0, 8", "bc 18, {h}, 4", "bc 2, {h}, -8",
+    "beq cr{t}, 8", "bne cr{t}, -4", "blt cr{t}, 4", "bgel cr{t}, 8",
+    "b 8", "bl -8", "b 0",
+]

@@ -187,6 +187,11 @@ def decode_arm(op: int) -> str:
     return _MAJOR_ARMS[_f(op, 6, 0)]
 
 
+#: Every decode-arm name, in major-opcode order.  The architecture registry
+#: exposes this as the authoritative arm list for coverage maps.
+DECODE_ARMS = tuple(_MAJOR_ARMS.values())
+
+
 # -- structured operand fields ------------------------------------------------
 #
 # Per-arm bit layouts as (name, hi, lo, kind) tuples, MSB-first, tiling all

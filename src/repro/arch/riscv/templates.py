@@ -1,0 +1,81 @@
+"""Directed instruction templates for RISC-V test generation.
+
+Two consumers share this module through the architecture registry:
+:func:`cosim_templates` feeds the coverage-biased co-sim program
+generator, and :data:`CONFORMANCE_TEMPLATES` provides directed lines for
+the differential conformance suite.  ``slot`` is duck-typed: any object
+with ``branch_offset(rng, scale=4)`` works.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .decode import ABI
+
+
+def _tr(rng: random.Random) -> str:
+    """An ABI register name t0..t6 (maps into x5..x7, x28..x31 range)."""
+    return ABI[rng.choice([5, 6, 7, 28, 29, 30])]
+
+
+def cosim_templates(rng: random.Random, slot) -> dict:
+    """One random assembly line per RISC-V decode arm."""
+    mem_off = 8 * rng.randrange(-4, 4)
+    return {
+        "lui": lambda: f"lui {_tr(rng)}, {rng.randrange(1 << 20)}",
+        "auipc": lambda: f"auipc {_tr(rng)}, {rng.randrange(1 << 20)}",
+        "jal": lambda: f"jal {_tr(rng)}, {slot.branch_offset(rng)}",
+        "jalr": lambda: f"jalr {_tr(rng)}, {8 * rng.randrange(-4, 4)}({_tr(rng)})",
+        "branch": lambda: (
+            f"{rng.choice(['beq', 'bne', 'blt', 'bge', 'bltu', 'bgeu'])} "
+            f"{_tr(rng)}, {_tr(rng)}, {slot.branch_offset(rng)}"
+        ),
+        "load": lambda: (
+            f"{rng.choice(['lb', 'lh', 'lw', 'ld', 'lbu', 'lhu', 'lwu'])} "
+            f"{_tr(rng)}, {mem_off}({_tr(rng)})"
+        ),
+        "store": lambda: (
+            f"{rng.choice(['sb', 'sh', 'sw', 'sd'])} {_tr(rng)}, {mem_off}({_tr(rng)})"
+        ),
+        "op_imm": lambda: rng.choice([
+            f"{rng.choice(['addi', 'slti', 'sltiu', 'xori', 'ori', 'andi'])} "
+            f"{_tr(rng)}, {_tr(rng)}, {rng.randrange(-2048, 2048)}",
+            f"{rng.choice(['slli', 'srli', 'srai'])} {_tr(rng)}, {_tr(rng)}, "
+            f"{rng.randrange(64)}",
+        ]),
+        "op_imm32": lambda: rng.choice([
+            f"addiw {_tr(rng)}, {_tr(rng)}, {rng.randrange(-2048, 2048)}",
+            f"{rng.choice(['slliw', 'srliw', 'sraiw'])} {_tr(rng)}, {_tr(rng)}, "
+            f"{rng.randrange(32)}",
+        ]),
+        "op": lambda: (
+            f"{rng.choice(['add', 'sub', 'sll', 'slt', 'sltu', 'xor', 'srl', 'sra', 'or', 'and'])} "
+            f"{_tr(rng)}, {_tr(rng)}, {_tr(rng)}"
+        ),
+        "op32": lambda: (
+            f"{rng.choice(['addw', 'subw', 'sllw', 'srlw', 'sraw'])} "
+            f"{_tr(rng)}, {_tr(rng)}, {_tr(rng)}"
+        ),
+        "fence": lambda: "fence",
+        "system": lambda: rng.choice([
+            "ecall", "ebreak", "wfi", "mret",
+            f"csrrw {_tr(rng)}, mscratch, {_tr(rng)}",
+            f"csrrs {_tr(rng)}, mepc, {_tr(rng)}",
+            f"csrrci {_tr(rng)}, mcause, {rng.randrange(32)}",
+        ]),
+    }
+
+
+# Directed templates: assembly lines whose encodings random sampling is
+# unlikely to reach (near-constant words), with {t}/{u}/{h} filled per draw.
+CONFORMANCE_TEMPLATES = [
+    "fence", "ecall", "ebreak", "mret", "wfi",
+    "csrr t{t}, mstatus", "csrw mtvec, t{t}",
+    "csrrw t{t}, mscratch, t{u}", "csrrci t{t}, mstatus, {h}",
+    "lwu t{t}, 4(t{u})", "sraiw t{t}, t{u}, {h}",
+    "add t{t}, t{u}, t{t}", "sub t{t}, t{u}, t{t}",
+    "sltu t{t}, t{u}, t{t}", "and t{t}, t{u}, t{t}",
+    "sra t{t}, t{u}, t{t}", "addw t{t}, t{u}, t{t}",
+    "sraw t{t}, t{u}, t{t}",
+]

@@ -9,14 +9,16 @@ from . import (
     binsearch_riscv,
     hvc,
     memcpy_arm,
+    memcpy_ppc,
     memcpy_riscv,
     pkvm,
     rbit,
+    sign_ppc,
     uart,
     unaligned,
 )
 
 __all__ = [
-    "binsearch_arm", "binsearch_riscv", "hvc", "memcpy_arm", "memcpy_riscv",
-    "pkvm", "rbit", "uart", "unaligned",
+    "binsearch_arm", "binsearch_riscv", "hvc", "memcpy_arm", "memcpy_ppc",
+    "memcpy_riscv", "pkvm", "rbit", "sign_ppc", "uart", "unaligned",
 ]

@@ -1,0 +1,111 @@
+"""Case study: a condition-register compare/branch chain on OpenPOWER.
+
+The compiled sign function, deliberately using a non-zero CR field::
+
+    sign:   cmpdi cr7, r3, 0
+            blt   cr7, .Lneg
+            beq   cr7, .Lzero
+            li    r3, 1
+            blr
+    .Lneg:  li    r3, -1
+            blr
+    .Lzero: li    r3, 0
+            blr
+
+What this exercises that memcpy does not: one ``cmpdi`` writes a *field*
+of the condition register (LT/GT/EQ/SO packed into the 4-bit CR7), and two
+subsequent conditional branches test different bits of that same field —
+so the proof has to track the packed CR semantics across a branch chain
+with three distinct exits, all returning through the same ``blr``.  The
+specification states the result extensionally: r3 = sign(v), written as an
+if-then-else over the signed comparison, discharged per-path by the SMT
+side-condition solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.ppc import PpcModel, encode as P
+from ..arch.ppc.model import PC
+from ..frontend import FrontendResult, ProgramImage, generate_instruction_map
+from ..isla import Assumptions
+from ..logic import Pred, PredBuilder, Proof, ProofEngine
+from ..smt import builder as B
+
+BASE = 0x1000_0000
+
+
+@dataclass
+class SignPpc:
+    image: ProgramImage
+    frontend: FrontendResult
+    entry: int
+    specs: dict[int, Pred]
+
+    @property
+    def asm_line_count(self) -> int:
+        return len(self.image.opcodes)
+
+
+def build_image(base: int = BASE) -> ProgramImage:
+    image = ProgramImage()
+    image.place(
+        base,
+        [
+            P.cmpdi(7, "r3", 0),   # cmpdi cr7, r3, 0
+            P.blt(7, 16),          # blt cr7, .Lneg
+            P.beq(7, 20),          # beq cr7, .Lzero
+            P.li("r3", 1),         # li r3, 1
+            P.blr(),               # blr
+            P.li("r3", -1),        # .Lneg: li r3, -1
+            P.blr(),               # blr
+            P.li("r3", 0),         # .Lzero: li r3, 0
+            P.blr(),               # blr
+        ],
+        label="sign",
+    )
+    image.labels[".Lneg"] = base + 20
+    image.labels[".Lzero"] = base + 28
+    return image
+
+
+def build_specs(base: int = BASE) -> dict[int, Pred]:
+    v = B.bv_var("v", 64)
+    r = B.bv_var("r", 64)
+    zero = B.bv(0, 64)
+    expected = B.ite(
+        B.bvslt(v, zero),
+        B.bv((1 << 64) - 1, 64),  # -1
+        B.ite(B.eq(v, zero), zero, B.bv(1, 64)),
+    )
+    post = (
+        PredBuilder()
+        .reg("r3", expected)
+        .reg_any("CR7", "XER", "LR")
+        .build()
+    )
+    entry = (
+        PredBuilder()
+        .exists(v, r)
+        .reg("r3", v)
+        .reg_any("CR7", "XER")
+        .reg("LR", r)
+        .instr_pre(r, post)
+        .pure(B.eq(B.extract(1, 0, r), B.bv(0, 2)))
+        .build()
+    )
+    return {base: entry}
+
+
+def build(base: int = BASE) -> SignPpc:
+    image = build_image(base)
+    frontend = generate_instruction_map(PpcModel(), image, Assumptions())
+    return SignPpc(
+        image=image, frontend=frontend, entry=base, specs=build_specs(base)
+    )
+
+
+def verify(case: SignPpc) -> Proof:
+    engine = ProofEngine(case.frontend.traces, case.specs, PC)
+    return engine.verify_all()

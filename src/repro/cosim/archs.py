@@ -1,30 +1,25 @@
 """Per-architecture co-simulation profiles.
 
-One :class:`CosimArch` per supported architecture bundles everything the
+One :class:`CosimArch` per registered architecture bundles everything the
 generator and driver need: the mini-Sail model (for the authoritative
 side), the decoder (arm accounting), the assembler (directed templates),
 the pinned registers the ITL traces assume, and the register/memory domain
-generated states draw from.
+generated states draw from.  All of it comes from
+:mod:`repro.arch.registry` — adding an architecture there adds it here.
 
 The pins mirror the conformance harness: ARM runs at EL2 with the banked
 stack pointer selected and alignment checking off (``SCTLR_EL2 = 0``);
-RISC-V needs no pins.  Generated programs may *leave* this domain (an
-``eret`` dropping to EL1, an ``msr`` to SCTLR_EL2); the driver detects
-that and ends the case — the ITL traces were generated under the pinned
-assumptions and are only authoritative inside them.
+RISC-V and OpenPOWER need no pins.  Generated programs may *leave* this
+domain (an ``eret`` dropping to EL1, an ``msr`` to SCTLR_EL2); the driver
+detects that and ends the case — the ITL traces were generated under the
+pinned assumptions and are only authoritative inside them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 
-from ..arch.arm import ArmModel
-from ..arch.arm import asm as arm_asm
-from ..arch.arm import decode as arm_decode
-from ..arch.riscv import RiscvModel
-from ..arch.riscv import asm as riscv_asm
-from ..arch.riscv import decode as riscv_decode
+from ..arch import registry
 from ..isla import Assumptions
 from ..itl.events import Reg
 
@@ -36,11 +31,6 @@ MEM_LEN = 64
 
 #: Where generated programs are placed.
 CODE_BASE = 0x1000
-
-ARM_PINS = {"PSTATE.EL": 2, "PSTATE.SP": 1, "SCTLR_EL2": 0}
-ARM_VARY = [f"R{i}" for i in range(31)] + ["SP_EL2"]
-ARM_FLAGS = ["PSTATE.N", "PSTATE.Z", "PSTATE.C", "PSTATE.V"]
-RISCV_VARY = [f"x{i}" for i in range(1, 32)]
 
 
 @dataclass(frozen=True)
@@ -78,41 +68,23 @@ class CosimArch:
         return decode_arm_names(self.name)
 
 
-@lru_cache(maxsize=None)
-def _models():
-    return {"arm": ArmModel(), "riscv": RiscvModel()}
-
-
 def decode_arm_names(arch_name: str) -> list[str]:
     """The full universe of decode-arm names, straight from the decoders."""
-    if arch_name == "arm":
-        return [fn.__name__.lstrip("_") for fn in arm_decode._DECODERS]
-    if arch_name == "riscv":
-        return list(riscv_decode._MAJOR_ARMS.values())
-    raise KeyError(f"unknown cosim arch {arch_name!r}")
+    return list(registry.get(arch_name).decode_arms())
 
 
 def _build_archs() -> dict[str, CosimArch]:
-    models = _models()
     return {
-        "arm": CosimArch(
-            name="arm",
-            model=models["arm"],
-            decode=arm_decode,
-            asm=arm_asm,
-            pins=dict(ARM_PINS),
-            vary=tuple(ARM_VARY),
-            flags=tuple(ARM_FLAGS),
-        ),
-        "riscv": CosimArch(
-            name="riscv",
-            model=models["riscv"],
-            decode=riscv_decode,
-            asm=riscv_asm,
-            pins={},
-            vary=tuple(RISCV_VARY),
-            flags=(),
-        ),
+        info.name: CosimArch(
+            name=info.name,
+            model=info.model(),
+            decode=info.decode(),
+            asm=info.asm(),
+            pins=info.pin_dict(),
+            vary=info.vary,
+            flags=info.flags,
+        )
+        for info in registry.infos()
     }
 
 

@@ -24,6 +24,7 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ..arch import registry
 from ..isla import IslaError, trace_for_opcode
 from ..itl.opsem import Discarded, Failure, Runner
 from .archs import COSIM_ARCHS, CosimArch
@@ -34,8 +35,6 @@ from .state import ProgramCase, build_machine_state, diff_states
 #: ``(arch_name, opcode) -> Trace | None`` — None caches "out of scope".
 _TRACE_CACHE: dict[tuple[str, int], object] = {}
 _TRACE_LOCK = threading.Lock()
-
-_NOP = {"arm": 0xD503201F, "riscv": 0x00000013}
 
 
 def cached_trace(arch: CosimArch, opcode: int):
@@ -216,7 +215,7 @@ class CoSimDriver:
         reproduces (a reduction that merely fails differently is rejected)."""
         signature = divergence.signature
         current = case.copy()
-        nop = _NOP[self.arch.name]
+        nop = registry.get(self.arch.name).nop
 
         # 1. Truncate the program after the diverging step's reach.
         for length in range(1, len(current.words)):
@@ -226,7 +225,25 @@ class CoSimDriver:
                 current = candidate
                 break
 
-        # 2. Replace words with NOPs, one at a time, repeat to fixpoint.
+        # 2. Delete words one at a time, repeat to fixpoint.  Deletion
+        #    shifts later words down (relative branch displacements keep
+        #    their in-program targets); the signature re-check rejects any
+        #    deletion that changes what fails, so this stays sound even
+        #    for programs with absolute-target branches (bclr/bcctr).
+        changed = True
+        while changed:
+            changed = False
+            i = 0
+            while i < len(current.words):
+                candidate = current.copy()
+                del candidate.words[i]
+                if candidate.words and self._diverges_like(candidate, signature):
+                    current = candidate
+                    changed = True
+                else:
+                    i += 1
+
+        # 3. Replace words with NOPs, one at a time, repeat to fixpoint.
         changed = True
         while changed:
             changed = False
@@ -239,13 +256,13 @@ class CoSimDriver:
                     current = candidate
                     changed = True
 
-        # 3. Drop the data memory window entirely if possible.
+        # 4. Drop the data memory window entirely if possible.
         candidate = current.copy()
         candidate.mem = {}
         if self._diverges_like(candidate, signature):
             current = candidate
 
-        # 4. Minimise registers: delete, then 0, then 1.
+        # 5. Minimise registers: delete, then 0, then 1.
         for name in sorted(current.regs):
             if name in self.arch.pins:
                 continue

@@ -17,16 +17,9 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-from ..arch.riscv.decode import ABI
+from ..arch import registry
 from .archs import CosimArch, decode_arm_names
 from .state import ProgramCase, random_case
-
-#: Condition names for ARM b.cond / csel templates.
-_CONDS = ["eq", "ne", "hs", "lo", "mi", "pl", "vs", "vc", "hi", "ls", "ge", "lt", "gt", "le"]
-
-#: Known-good system registers for mrs/msr templates (always encodable,
-#: never pinned by the co-sim domain).
-_SYSREGS = ["elr_el2", "spsr_el2", "far_el2", "esr_el2", "vbar_el2", "tpidr_el2"]
 
 
 class CoverageMap:
@@ -93,183 +86,21 @@ class _Slot:
         return (target - self.index) * scale
 
 
-def _xr(rng: random.Random) -> str:
-    return f"x{rng.randrange(31)}"
-
-
-def _wr_(rng: random.Random) -> str:
-    return f"w{rng.randrange(31)}"
-
-
-def _tr(rng: random.Random) -> str:
-    """An ABI register name t0..t6 (maps into x5..x7, x28..x31 range)."""
-    return ABI[rng.choice([5, 6, 7, 28, 29, 30])]
-
-
-def _bitmask_imm(rng: random.Random) -> int:
-    """A random encodable 64-bit logical immediate: a rotated run of ones."""
-    ones = rng.randrange(1, 64)
-    rot = rng.randrange(64)
-    run = (1 << ones) - 1
-    return ((run >> rot) | (run << (64 - rot))) & ((1 << 64) - 1)
-
-
-def _arm_templates(rng: random.Random, slot: _Slot) -> dict:
-    """One random assembly line per ARM decode arm."""
-    mem_off = 8 * rng.randrange(8)
-    return {
-        "addsub_imm": lambda: (
-            f"{rng.choice(['add', 'adds', 'sub', 'subs'])} {_xr(rng)}, {_xr(rng)}, "
-            f"#{rng.randrange(1 << 12)}"
-        ),
-        "addsub_reg": lambda: (
-            f"{rng.choice(['add', 'adds', 'sub', 'subs'])} {_xr(rng)}, {_xr(rng)}, "
-            f"{_xr(rng)}, {rng.choice(['lsl', 'lsr', 'asr'])} #{rng.randrange(64)}"
-        ),
-        "logical_reg": lambda: (
-            f"{rng.choice(['and', 'orr', 'eor', 'ands', 'bic', 'orn', 'eon', 'bics'])} "
-            f"{_xr(rng)}, {_xr(rng)}, {_xr(rng)}, "
-            f"{rng.choice(['lsl', 'lsr', 'asr', 'ror'])} #{rng.randrange(64)}"
-        ),
-        "logical_imm": lambda: (
-            f"{rng.choice(['and', 'orr', 'eor', 'ands'])} {_xr(rng)}, {_xr(rng)}, "
-            f"#{_bitmask_imm(rng):#x}"
-        ),
-        "movewide": lambda: (
-            f"{rng.choice(['movn', 'movz', 'movk'])} {_xr(rng)}, "
-            f"#{rng.randrange(1 << 16)}, lsl #{16 * rng.randrange(4)}"
-        ),
-        "bitfield": lambda: (
-            f"{rng.choice(['ubfm', 'sbfm'])} {_xr(rng)}, {_xr(rng)}, "
-            f"#{rng.randrange(64)}, #{rng.randrange(64)}"
-        ),
-        "csel": lambda: (
-            f"{rng.choice(['csel', 'csinc', 'csinv', 'csneg'])} {_xr(rng)}, "
-            f"{_xr(rng)}, {_xr(rng)}, {rng.choice(_CONDS)}"
-        ),
-        "ccmp": lambda: (
-            f"{rng.choice(['ccmp', 'ccmn'])} {_xr(rng)}, "
-            f"{rng.choice([f'#{rng.randrange(32)}', _xr(rng)])}, "
-            f"#{rng.randrange(16)}, {rng.choice(_CONDS)}"
-        ),
-        "div": lambda: f"{rng.choice(['sdiv', 'udiv'])} {_xr(rng)}, {_xr(rng)}, {_xr(rng)}",
-        "rbit": lambda: f"rbit {_xr(rng)}, {_xr(rng)}",
-        "ldst_imm": lambda: rng.choice([
-            f"ldr {_xr(rng)}, [{_xr(rng)}, #{mem_off}]",
-            f"str {_xr(rng)}, [{_xr(rng)}, #{mem_off}]",
-            f"ldrb {_wr_(rng)}, [{_xr(rng)}, #{rng.randrange(16)}]",
-            f"strb {_wr_(rng)}, [{_xr(rng)}, #{rng.randrange(16)}]",
-            f"ldrh {_wr_(rng)}, [{_xr(rng)}, #{2 * rng.randrange(8)}]",
-            f"ldrsw {_xr(rng)}, [{_xr(rng)}, #{4 * rng.randrange(8)}]",
-        ]),
-        "ldst_reg": lambda: rng.choice([
-            f"ldr {_xr(rng)}, [{_xr(rng)}, {_xr(rng)}]",
-            f"str {_xr(rng)}, [{_xr(rng)}, {_xr(rng)}, lsl #3]",
-            f"ldr {_wr_(rng)}, [{_xr(rng)}, {_wr_(rng)}, uxtw #2]",
-            f"str {_wr_(rng)}, [{_xr(rng)}, {_wr_(rng)}, sxtw]",
-        ]),
-        "ldst_imm9": lambda: rng.choice([
-            f"ldur {_xr(rng)}, [{_xr(rng)}, #{rng.randrange(-16, 16)}]",
-            f"stur {_xr(rng)}, [{_xr(rng)}, #{rng.randrange(-16, 16)}]",
-            f"ldr {_xr(rng)}, [{_xr(rng)}], #{8 * rng.randrange(-2, 3)}",
-            f"str {_xr(rng)}, [{_xr(rng)}, #{8 * rng.randrange(-2, 3)}]!",
-        ]),
-        "ldst_pair": lambda: rng.choice([
-            f"ldp {_xr(rng)}, {_xr(rng)}, [{_xr(rng)}, #{mem_off}]",
-            f"stp {_xr(rng)}, {_xr(rng)}, [{_xr(rng)}, #{mem_off}]",
-            f"ldp {_xr(rng)}, {_xr(rng)}, [{_xr(rng)}], #{8 * rng.randrange(-2, 3)}",
-            f"stp {_xr(rng)}, {_xr(rng)}, [{_xr(rng)}, #{mem_off}]!",
-        ]),
-        "adr": lambda: rng.choice([
-            f"adr {_xr(rng)}, #{4 * rng.randrange(-64, 64)}",
-            f"adrp {_xr(rng)}, #{4096 * rng.randrange(-8, 8)}",
-        ]),
-        "madd": lambda: (
-            f"{rng.choice(['madd', 'msub'])} {_xr(rng)}, {_xr(rng)}, "
-            f"{_xr(rng)}, {_xr(rng)}"
-        ),
-        "cbz": lambda: (
-            f"{rng.choice(['cbz', 'cbnz'])} {_xr(rng)}, #{slot.branch_offset(rng)}"
-        ),
-        "tbz": lambda: (
-            f"{rng.choice(['tbz', 'tbnz'])} {_xr(rng)}, #{rng.randrange(64)}, "
-            f"#{slot.branch_offset(rng)}"
-        ),
-        "bcond": lambda: f"b.{rng.choice(_CONDS)} #{slot.branch_offset(rng)}",
-        "b_bl": lambda: f"{rng.choice(['b', 'bl'])} #{slot.branch_offset(rng)}",
-        "br_blr_ret": lambda: rng.choice([f"br {_xr(rng)}", f"blr {_xr(rng)}", "ret"]),
-        "hint": lambda: rng.choice(["nop", f"hint #{rng.randrange(32)}"]),
-        "sysreg": lambda: rng.choice([
-            f"mrs {_xr(rng)}, {rng.choice(_SYSREGS)}",
-            f"msr {rng.choice(_SYSREGS)}, {_xr(rng)}",
-        ]),
-        "hvc": lambda: (
-            f"{rng.choice(['hvc', 'svc'])} #{rng.randrange(1 << 16)}"
-        ),
-    }
-
-
-def _riscv_templates(rng: random.Random, slot: _Slot) -> dict:
-    """One random assembly line per RISC-V decode arm."""
-    mem_off = 8 * rng.randrange(-4, 4)
-    return {
-        "lui": lambda: f"lui {_tr(rng)}, {rng.randrange(1 << 20)}",
-        "auipc": lambda: f"auipc {_tr(rng)}, {rng.randrange(1 << 20)}",
-        "jal": lambda: f"jal {_tr(rng)}, {slot.branch_offset(rng)}",
-        "jalr": lambda: f"jalr {_tr(rng)}, {8 * rng.randrange(-4, 4)}({_tr(rng)})",
-        "branch": lambda: (
-            f"{rng.choice(['beq', 'bne', 'blt', 'bge', 'bltu', 'bgeu'])} "
-            f"{_tr(rng)}, {_tr(rng)}, {slot.branch_offset(rng)}"
-        ),
-        "load": lambda: (
-            f"{rng.choice(['lb', 'lh', 'lw', 'ld', 'lbu', 'lhu', 'lwu'])} "
-            f"{_tr(rng)}, {mem_off}({_tr(rng)})"
-        ),
-        "store": lambda: (
-            f"{rng.choice(['sb', 'sh', 'sw', 'sd'])} {_tr(rng)}, {mem_off}({_tr(rng)})"
-        ),
-        "op_imm": lambda: rng.choice([
-            f"{rng.choice(['addi', 'slti', 'sltiu', 'xori', 'ori', 'andi'])} "
-            f"{_tr(rng)}, {_tr(rng)}, {rng.randrange(-2048, 2048)}",
-            f"{rng.choice(['slli', 'srli', 'srai'])} {_tr(rng)}, {_tr(rng)}, "
-            f"{rng.randrange(64)}",
-        ]),
-        "op_imm32": lambda: rng.choice([
-            f"addiw {_tr(rng)}, {_tr(rng)}, {rng.randrange(-2048, 2048)}",
-            f"{rng.choice(['slliw', 'srliw', 'sraiw'])} {_tr(rng)}, {_tr(rng)}, "
-            f"{rng.randrange(32)}",
-        ]),
-        "op": lambda: (
-            f"{rng.choice(['add', 'sub', 'sll', 'slt', 'sltu', 'xor', 'srl', 'sra', 'or', 'and'])} "
-            f"{_tr(rng)}, {_tr(rng)}, {_tr(rng)}"
-        ),
-        "op32": lambda: (
-            f"{rng.choice(['addw', 'subw', 'sllw', 'srlw', 'sraw'])} "
-            f"{_tr(rng)}, {_tr(rng)}, {_tr(rng)}"
-        ),
-        "fence": lambda: "fence",
-        "system": lambda: rng.choice([
-            "ecall", "ebreak", "wfi", "mret",
-            f"csrrw {_tr(rng)}, mscratch, {_tr(rng)}",
-            f"csrrs {_tr(rng)}, mepc, {_tr(rng)}",
-            f"csrrci {_tr(rng)}, mcause, {rng.randrange(32)}",
-        ]),
-    }
-
-
 class ProgramGenerator:
     """Seeded generator of multi-block programs with coverage-biased arms."""
 
-    #: Probability of steering a slot toward a low-coverage arm.
+    #: Probability of steering a slot toward a directed template; directed
+    #: slots split evenly between low-coverage arms and a uniform draw, so
+    #: dense encodings (whose counters random words keep pumping) still get
+    #: template-quality operands instead of only uniform-random ones.
     BIAS = 0.5
 
     def __init__(self, arch: CosimArch, seed: int) -> None:
         self.arch = arch
         self.rng = random.Random(seed)
         self.coverage = CoverageMap(arch.name)
-        self._templates = (
-            _arm_templates if arch.name == "arm" else _riscv_templates
-        )
+        self._arm_names = sorted(self.coverage.counts)
+        self._templates = registry.get(arch.name).templates().cosim_templates
 
     # -- single words -------------------------------------------------------
 
@@ -309,7 +140,12 @@ class ProgramGenerator:
             slot = _Slot(index=index, length=length)
             word = None
             if self.rng.random() < self.BIAS:
-                word = self.word_for_arm(self.rng.choice(self.coverage.lowest()), slot)
+                pool = (
+                    self.coverage.lowest()
+                    if self.rng.random() < 0.5
+                    else self._arm_names
+                )
+                word = self.word_for_arm(self.rng.choice(pool), slot)
             if word is None:
                 word = self.random_valid_word()
             arm = self.arch.decode.decode_arm(word)

@@ -58,6 +58,10 @@ DEFECTS = {
     "riscv-jalr-keeps-bit0": "JALR fails to clear bit 0 of the target",
     "riscv-sltu-signed": "SLTU/SLTIU compare signed",
     "riscv-lh-zero-extends": "LH zero-extends instead of sign-extending",
+    "ppc-subf-swapped": "SUBF computes RA - RB instead of RB - RA",
+    "ppc-cmpi-unsigned": "CMPI compares unsigned (acts like CMPLI)",
+    "ppc-bdnz-predec": "BC tests (and keeps) the pre-decrement CTR value",
+    "ppc-lbz-sign-extends": "LBZ sign-extends instead of zero-extending",
 }
 
 
@@ -1053,6 +1057,253 @@ class RiscvInterp(_BaseInterp):
             raise CosimUnsupported(f"SYSTEM funct12 {funct12:#014b} not modelled")
 
 
+# ---------------------------------------------------------------------------
+# OpenPOWER (ppc64 fixed-point subset)
+# ---------------------------------------------------------------------------
+
+_PPC_PC = Reg("PC")
+_PPC_CTR = Reg("CTR")
+_PPC_LR = Reg("LR")
+_PPC_XER = Reg("XER")
+
+#: SPR instruction-field value -> register (swapped-half encoding).
+_PPC_SPRS = {32: _PPC_XER, 256: _PPC_LR, 288: _PPC_CTR}
+
+
+class PpcInterp(_BaseInterp):
+    """Plain-integer OpenPOWER interpreter over the modelled subset."""
+
+    def _gpr(self, n: int) -> int:
+        return self._rr(Reg(f"r{n}"))
+
+    def _set_gpr(self, n: int, value: int) -> None:
+        self._wr(Reg(f"r{n}"), value & MASK64)
+
+    def _ra_or_zero(self, n: int) -> int:
+        """(RA|0): r0 reads as zero in addressing/addi contexts."""
+        return 0 if n == 0 else self._gpr(n)
+
+    def _advance(self, pc: int) -> None:
+        self._wr(_PPC_PC, (pc + 4) & MASK64)
+
+    # -- condition register --------------------------------------------------
+
+    def _so(self) -> int:
+        return (self._rr(_PPC_XER) >> 31) & 1
+
+    def _write_cr(self, bf: int, lt: bool, gt: bool, eq: bool) -> None:
+        value = (int(lt) << 3) | (int(gt) << 2) | (int(eq) << 1) | self._so()
+        self._wr(Reg(f"CR{bf}"), value, 4)
+
+    def _record_cr0(self, result: int) -> None:
+        signed = _sx(result & MASK64, 64)
+        self._write_cr(0, signed < 0, signed > 0, signed == 0)
+
+    # -- decode arms: D-form arithmetic / logical -----------------------------
+
+    def _addi(self, op: int, pc: int, shifted: bool) -> None:
+        rt, ra = _f(op, 25, 21), _f(op, 20, 16)
+        imm = _sx(_f(op, 15, 0), 16)
+        if shifted:
+            imm <<= 16
+        self._set_gpr(rt, self._ra_or_zero(ra) + imm)
+        self._advance(pc)
+
+    def op_addi(self, op: int, pc: int) -> None:
+        self._addi(op, pc, shifted=False)
+
+    def op_addis(self, op: int, pc: int) -> None:
+        self._addi(op, pc, shifted=True)
+
+    def _logic_imm(self, op: int, pc: int, combine, shifted: bool, record: bool) -> None:
+        rs, ra = _f(op, 25, 21), _f(op, 20, 16)
+        imm = _f(op, 15, 0) << 16 if shifted else _f(op, 15, 0)
+        result = combine(self._gpr(rs), imm) & MASK64
+        self._set_gpr(ra, result)
+        if record:
+            self._record_cr0(result)
+        self._advance(pc)
+
+    def op_ori(self, op: int, pc: int) -> None:
+        self._logic_imm(op, pc, int.__or__, shifted=False, record=False)
+
+    def op_oris(self, op: int, pc: int) -> None:
+        self._logic_imm(op, pc, int.__or__, shifted=True, record=False)
+
+    def op_xori(self, op: int, pc: int) -> None:
+        self._logic_imm(op, pc, int.__xor__, shifted=False, record=False)
+
+    def op_xoris(self, op: int, pc: int) -> None:
+        self._logic_imm(op, pc, int.__xor__, shifted=True, record=False)
+
+    def op_andi(self, op: int, pc: int) -> None:
+        self._logic_imm(op, pc, int.__and__, shifted=False, record=True)
+
+    def op_andis(self, op: int, pc: int) -> None:
+        self._logic_imm(op, pc, int.__and__, shifted=True, record=True)
+
+    # -- compares -------------------------------------------------------------
+
+    def _compare(self, op: int, pc: int, b_value: int, unsigned: bool) -> None:
+        bf, ell = _f(op, 25, 23), _f(op, 21, 21)
+        a_value = self._gpr(_f(op, 20, 16))
+        w = 64 if ell else 32
+        if unsigned:
+            a, b = a_value & _mask(w), b_value & _mask(w)
+        else:
+            a, b = _sx(a_value & _mask(w), w), _sx(b_value & _mask(w), w)
+        self._write_cr(bf, a < b, a > b, a == b)
+        self._advance(pc)
+
+    def op_cmpi(self, op: int, pc: int) -> None:
+        unsigned = self.defect == "ppc-cmpi-unsigned"
+        imm = _f(op, 15, 0) if unsigned else _sx(_f(op, 15, 0), 16)
+        self._compare(op, pc, imm, unsigned)
+
+    def op_cmpli(self, op: int, pc: int) -> None:
+        self._compare(op, pc, _f(op, 15, 0), unsigned=True)
+
+    def op_cmp(self, op: int, pc: int) -> None:
+        self._compare(op, pc, self._gpr(_f(op, 15, 11)), unsigned=False)
+
+    def op_cmpl(self, op: int, pc: int) -> None:
+        self._compare(op, pc, self._gpr(_f(op, 15, 11)), unsigned=True)
+
+    # -- loads and stores ------------------------------------------------------
+
+    def _ea(self, op: int, ds_form: bool) -> int:
+        ra = _f(op, 20, 16)
+        if ds_form:
+            disp = _sx(_f(op, 15, 2), 14) << 2
+        else:
+            disp = _sx(_f(op, 15, 0), 16)
+        return (self._ra_or_zero(ra) + disp) & MASK64
+
+    def _load(self, op: int, pc: int, nbytes: int, ds_form: bool = False) -> None:
+        data = self._read_mem(self._ea(op, ds_form), nbytes)
+        if nbytes == 1 and self.defect == "ppc-lbz-sign-extends":
+            data = _sx(data, 8) & MASK64
+        self._set_gpr(_f(op, 25, 21), data)
+        self._advance(pc)
+
+    def _store(self, op: int, pc: int, nbytes: int, ds_form: bool = False) -> None:
+        data = self._gpr(_f(op, 25, 21)) & _mask(8 * nbytes)
+        self._write_mem(self._ea(op, ds_form), data, nbytes)
+        self._advance(pc)
+
+    def op_lwz(self, op: int, pc: int) -> None:
+        self._load(op, pc, 4)
+
+    def op_lbz(self, op: int, pc: int) -> None:
+        self._load(op, pc, 1)
+
+    def op_stw(self, op: int, pc: int) -> None:
+        self._store(op, pc, 4)
+
+    def op_stb(self, op: int, pc: int) -> None:
+        self._store(op, pc, 1)
+
+    def op_ld(self, op: int, pc: int) -> None:
+        self._load(op, pc, 8, ds_form=True)
+
+    def op_std(self, op: int, pc: int) -> None:
+        self._store(op, pc, 8, ds_form=True)
+
+    # -- branches --------------------------------------------------------------
+
+    def _branch_taken(self, op: int) -> bool:
+        """Evaluate BO/BI, decrementing CTR when BO asks (test reads the
+        *new* value, per the Power ISA's 'decrement then test')."""
+        bo, bi = _f(op, 25, 21), _f(op, 20, 16)
+        taken = True
+        if not bo & 0b00100:  # decrement CTR, test against ctr_sense
+            old = self._rr(_PPC_CTR)
+            ctr = (old - 1) & MASK64
+            if self.defect == "ppc-bdnz-predec":
+                ctr = old
+            self._wr(_PPC_CTR, ctr)
+            taken = (ctr == 0) == bool(bo & 0b00010)
+        if not bo & 0b10000:  # test the CR bit against cond_sense
+            crf = self._rr(Reg(f"CR{bi >> 2}"))
+            bit = (crf >> (3 - (bi & 3))) & 1
+            taken = taken and bit == ((bo >> 3) & 1)
+        return taken
+
+    def op_b(self, op: int, pc: int) -> None:
+        if _f(op, 0, 0):
+            self._wr(_PPC_LR, (pc + 4) & MASK64)
+        target = (pc + (_sx(_f(op, 25, 2), 24) << 2)) & MASK64
+        self._wr(_PPC_PC, target)
+
+    def _cond_branch(self, op: int, pc: int, target: int) -> None:
+        """Shared bc/bclr/bcctr tail: LK then condition then redirect.
+
+        ``target`` must be computed by the caller *before* this runs — the
+        LK write clobbers LR, and bclr targets the old value.
+        """
+        taken = self._branch_taken(op)
+        if _f(op, 0, 0):
+            self._wr(_PPC_LR, (pc + 4) & MASK64)
+        if taken:
+            self._wr(_PPC_PC, target)
+        else:
+            self._advance(pc)
+
+    def op_bc(self, op: int, pc: int) -> None:
+        target = (pc + (_sx(_f(op, 15, 2), 14) << 2)) & MASK64
+        self._cond_branch(op, pc, target)
+
+    def op_bclr(self, op: int, pc: int) -> None:
+        target = self._rr(_PPC_LR) & ~0b11 & MASK64
+        self._cond_branch(op, pc, target)
+
+    def op_bcctr(self, op: int, pc: int) -> None:
+        target = self._rr(_PPC_CTR) & ~0b11 & MASK64
+        self._cond_branch(op, pc, target)
+
+    # -- major 31: X / XO forms ------------------------------------------------
+
+    def op_add(self, op: int, pc: int) -> None:
+        a, b = self._gpr(_f(op, 20, 16)), self._gpr(_f(op, 15, 11))
+        self._set_gpr(_f(op, 25, 21), a + b)
+        self._advance(pc)
+
+    def op_subf(self, op: int, pc: int) -> None:
+        a, b = self._gpr(_f(op, 20, 16)), self._gpr(_f(op, 15, 11))
+        if self.defect == "ppc-subf-swapped":
+            a, b = b, a
+        self._set_gpr(_f(op, 25, 21), b - a)
+        self._advance(pc)
+
+    def _x_logic(self, op: int, pc: int, combine) -> None:
+        rs, ra, rb = _f(op, 25, 21), _f(op, 20, 16), _f(op, 15, 11)
+        self._set_gpr(ra, combine(self._gpr(rs), self._gpr(rb)))
+        self._advance(pc)
+
+    def op_and(self, op: int, pc: int) -> None:
+        self._x_logic(op, pc, int.__and__)
+
+    def op_or(self, op: int, pc: int) -> None:
+        self._x_logic(op, pc, int.__or__)
+
+    def op_xor(self, op: int, pc: int) -> None:
+        self._x_logic(op, pc, int.__xor__)
+
+    def _spr(self, op: int) -> Reg:
+        spr = _PPC_SPRS.get(_f(op, 20, 11))
+        if spr is None:
+            raise CosimUnsupported(f"SPR field {_f(op, 20, 11)} not modelled")
+        return spr
+
+    def op_mtspr(self, op: int, pc: int) -> None:
+        self._wr(self._spr(op), self._gpr(_f(op, 25, 21)))
+        self._advance(pc)
+
+    def op_mfspr(self, op: int, pc: int) -> None:
+        self._set_gpr(_f(op, 25, 21), self._rr(self._spr(op)))
+        self._advance(pc)
+
+
 def interp_for(
     arch: CosimArch,
     state: MachineState,
@@ -1060,5 +1311,7 @@ def interp_for(
     defect: str | None = None,
 ) -> _BaseInterp:
     """The fast interpreter for ``arch`` operating on ``state`` in place."""
-    cls = ArmInterp if arch.name == "arm" else RiscvInterp
+    from ..arch import registry
+
+    cls = registry.get(arch.name).interp_class()
     return cls(arch, state, device=device, defect=defect)

@@ -59,14 +59,16 @@ def random_case(arch: CosimArch, rng: random.Random, words: list[int]) -> Progra
     conformance harness's distribution: window pointers, corner values,
     uniform bits)."""
     regs = dict(arch.pins)
+    mask = lambda v, w: v & ((1 << w) - 1)  # noqa: E731 — narrow regs (CR fields)
     for name in arch.vary:
         width = arch.model.regfile.width_of(Reg.parse(name))
         roll = rng.random()
         if roll < 0.3:
-            regs[name] = MEM_BASE + 8 * rng.randrange(MEM_LEN // 8 - 1)
+            regs[name] = mask(MEM_BASE + 8 * rng.randrange(MEM_LEN // 8 - 1), width)
         elif roll < 0.5:
-            regs[name] = rng.choice(
-                [0, 1, 2, 0xFF, (1 << width) - 1, 1 << (width - 1)]
+            regs[name] = mask(
+                rng.choice([0, 1, 2, 0xFF, (1 << width) - 1, 1 << (width - 1)]),
+                width,
             )
         else:
             regs[name] = rng.getrandbits(width)

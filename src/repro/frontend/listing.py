@@ -8,6 +8,7 @@ optionally the traces themselves.
 
 from __future__ import annotations
 
+from ..arch import registry
 from ..itl.printer import trace_to_sexpr
 from ..smt.terms import Term
 from .program import FrontendResult, ProgramImage
@@ -19,11 +20,7 @@ def _disassemble(arch: str, opcode: int | Term) -> str:
             opcode = opcode.value
         else:
             return f"<symbolic: {opcode!r}>"
-    if arch.startswith("arm"):
-        from ..arch.arm.decode import try_disassemble
-    else:
-        from ..arch.riscv.decode import try_disassemble
-    return try_disassemble(opcode)
+    return registry.find(arch).decode().try_disassemble(opcode)
 
 
 def annotated_listing(

@@ -12,10 +12,12 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..arch import registry
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro.tools.disas", description=__doc__)
-    parser.add_argument("arch", nargs="?", choices=["arm", "riscv"])
+    parser.add_argument("arch", nargs="?", choices=list(registry.names()))
     parser.add_argument("opcodes", nargs="*", help="32-bit opcodes")
     parser.add_argument("--case", help="annotate a case study's whole image")
     parser.add_argument("--traces", action="store_true", help="include the traces")
@@ -30,16 +32,13 @@ def main(argv: list[str] | None = None) -> int:
             print(f"unknown case study {args.case!r}", file=sys.stderr)
             return 1
         case = module.build()
-        arch = "riscv" if "riscv" in args.case else "armv8-a"
+        arch = registry.for_case(args.case).model_name
         print(annotated_listing(case.image, case.frontend, arch, args.traces))
         return 0
 
     if not args.arch:
         parser.error("arch required unless --case is given")
-    if args.arch == "arm":
-        from ..arch.arm.decode import try_disassemble
-    else:
-        from ..arch.riscv.decode import try_disassemble
+    try_disassemble = registry.get(args.arch).decode().try_disassemble
     for text in args.opcodes:
         opcode = int(text, 0)
         print(f"{opcode:#010x}  {try_disassemble(opcode)}")

@@ -14,6 +14,7 @@ import argparse
 import os
 import sys
 
+from ..arch import registry
 from ..isla import Assumptions, IslaError, trace_for_opcode
 from ..itl.printer import trace_to_sexpr
 
@@ -36,7 +37,7 @@ def main(argv: list[str] | None = None) -> int:
         prog="repro.tools.trace", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    parser.add_argument("arch", choices=["arm", "riscv"])
+    parser.add_argument("arch", choices=list(registry.names()))
     parser.add_argument("opcode", help="32-bit opcode (0x-prefixed or decimal)")
     parser.add_argument(
         "--pin", action="append", default=[], type=parse_pin, metavar="REG=VAL",
@@ -54,20 +55,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.arch == "arm":
-        from ..arch.arm import ArmModel
-        from ..arch.arm.decode import try_disassemble
-
-        model = ArmModel()
-    else:
-        from ..arch.riscv import RiscvModel
-        from ..arch.riscv.decode import try_disassemble
-
-        model = RiscvModel()
+    info = registry.get(args.arch)
+    model = info.model()
     opcode = int(args.opcode, 0)
 
     if args.disassemble:
-        print(f"; {try_disassemble(opcode)}")
+        print(f"; {info.decode().try_disassemble(opcode)}")
     assumptions = Assumptions()
     for name, value in args.pin:
         assumptions.pin(name, value, width_of(model, name))

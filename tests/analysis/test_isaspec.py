@@ -109,8 +109,13 @@ class TestFixedBitPruning:
 
 
 class TestLoaderRegistry:
-    def test_both_architectures_are_registered(self):
-        assert set(available_archs()) == {"arm", "riscv"}
+    def test_all_architectures_are_registered(self):
+        assert set(available_archs()) == {"arm", "ppc", "riscv"}
+
+    def test_loader_mirrors_the_arch_registry(self):
+        from repro.arch import registry
+
+        assert tuple(available_archs()) == tuple(registry.names())
 
     def test_load_spec_round_trips(self):
         spec = load_spec("riscv")

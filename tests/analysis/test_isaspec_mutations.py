@@ -21,6 +21,8 @@ from repro.analysis.isaspec import (
     isaspec_stats,
     validate_spec,
 )
+from repro.arch.ppc.spec import _MAJORS as PPC_MAJORS
+from repro.arch.ppc.spec import build_spec as build_ppc_spec
 from repro.arch.riscv.spec import _MAJORS, build_spec
 
 
@@ -174,6 +176,139 @@ class TestImplementationAgreementMutations:
         assert any(
             f.code == "ISA007" and "outside" in f.message for f in findings
         )
+
+
+class TestPpcMutations:
+    """The same calibration against the OpenPOWER spec: one seeded defect
+    per finding code, proving the pass is architecture-generic rather than
+    tuned to RISC-V's encoding shapes (primary/extended opcodes, XL-form
+    branch hints, and SPR fields all exercise different clause patterns)."""
+
+    def test_unmutated_ppc_spec_is_clean(self):
+        assert _findings(build_ppc_spec()) == []
+
+    def test_layout_gap_trips_isa001(self):
+        spec = build_ppc_spec()
+        layouts = dict(spec.layouts)
+        # Bit 21 of the D-form is untiled.
+        layouts["addi"] = ((
+            ("major", 31, 26, "struct"), ("rt", 25, 22, "reg"),
+            ("ra", 20, 16, "reg"), ("si", 15, 0, "imm"),
+        ),)
+        assert "ISA001" in _codes(replace(spec, layouts=layouts))
+
+    def test_narrow_reg_field_trips_isa002(self):
+        spec = build_ppc_spec()
+        layouts = dict(spec.layouts)
+        # Tiles the word, but rt is 4 bits against 32 GPRs.
+        layouts["addi"] = ((
+            ("major", 31, 26, "struct"), ("rt", 25, 22, "reg"),
+            ("pad", 21, 21, "imm"), ("ra", 20, 16, "reg"),
+            ("si", 15, 0, "imm"),
+        ),)
+        findings = _findings(replace(spec, layouts=layouts))
+        assert "ISA002" in {f.code for f in findings}
+        assert "ISA001" not in {f.code for f in findings}
+
+    def test_claim_collision_trips_isa003_with_counterexample(self):
+        # Point addi's claim at addis's primary opcode.
+        spec = _mutate_arm(
+            build_ppc_spec(), "addi",
+            match=(("eq", 31, 26, PPC_MAJORS["addis"]),),
+        )
+        overlaps = [f for f in _findings(spec) if f.code == "ISA003"]
+        assert overlaps
+        word = overlaps[0].detail["counterexample"]
+        assert word >> 26 == PPC_MAJORS["addis"]
+
+    def test_dropped_carve_trips_isa004_with_witness_word(self):
+        spec = replace(build_ppc_spec(), invalid=())
+        holes = [f for f in _findings(spec) if f.code == "ISA004"]
+        assert holes
+        # Every hole sits in an unallocated primary opcode; the modelled
+        # majors stay covered by region residuals.
+        assert all(
+            f.detail["witness"] >> 26 not in PPC_MAJORS.values()
+            for f in holes
+        )
+
+    def test_claim_escaping_region_trips_isa005(self):
+        # bclr claims words under the I-form branch major while its region
+        # still names the XL-form major 19.
+        spec = _mutate_arm(
+            build_ppc_spec(), "bclr",
+            match=(("eq", 31, 26, PPC_MAJORS["b"]), ("eq", 10, 1, 16)),
+        )
+        assert "ISA005" in _codes(spec)
+
+    def test_swapped_operand_places_trip_isa006(self):
+        spec = build_ppc_spec()
+        subf = next(a for a in spec.arms if a.name == "subf")
+        swapped = tuple(
+            ({"ra": "rb", "rb": "ra"}.get(name, name), lo, width)
+            for name, lo, width in subf.encoder.places
+        )
+        spec = _mutate_arm(
+            spec, "subf", encoder=replace(subf.encoder, places=swapped)
+        )
+        assert "ISA006" in _codes(spec)
+
+    def test_claiming_rejected_words_trips_isa007(self):
+        # Drop bcctr's BO[2]=1 clause: the claim now includes the
+        # CTR-decrementing forms the decoder (correctly) rejects.
+        spec = _mutate_arm(
+            build_ppc_spec(), "bcctr",
+            match=(("eq", 31, 26, PPC_MAJORS["xl"]), ("eq", 15, 11, 0),
+                   ("eq", 10, 1, 528)),
+        )
+        witnesses = [f for f in _findings(spec) if f.code == "ISA007"]
+        assert witnesses
+        assert any("decoder rejects" in f.message for f in witnesses)
+
+    def test_probe_outside_claim_trips_isa007(self):
+        from repro.arch.ppc import encode as ppc_encode
+
+        spec = build_ppc_spec()
+        probes = dict(spec.probes)
+        probes["addi"] = probes["addi"] + (ppc_encode.addis(3, 4, 1),)
+        findings = _findings(replace(spec, probes=probes))
+        assert any(
+            f.code == "ISA007" and "outside" in f.message for f in findings
+        )
+
+    def test_carve_over_claimed_words_trips_isa008(self):
+        spec = build_ppc_spec()
+        rogue = InvalidRegion(
+            name="rogue", clauses=(("eq", 31, 26, PPC_MAJORS["addi"]),)
+        )
+        assert "ISA008" in _codes(
+            replace(spec, invalid=spec.invalid + (rogue,))
+        )
+
+    def test_unknown_family_trips_isa009(self):
+        spec = _mutate_arm(build_ppc_spec(), "addi", family="tentative")
+        assert any(
+            f.code == "ISA009" and f.severity == ERROR
+            for f in _findings(spec)
+        )
+
+    def test_malformed_clause_trips_isa010(self):
+        spec = _mutate_arm(
+            build_ppc_spec(), "addi", match=(("approx", 31, 26, 14),)
+        )
+        assert "ISA010" in _codes(spec)
+
+    def test_overlapping_places_trip_isa011(self):
+        spec = build_ppc_spec()
+        addi = next(a for a in spec.arms if a.name == "addi")
+        spec = _mutate_arm(
+            spec, "addi",
+            encoder=replace(
+                addi.encoder,
+                places=(("rt", 21, 5), ("ra", 16, 5), ("si", 0, 17)),
+            ),
+        )
+        assert "ISA011" in _codes(spec)
 
 
 class TestRegressions:

@@ -1,0 +1,203 @@
+"""Tests for the OpenPOWER fixed-point model, encoder, and assembler."""
+
+import pytest
+
+from repro.arch.ppc import PpcModel, encode as P
+from repro.arch.ppc import asm as ppc_asm
+from repro.arch.ppc.regs import CTR, LR, PC, XER, cr_field, gpr
+from repro.itl.events import Reg
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PpcModel()
+
+
+def run_one(model, opcode, regs=None, mem=None, pc=0x1000):
+    state = model.initial_state()
+    state.write_reg(PC, pc)
+    for name, val in (regs or {}).items():
+        state.write_reg(Reg(name), val)
+    for addr, (val, n) in (mem or {}).items():
+        state.write_mem(addr, val, n)
+    state.load_bytes(pc, opcode.to_bytes(4, "little"))
+    model.step_concrete(state)
+    return state
+
+
+MASK = (1 << 64) - 1
+
+
+class TestEncoder:
+    def test_known_opcodes(self):
+        # cross-checked against GNU binutils for ppc64le
+        assert P.nop() == 0x60000000
+        assert P.addi("r3", "r4", 1) == 0x38640001
+        assert P.li("r5", -1) == 0x38A0FFFF
+        assert P.blr() == 0x4E800020
+        assert P.mtctr("r9") == 0x7D2903A6
+        assert P.bdnz(-4) == 0x4200FFFC
+
+    def test_reg_names(self):
+        assert P.reg("r0") == 0
+        assert P.reg(31) == 31
+        assert P.crf("cr7") == 7
+        with pytest.raises(ValueError):
+            P.reg("x5")
+        with pytest.raises(ValueError):
+            P.reg(32)
+
+    def test_immediate_ranges(self):
+        with pytest.raises(ValueError):
+            P.addi("r3", "r4", 1 << 15)
+        with pytest.raises(ValueError):
+            P.ld("r3", "r4", 2)  # DS-form displacement must be 4-aligned
+        with pytest.raises(ValueError):
+            P.b(2)  # branch targets are word-aligned
+        with pytest.raises(ValueError):
+            P.bcctr(0b00000, 0)  # BO[2]=0 (decrement) is invalid for bcctr
+
+
+class TestAlu:
+    def test_addi_ra_zero_reads_literal_zero(self, model):
+        state = run_one(model, P.addi("r3", "r0", 7), regs={"r0": 99})
+        assert state.read_reg(gpr(3)) == 7
+
+    def test_addi_wraps(self, model):
+        state = run_one(model, P.addi("r3", "r4", -1), regs={"r4": 0})
+        assert state.read_reg(gpr(3)) == MASK
+
+    def test_addis_shifts(self, model):
+        state = run_one(model, P.addis("r3", "r4", 2), regs={"r4": 1})
+        assert state.read_reg(gpr(3)) == 0x20001
+
+    def test_subf_is_rb_minus_ra(self, model):
+        state = run_one(model, P.subf("r3", "r4", "r5"), regs={"r4": 2, "r5": 7})
+        assert state.read_reg(gpr(3)) == 5
+
+    def test_logic_imm_operand_order(self, model):
+        # D-logic forms write RA from RS: "ori r3, r4, 1" sets r3.
+        word = ppc_asm.assemble_line("ori r3, r4, 0xF0")
+        state = run_one(model, word, regs={"r4": 0x0F, "r3": 0})
+        assert state.read_reg(gpr(3)) == 0xFF
+
+    def test_andi_records_cr0(self, model):
+        word = ppc_asm.assemble_line("andi. r3, r4, 0")
+        state = run_one(model, word, regs={"r4": MASK, "XER": 0})
+        assert state.read_reg(gpr(3)) == 0
+        assert state.read_reg(cr_field(0)) == 0b0010  # EQ
+
+    def test_andi_records_so_from_xer(self, model):
+        word = ppc_asm.assemble_line("andi. r3, r4, 1")
+        state = run_one(model, word, regs={"r4": 1, "XER": 1 << 31})
+        assert state.read_reg(cr_field(0)) == 0b0101  # GT | SO
+
+
+class TestCompare:
+    def test_cmpdi_signed(self, model):
+        state = run_one(model, P.cmpdi(7, "r3", 0), regs={"r3": MASK, "XER": 0})
+        assert state.read_reg(cr_field(7)) == 0b1000  # LT: -1 < 0
+
+    def test_cmpldi_unsigned(self, model):
+        state = run_one(model, P.cmpldi(7, "r3", 0), regs={"r3": MASK, "XER": 0})
+        assert state.read_reg(cr_field(7)) == 0b0100  # GT: 2^64-1 > 0
+
+    def test_cmpwi_uses_32_bit_views(self, model):
+        # Low word is -1; the 64-bit value is a large positive number.
+        state = run_one(model, P.cmpwi(0, "r3", 0),
+                        regs={"r3": 0x0000_0001_FFFF_FFFF, "XER": 0})
+        assert state.read_reg(cr_field(0)) == 0b1000  # LT under L=0
+
+
+class TestMemory:
+    def test_lbz_zero_extends(self, model):
+        state = run_one(model, P.lbz("r3", "r4", 0),
+                        regs={"r4": 0x5000}, mem={0x5000: (0xFF, 1)})
+        assert state.read_reg(gpr(3)) == 0xFF
+
+    def test_ra_zero_base_is_absolute(self, model):
+        state = run_one(model, P.lbz("r3", "r0", 0x5000),
+                        regs={"r0": 0x9999}, mem={0x5000: (0x42, 1)})
+        assert state.read_reg(gpr(3)) == 0x42
+
+    def test_std_ld_round_trip(self, model):
+        value = 0x0123_4567_89AB_CDEF
+        state = run_one(model, P.std("r3", "r4", 8),
+                        regs={"r3": value, "r4": 0x5000},
+                        mem={0x5000 + off: (0, 1) for off in range(16)})
+        assert state.read_mem(0x5008, 8) == value
+
+
+class TestBranches:
+    def test_b_relative(self, model):
+        state = run_one(model, P.b(16), pc=0x1000)
+        assert state.read_reg(PC) == 0x1010
+
+    def test_bl_writes_lr(self, model):
+        state = run_one(model, P.bl(-8), pc=0x1000)
+        assert state.read_reg(PC) == 0xFF8
+        assert state.read_reg(LR) == 0x1004
+
+    def test_bdnz_decrements_and_branches(self, model):
+        state = run_one(model, P.bdnz(-4), regs={"CTR": 2}, pc=0x1000)
+        assert state.read_reg(CTR) == 1
+        assert state.read_reg(PC) == 0xFFC
+
+    def test_bdnz_falls_through_on_exhausted_ctr(self, model):
+        state = run_one(model, P.bdnz(-4), regs={"CTR": 1}, pc=0x1000)
+        assert state.read_reg(CTR) == 0
+        assert state.read_reg(PC) == 0x1004
+
+    def test_beq_taken_and_not(self, model):
+        taken = run_one(model, P.beq(0, 8), regs={"CR0": 0b0010}, pc=0x1000)
+        assert taken.read_reg(PC) == 0x1008
+        skipped = run_one(model, P.beq(0, 8), regs={"CR0": 0b0100}, pc=0x1000)
+        assert skipped.read_reg(PC) == 0x1004
+
+    def test_blr_masks_low_bits(self, model):
+        state = run_one(model, P.blr(), regs={"LR": 0x2002}, pc=0x1000)
+        assert state.read_reg(PC) == 0x2000
+
+    def test_bclr_lk_reads_old_lr_then_links(self, model):
+        state = run_one(model, P.blrl(), regs={"LR": 0x3000}, pc=0x1000)
+        assert state.read_reg(PC) == 0x3000
+        assert state.read_reg(LR) == 0x1004
+
+    def test_bctr(self, model):
+        state = run_one(model, P.bctr(), regs={"CTR": 0x4000}, pc=0x1000)
+        assert state.read_reg(PC) == 0x4000
+
+
+class TestSprMoves:
+    def test_mtctr_mfctr(self, model):
+        state = run_one(model, P.mtctr("r3"), regs={"r3": 77})
+        assert state.read_reg(CTR) == 77
+        state = run_one(model, P.mflr("r4"), regs={"LR": 0x1234})
+        assert state.read_reg(gpr(4)) == 0x1234
+
+    def test_mtxer(self, model):
+        word = ppc_asm.assemble_line("mtxer r5")
+        state = run_one(model, word, regs={"r5": 1 << 31})
+        assert state.read_reg(XER) == 1 << 31
+
+
+class TestAsmRoundTrip:
+    @pytest.mark.parametrize("line", [
+        "nop", "li r3, -1", "lis r4, 16", "mr r5, r6",
+        "andi. r7, r8, 255", "cmpdi cr7, r3, 0", "cmplw cr2, r4, r5",
+        "add r3, r4, r5", "subf r3, r4, r5",
+        "lbz r3, -3(r4)", "std r3, 16(r1)", "lwz r0, 0(r9)",
+        "mtctr r3", "mflr r4", "bdnz -4", "blr", "bctrl",
+        "beq cr0, 8", "bgel cr7, -8", "b 16", "bl -16",
+    ])
+    def test_assemble_disassemble_assemble(self, model, line):
+        word = ppc_asm.assemble_line(line)
+        text = model_decode_text(word)
+        again = ppc_asm.assemble_line(text)
+        assert again == word, (line, text)
+
+
+def model_decode_text(word: int) -> str:
+    from repro.arch.ppc import decode
+
+    return decode.disassemble(word)

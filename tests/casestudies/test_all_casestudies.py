@@ -8,9 +8,11 @@ from repro.casestudies import (
     binsearch_riscv,
     hvc,
     memcpy_arm,
+    memcpy_ppc,
     memcpy_riscv,
     pkvm,
     rbit,
+    sign_ppc,
     uart,
     unaligned,
 )
@@ -19,6 +21,7 @@ from repro.logic.checker import check_proof
 CASES = {
     "memcpy_arm": lambda: memcpy_arm.build(n=3),
     "memcpy_riscv": lambda: memcpy_riscv.build(n=3),
+    "memcpy_ppc": lambda: memcpy_ppc.build(n=3),
     "hvc": hvc.build,
     "pkvm": pkvm.build,
     "unaligned": unaligned.build,
@@ -26,11 +29,13 @@ CASES = {
     "rbit": rbit.build,
     "binsearch_arm": lambda: binsearch_arm.build(n=4),
     "binsearch_riscv": lambda: binsearch_riscv.build(n=4),
+    "sign_ppc": sign_ppc.build,
 }
 
 MODULES = {
     "memcpy_arm": memcpy_arm,
     "memcpy_riscv": memcpy_riscv,
+    "memcpy_ppc": memcpy_ppc,
     "hvc": hvc,
     "pkvm": pkvm,
     "unaligned": unaligned,
@@ -38,6 +43,7 @@ MODULES = {
     "rbit": rbit,
     "binsearch_arm": binsearch_arm,
     "binsearch_riscv": binsearch_riscv,
+    "sign_ppc": sign_ppc,
 }
 
 
@@ -83,6 +89,12 @@ class TestMemcpyScaling:
     def test_riscv_lengths(self, n):
         case = memcpy_riscv.build(n=n)
         proof = memcpy_riscv.verify(case)
+        assert proof.blocks_verified
+
+    @pytest.mark.parametrize("n", [0, 1, 2, 5])
+    def test_ppc_lengths(self, n):
+        case = memcpy_ppc.build(n=n)
+        proof = memcpy_ppc.verify(case)
         assert proof.blocks_verified
 
 

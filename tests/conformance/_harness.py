@@ -6,6 +6,10 @@ of the encoding space), runs each through the full symbolic pipeline, and
 replays the resulting ITL trace against the concrete mini-Sail interpreter
 from random machine states.  Failures are shrunk to a minimal case and
 appended to the checked-in regression corpus under ``corpus/``.
+
+Everything architecture-specific — models, codecs, register pools, pins,
+directed templates — comes from :mod:`repro.arch.registry`, so a new
+architecture joins this suite by registering itself, not by editing it.
 """
 
 from __future__ import annotations
@@ -15,12 +19,7 @@ import random
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.arch.arm import ArmModel
-from repro.arch.arm import asm as arm_asm
-from repro.arch.arm import decode as arm_decode
-from repro.arch.riscv import RiscvModel
-from repro.arch.riscv import asm as riscv_asm
-from repro.arch.riscv import decode as riscv_decode
+from repro.arch import registry
 from repro.isla import Assumptions, IslaError, trace_for_opcode
 from repro.itl.events import Reg
 from repro.sail.iface import ModelError
@@ -28,46 +27,11 @@ from repro.validation import RefinementError, simulate_state
 
 CORPUS_DIR = Path(__file__).parent / "corpus"
 
-ARM = ArmModel()
-RISCV = RiscvModel()
-
 # A small mapped memory window; registers are sometimes pointed into it so
 # loads and stores exercise real memory as well as the device fallback.
+# (Mirrors repro.cosim.archs so reproducers transfer between the suites.)
 MEM_BASE = 0x5000
 MEM_LEN = 64
-
-ARM_PINS = {"PSTATE.EL": 2, "PSTATE.SP": 1, "SCTLR_EL2": 0}
-ARM_VARY = [f"R{i}" for i in range(31)] + ["SP_EL2"]
-ARM_FLAGS = ["PSTATE.N", "PSTATE.Z", "PSTATE.C", "PSTATE.V"]
-RISCV_VARY = [f"x{i}" for i in range(1, 32)]
-
-# Directed templates: assembly lines whose encodings random sampling is
-# unlikely to reach (near-constant words), with {r}/{n} filled per draw.
-ARM_TEMPLATES = [
-    "rbit x{r}, x{n}", "rbit w{r}, w{n}",
-    "br x{r}", "blr x{r}", "ret", "ret x{r}", "eret",
-    "nop", "hint #{h}",
-    "mrs x{r}, esr_el2", "mrs x{r}, vbar_el2", "msr elr_el2, x{r}",
-    "hvc #{h}", "svc #{h}",
-    "ldp x{r}, x{n}, [x{m}]", "stp x{r}, x{n}, [x{m}, #16]",
-    "stp x{r}, x{n}, [sp, #-16]!", "ldp x{r}, x{n}, [sp], #16",
-    "tbz x{r}, #{h}, #8", "tbnz x{r}, #{h}, #-8",
-    "sdiv x{r}, x{n}, x{m}", "udiv w{r}, w{n}, w{m}",
-    "ldur x{r}, [x{n}, #-8]", "stur w{r}, [x{n}, #3]",
-    "ldursw x{r}, [x{n}, #4]", "sturh w{r}, [x{n}, #-2]",
-    "ccmp x{r}, #{h}, #5, ne", "ccmn w{r}, w{n}, #3, lt",
-    "tst x{r}, #0xff0", "uxtb w{r}, w{n}",
-]
-RISCV_TEMPLATES = [
-    "fence", "ecall", "ebreak", "mret", "wfi",
-    "csrr t{t}, mstatus", "csrw mtvec, t{t}",
-    "csrrw t{t}, mscratch, t{u}", "csrrci t{t}, mstatus, {h}",
-    "lwu t{t}, 4(t{u})", "sraiw t{t}, t{u}, {h}",
-    "add t{t}, t{u}, t{t}", "sub t{t}, t{u}, t{t}",
-    "sltu t{t}, t{u}, t{t}", "and t{t}, t{u}, t{t}",
-    "sra t{t}, t{u}, t{t}", "addw t{t}, t{u}, t{t}",
-    "sraw t{t}, t{u}, t{t}",
-]
 
 
 @dataclass
@@ -79,6 +43,7 @@ class Arch:
     vary: list[str]
     pins: dict[str, int]
     templates: list[str]
+    flags: list[str]
 
     def assumptions(self) -> Assumptions:
         out = Assumptions()
@@ -88,8 +53,17 @@ class Arch:
 
 
 ARCHS = {
-    "arm": Arch("arm", ARM, arm_decode, arm_asm, ARM_VARY, ARM_PINS, ARM_TEMPLATES),
-    "riscv": Arch("riscv", RISCV, riscv_decode, riscv_asm, RISCV_VARY, {}, RISCV_TEMPLATES),
+    info.name: Arch(
+        name=info.name,
+        model=info.model(),
+        decode=info.decode(),
+        asm=info.asm(),
+        vary=list(info.vary),
+        pins=info.pin_dict(),
+        templates=list(info.templates().CONFORMANCE_TEMPLATES),
+        flags=list(info.flags),
+    )
+    for info in registry.infos()
 }
 
 
@@ -143,20 +117,23 @@ class CaseState:
 
 def random_state(arch: Arch, rng: random.Random) -> CaseState:
     regs = dict(arch.pins)
+    mask = lambda v, w: v & ((1 << w) - 1)  # noqa: E731 — narrow regs (CR fields)
     for name in arch.vary:
         reg = Reg.parse(name)
         width = arch.model.regfile.width_of(reg)
         roll = rng.random()
         if roll < 0.3:
             # Point into the mapped window (aligned-ish) so memory ops hit it.
-            regs[name] = MEM_BASE + 8 * rng.randrange(MEM_LEN // 8 - 1)
+            regs[name] = mask(MEM_BASE + 8 * rng.randrange(MEM_LEN // 8 - 1), width)
         elif roll < 0.5:
-            regs[name] = rng.choice([0, 1, 2, 0xFF, (1 << width) - 1, 1 << (width - 1)])
+            regs[name] = mask(
+                rng.choice([0, 1, 2, 0xFF, (1 << width) - 1, 1 << (width - 1)]),
+                width,
+            )
         else:
             regs[name] = rng.getrandbits(width)
-    if arch.name == "arm":
-        for flag in ARM_FLAGS:
-            regs[flag] = rng.getrandbits(1)
+    for flag in arch.flags:
+        regs[flag] = rng.getrandbits(1)
     mem = {MEM_BASE + off: rng.getrandbits(8) for off in range(MEM_LEN)}
     return CaseState(regs=regs, mem=mem)
 

@@ -38,7 +38,7 @@ SEED = 20260807
 class TestCorpusReplay:
     """The regression corpus replays clean before any new fuzzing."""
 
-    @pytest.mark.parametrize("arch_name", ["arm", "riscv"])
+    @pytest.mark.parametrize("arch_name", sorted(ARCHS))
     def test_differential_entries(self, arch_name):
         arch = ARCHS[arch_name]
         for entry in load_corpus(arch_name):
@@ -52,7 +52,7 @@ class TestCorpusReplay:
             assert reason is None, f"corpus regression {entry['opcode']}: {reason}"
 
 
-@pytest.mark.parametrize("arch_name", ["arm", "riscv"])
+@pytest.mark.parametrize("arch_name", sorted(ARCHS))
 def test_differential_conformance(arch_name):
     arch = ARCHS[arch_name]
     rng = random.Random(SEED)

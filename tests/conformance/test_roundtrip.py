@@ -22,17 +22,13 @@ WORDS_PER_ARCH = 1500
 
 
 def _all_arms(arch_name: str) -> set[str]:
-    if arch_name == "arm":
-        from repro.arch.arm.decode import _DECODERS
+    from repro.arch import registry
 
-        return {m.__name__.lstrip("_") for m in _DECODERS}
-    from repro.arch.riscv.decode import _MAJOR_ARMS
-
-    return set(_MAJOR_ARMS.values())
+    return set(registry.get(arch_name).decode_arms())
 
 
 class TestCorpusReplay:
-    @pytest.mark.parametrize("arch_name", ["arm", "riscv"])
+    @pytest.mark.parametrize("arch_name", sorted(ARCHS))
     def test_corpus_words(self, arch_name):
         arch = ARCHS[arch_name]
         for entry in load_corpus(arch_name):
@@ -53,7 +49,7 @@ class TestCorpusReplay:
                 )
 
 
-@pytest.mark.parametrize("arch_name", ["arm", "riscv"])
+@pytest.mark.parametrize("arch_name", sorted(ARCHS))
 def test_roundtrip_every_word(arch_name):
     arch = ARCHS[arch_name]
     rng = random.Random(SEED)
@@ -75,7 +71,7 @@ def test_roundtrip_every_word(arch_name):
     assert not missing, f"decoder arms never generated: {sorted(missing)}"
 
 
-@pytest.mark.parametrize("arch_name", ["arm", "riscv"])
+@pytest.mark.parametrize("arch_name", sorted(ARCHS))
 def test_assembler_rejects_garbage(arch_name):
     arch = ARCHS[arch_name]
     for line in ("", "bogus x0, x1", "add x0", ".word 0x1234"):

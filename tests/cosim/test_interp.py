@@ -161,7 +161,67 @@ RISCV_LINES = [
     "csrrci t0, mstatus, 5",
 ]
 
-_LINES = {"arm": ARM_LINES, "riscv": RISCV_LINES}
+PPC_LINES = [
+    "nop",
+    "addi r3, r4, -2048",
+    "li r5, 4660",
+    "addis r3, r4, 100",
+    "lis r6, -16384",
+    "ori r3, r4, 65535",
+    "oris r3, r4, 255",
+    "xori r3, r4, 43981",
+    "xoris r3, r4, 4660",
+    "andi. r3, r4, 255",
+    "andis. r3, r4, 61680",
+    "mr r3, r4",
+    "cmpdi cr3, r4, -5",
+    "cmpwi cr0, r4, 17",
+    "cmpldi cr1, r4, 65535",
+    "cmplwi cr2, r4, 3",
+    "cmpd cr4, r5, r6",
+    "cmpw cr5, r5, r6",
+    "cmpld cr6, r5, r6",
+    "cmplw cr7, r5, r6",
+    "add r3, r4, r5",
+    "subf r3, r4, r5",
+    "and r3, r4, r5",
+    "or r3, r4, r5",
+    "xor r3, r4, r5",
+    "mtctr r3",
+    "mtlr r4",
+    "mtxer r5",
+    "mfctr r3",
+    "mflr r4",
+    "mfxer r5",
+    "lwz r3, 8(r4)",
+    "lwz r3, 20484(r0)",
+    "lbz r3, -3(r4)",
+    "lbz r3, 20480(r0)",
+    "lbz r3, 20483(r0)",
+    "stw r3, 4(r4)",
+    "stb r3, 20481(r0)",
+    "ld r3, 8(r4)",
+    "ld r3, 20488(r0)",
+    "std r3, -8(r4)",
+    "std r3, 20496(r0)",
+    "b 8",
+    "bl -8",
+    "beq cr0, 8",
+    "bne cr7, -4",
+    "blt cr1, 4",
+    "bgel cr2, 8",
+    "bdnz -4",
+    "bc 20, 0, 8",
+    "bc 4, 3, -8",
+    "blr",
+    "blrl",
+    "bctr",
+    "bctrl",
+    "bclr 0, 5",
+    "bcctr 20, 0",
+]
+
+_LINES = {"arm": ARM_LINES, "riscv": RISCV_LINES, "ppc": PPC_LINES}
 
 
 def _one_step_both_sides(arch, word: int, seed: int):

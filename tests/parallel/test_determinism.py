@@ -66,7 +66,7 @@ def test_suite_is_deterministic_under_fault_injection():
     assert first == second
 
 
-@pytest.mark.parametrize("name", ["memcpy_arm", "binsearch_riscv"])
+@pytest.mark.parametrize("name", ["memcpy_arm", "binsearch_riscv", "memcpy_ppc"])
 def test_jobs_invariance(name):
     """jobs=1 and jobs=4 produce byte-identical certificates."""
     module = getattr(casestudies, name)

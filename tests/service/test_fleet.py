@@ -102,6 +102,16 @@ class TestRouterEndToEnd:
             assert snapshot["affinity_entries"] == 2
             assert snapshot["completed_hashes"] == 2
 
+    def test_ppc_certificates_byte_identical_to_serial(self):
+        """The third ISA rides the same fleet: daemon-produced certificates
+        for the OpenPOWER case studies match a serial, cache-free run."""
+        with ChaosFleet(shards=2) as fleet:
+            jobs = [fleet.submit("memcpy_ppc"), fleet.submit("sign_ppc")]
+            fleet.wait_all(jobs, timeout_s=240)
+            for job in jobs:
+                assert job.state == "done", (job.request.case, job.error)
+                assert job.result["certificate"] == _serial(job.request.case)
+
     def test_jobs_survive_a_dead_shard(self):
         """Kill a shard, then submit: the breaker is forced open, the ring
         walks to the survivor, and every job still completes correctly."""
